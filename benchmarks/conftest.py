@@ -1,0 +1,25 @@
+"""Shared helpers for the experiment benches.
+
+Every bench prints the rows/series of the paper artifact it reproduces
+through the ``report`` fixture (write-through past pytest's capture, so
+the tables land in ``bench_output.txt``), and registers its run with
+pytest-benchmark for timing.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Emit experiment output through pytest's capture."""
+
+    def emit(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+
+    return emit
+
+
+def run_once(benchmark, fn):
+    """Benchmark a deterministic experiment with a single round."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

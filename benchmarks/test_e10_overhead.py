@@ -1,0 +1,82 @@
+"""E10 — reconciliation overhead: the Section 1 critique, measured.
+
+"One of these [problems] is the computation and communication overhead
+... the sites had to exchange their transaction logs after the
+partition was repaired.  Each of them had to determine which of the
+transactions from the received log had to be executed locally and which
+... had to be backed out."
+
+The sweep compares, as the partition-era workload grows:
+
+* log transformation — log records exchanged + operations re-executed
+  at reconciliation (grows with everything that happened);
+* the optimistic protocol — precedence-graph validation + backouts;
+* fragments & agents (Section 4.3) — per-update broadcast messages
+  only; reconciliation work is ZERO by construction (updates install
+  incrementally in stream order, no logs are exchanged, nothing is ever
+  backed out).
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.analysis.spectrum import (
+    SpectrumConfig,
+    run_fragments_agents,
+    run_log_transform,
+    run_optimistic,
+)
+from repro.core.control.unrestricted import UnrestrictedReadsStrategy
+
+INTERARRIVALS = [16.0, 8.0, 4.0, 2.0]  # higher traffic -> more ops
+
+
+def sweep():
+    rows = []
+    for interarrival in INTERARRIVALS:
+        config = SpectrumConfig(mean_interarrival=interarrival)
+        lt = run_log_transform(config)
+        opt = run_optimistic(config)
+        fa = run_fragments_agents(
+            config,
+            UnrestrictedReadsStrategy(),
+            "fa-unrestricted",
+            view_mode="own",
+        )
+        replayed = int(lt.notes.split("=")[1]) if lt.notes else 0
+        backed_out = int(opt.notes.split("=")[1]) if opt.notes else 0
+        rows.append(
+            {
+                "ops": lt.submitted,
+                "lt msgs": lt.messages,
+                "lt replayed": replayed,
+                "opt backouts": backed_out,
+                "fa msgs": fa.messages,
+                "fa reconcile work": 0,
+                "fa corrective": fa.corrective_actions,
+            }
+        )
+    return rows
+
+
+def test_e10_overhead(benchmark, report):
+    rows = run_once(benchmark, sweep)
+    headers = list(rows[0])
+    report(
+        format_table(
+            headers,
+            [[row[h] for h in headers] for row in rows],
+            title=(
+                "E10 / Section 1 — reconciliation overhead vs workload "
+                "volume (fixed 300-tick partition)"
+            ),
+        )
+    )
+    # Log transformation's replay grows with total work...
+    replays = [row["lt replayed"] for row in rows]
+    assert replays == sorted(replays)
+    assert replays[-1] > replays[0]
+    # ...while fragments & agents never replays or backs out anything.
+    assert all(row["fa reconcile work"] == 0 for row in rows)
+    # The optimistic baseline pays in retroactively undone transactions.
+    assert rows[-1]["opt backouts"] > 0

@@ -1,0 +1,60 @@
+"""E1 — Figure 1.1: the correctness-availability spectrum, measured.
+
+One scripted banking scenario (joint accounts, a partition isolating
+the central office, a fixed operation stream) replayed on six systems
+from the conservative end to the free-for-all end.  The paper's figure
+is qualitative; this table is its quantitative rendering.
+
+Expected shape:
+  * availability rises monotonically within the fragments-and-agents
+    family (read-locks < acyclic = unrestricted = 1.0) and the
+    conservative baseline is the least available;
+  * global serializability holds for mutual exclusion, Section 4.1 and
+    Section 4.2, and is lost exactly at Section 4.3;
+  * every system preserves replica convergence (mutual consistency);
+  * the free options pay in corrective actions / multi-fragment
+    predicate violations instead of denied service.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.analysis.spectrum import (
+    SPECTRUM_HEADERS,
+    SpectrumConfig,
+    run_spectrum,
+)
+
+
+def test_e1_spectrum(benchmark, report):
+    config = SpectrumConfig()
+    rows = run_once(benchmark, lambda: run_spectrum(config))
+    table = format_table(
+        SPECTRUM_HEADERS,
+        [row.as_tuple() for row in rows],
+        title=(
+            "E1 / Figure 1.1 — correctness vs availability "
+            f"(partition {config.partition_start}-{config.partition_end} "
+            f"of {config.horizon} ticks, central office isolated)"
+        ),
+    )
+    report(table)
+
+    by_name = {row.system: row for row in rows}
+    # Availability ordering along the spectrum.
+    assert by_name["mutual-exclusion"].availability < 1.0
+    assert (
+        by_name["mutual-exclusion"].availability
+        <= by_name["fa-read-locks"].availability
+    )
+    assert by_name["fa-acyclic"].availability == 1.0
+    assert by_name["fa-unrestricted"].availability == 1.0
+    assert by_name["log-transform"].availability == 1.0
+    # Correctness guarantees per the paper.
+    assert by_name["mutual-exclusion"].globally_serializable
+    assert by_name["fa-read-locks"].globally_serializable
+    assert by_name["fa-acyclic"].globally_serializable  # the theorem
+    assert not by_name["fa-unrestricted"].globally_serializable
+    assert by_name["fa-unrestricted"].fragmentwise_serializable
+    # Everyone converges.
+    assert all(row.mutually_consistent for row in rows)

@@ -1,0 +1,129 @@
+"""E2 — Figure 1.2 + Section 1 scenarios: the baselines head-to-head.
+
+The paper's opening comparison: a $300 account replicated at two
+severed sites, identical withdrawal requests at both.
+
+Scenario 1 (two $100 withdrawals): consistent either way — mutual
+exclusion sends one customer home empty-handed; log transformation
+serves both and discovers no corrective action was needed.
+
+Scenario 2 (two $200 withdrawals): the trade-off in tangible form —
+mutual exclusion preserves the balance but denies service; log
+transformation serves both, the merged balance goes negative, and the
+bank's fine is assessed at reconciliation.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.baselines import LogTransformSystem, MutualExclusionSystem, Operation
+from repro.cc.ops import Read, Write
+
+
+def withdraw_body(amount):
+    def body(_ctx):
+        balance = yield Read("bal:1")
+        if balance >= amount:
+            yield Write("bal:1", balance - amount)
+            return ("granted", amount)
+        return ("refused", balance)
+
+    return body
+
+
+def banking_apply(state, op):
+    key = "bal:1"
+    if op.kind == "withdraw" and op.params["granted"]:
+        state[key] = state.get(key, 0.0) - op.params["amount"]
+    elif op.kind == "fine":
+        state[key] = state.get(key, 0.0) - op.params["amount"]
+
+
+def run_mutex(amount):
+    system = MutualExclusionSystem(["A", "B"], token_node="A")
+    system.load({"bal:1": 300.0})
+    system.partitions.partition_now([["A"], ["B"]])
+    at_a = system.submit("A", withdraw_body(amount))
+    at_b = system.submit("B", withdraw_body(amount))
+    system.partitions.heal_now()
+    system.quiesce()
+    return {
+        "system": "mutual-exclusion",
+        "at A": at_a.result[0] if at_a.committed else "DENIED",
+        "at B": at_b.result[0] if at_b.committed else "DENIED",
+        "final balance": system.stores["A"].read("bal:1"),
+        "corrective": 0,
+        "consistent": system.mutual_consistency().consistent,
+    }
+
+
+def run_log_transform(amount):
+    def correct(state, _ops):
+        if state.get("bal:1", 0.0) < 0:
+            return [
+                Operation("fine", "fine", {"amount": 25.0}, float("inf"), "c")
+            ]
+        return []
+
+    system = LogTransformSystem(["A", "B"], banking_apply, correct_fn=correct)
+    system.load({"bal:1": 300.0})
+    system.partitions.partition_now([["A"], ["B"]])
+    outcomes = []
+    for node in ("A", "B"):
+        granted = system.states[node]["bal:1"] >= amount
+        system.submit(
+            node, "withdraw", {"amount": amount, "granted": granted}
+        )
+        outcomes.append("granted" if granted else "refused")
+    system.partitions.heal_now()
+    system.quiesce()
+    rep = system.reconcile()
+    return {
+        "system": "log-transform",
+        "at A": outcomes[0],
+        "at B": outcomes[1],
+        "final balance": system.states["A"]["bal:1"],
+        "corrective": len(rep.corrective_ops),
+        "consistent": system.mutual_consistency().consistent,
+    }
+
+
+def run_both_scenarios():
+    rows = []
+    for label, amount in (("scenario 1 ($100)", 100.0),
+                          ("scenario 2 ($200)", 200.0)):
+        for result in (run_mutex(amount), run_log_transform(amount)):
+            rows.append({"scenario": label, **result})
+    return rows
+
+
+def test_e2_banking_baselines(benchmark, report):
+    rows = run_once(benchmark, run_both_scenarios)
+    headers = list(rows[0])
+    report(
+        format_table(
+            headers,
+            [[row[h] for h in headers] for row in rows],
+            title="E2 / Section 1 — mutual exclusion vs log transformation",
+        )
+    )
+    by_key = {(r["scenario"], r["system"]): r for r in rows}
+
+    s1_mx = by_key[("scenario 1 ($100)", "mutual-exclusion")]
+    assert s1_mx["at A"] == "granted" and s1_mx["at B"] == "DENIED"
+    assert s1_mx["final balance"] == 200.0
+
+    s1_lt = by_key[("scenario 1 ($100)", "log-transform")]
+    assert s1_lt["at A"] == "granted" and s1_lt["at B"] == "granted"
+    assert s1_lt["corrective"] == 0  # execution happened to be consistent
+    assert s1_lt["final balance"] == 100.0
+
+    s2_mx = by_key[("scenario 2 ($200)", "mutual-exclusion")]
+    assert s2_mx["final balance"] == 100.0  # never overdrawn
+
+    s2_lt = by_key[("scenario 2 ($200)", "log-transform")]
+    assert s2_lt["at A"] == "granted" and s2_lt["at B"] == "granted"
+    assert s2_lt["corrective"] == 1  # the overdraft fine
+    assert s2_lt["final balance"] == -125.0
+
+    assert all(r["consistent"] for r in rows)

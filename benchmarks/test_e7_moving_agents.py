@@ -1,0 +1,124 @@
+"""E7 — Figure 4.4.1 + the Section 4.4 protocols: missing transactions.
+
+The scripted hazard: agent A runs T1 at X while X is partitioned away,
+the token then travels (physically — tokens cross partitions) to Y,
+and A immediately runs T2 on the same object; the partition heals much
+later.  Replayed under the no-protection baseline and all four paper
+protocols.
+
+Expected guarantee matrix (the paper's, measured):
+
+    protocol     T1 outcome   MC    FW    availability cost
+    none         committed    NO    NO    none (and it shows)
+    majority     REJECTED     yes   yes   minority updates denied
+    with-data    committed    yes   yes   token transport only
+    with-seqno   committed    yes   yes   T2 waits for the heal
+    corrective   committed    yes   NO    none (post-hoc repair)
+"""
+
+from conftest import run_once
+
+from repro import (
+    CorrectiveMoveProtocol,
+    FragmentedDatabase,
+    InstantMoveProtocol,
+    MajorityCommitProtocol,
+    MoveWithDataProtocol,
+    MoveWithSeqnoProtocol,
+)
+from repro.analysis.report import format_table
+from repro.cc.ops import Write
+
+HEAL_AT = 60.0
+
+
+def run_protocol(protocol):
+    db = FragmentedDatabase(["X", "Y", "Z"], movement=protocol)
+    db.add_agent("ag", home_node="X")
+    db.add_fragment("F", agent="ag", objects=["v"])
+    db.load({"v": 0})
+    db.finalize()
+
+    def setv(value):
+        def body(_ctx):
+            yield Write("v", value)
+
+        return body
+
+    results = {}
+    db.sim.schedule_at(
+        1, lambda: db.partitions.partition_now([["X"], ["Y", "Z"]])
+    )
+    db.sim.schedule_at(5, lambda: results.update(
+        t1=db.submit_update("ag", setv(111), writes=["v"], txn_id="T1")))
+    db.sim.schedule_at(10, lambda: db.move_agent("ag", "Y", transport_delay=2))
+    db.sim.schedule_at(25, lambda: results.update(
+        t2=db.submit_update("ag", setv(222), writes=["v"], txn_id="T2")))
+    db.sim.schedule_at(HEAL_AT, db.partitions.heal_now)
+    db.quiesce()
+
+    finals = {name: node.store.read("v") for name, node in db.nodes.items()}
+    return {
+        "protocol": protocol.name,
+        "T1": results["t1"].status.value,
+        "T2": results["t2"].status.value,
+        "T2 latency": results["t2"].latency,
+        "MC": db.mutual_consistency().consistent,
+        "FW": db.fragmentwise_serializability().ok,
+        "final v": finals["X"] if len(set(finals.values())) == 1 else str(finals),
+        "msgs": db.network.messages_sent,
+    }
+
+
+def run_all():
+    return [
+        run_protocol(InstantMoveProtocol()),
+        run_protocol(MajorityCommitProtocol()),
+        run_protocol(MoveWithDataProtocol()),
+        run_protocol(MoveWithSeqnoProtocol()),
+        run_protocol(CorrectiveMoveProtocol()),
+    ]
+
+
+def test_e7_moving_agents(benchmark, report):
+    rows = run_once(benchmark, run_all)
+    headers = list(rows[0])
+    report(
+        format_table(
+            headers,
+            [[row[h] for h in headers] for row in rows],
+            title=(
+                "E7 / Figure 4.4.1 — agent moves X->Y mid-partition; "
+                "T1@X and T2@Y write the same object; heal at t=60"
+            ),
+        )
+    )
+    by_name = {row["protocol"]: row for row in rows}
+
+    none = by_name["none"]
+    assert none["T1"] == "committed" and none["T2"] == "committed"
+    assert not none["MC"]  # replicas diverge — the paper's hazard
+    assert not none["FW"]
+
+    majority = by_name["majority"]
+    assert majority["T1"] == "rejected"  # X was a 1-of-3 minority
+    assert majority["MC"] and majority["FW"]
+
+    with_data = by_name["with-data"]
+    assert with_data["T1"] == "committed" and with_data["T2"] == "committed"
+    assert with_data["MC"] and with_data["FW"]
+    assert with_data["T2 latency"] == 0.0  # resumes instantly
+
+    with_seqno = by_name["with-seqno"]
+    assert with_seqno["MC"] and with_seqno["FW"]
+    # T2 waited for T1 to arrive after the heal: latency spans the gap.
+    assert with_seqno["T2 latency"] > HEAL_AT - 25
+
+    corrective = by_name["corrective"]
+    assert corrective["T1"] == "committed"
+    assert corrective["T2 latency"] == 0.0  # "as soon as it arrives"
+    assert corrective["MC"]  # eventual mutual consistency
+    assert not corrective["FW"]  # knowingly sacrificed
+    # Every consistency-preserving protocol converges on T2's value.
+    for name in ("majority", "with-data", "with-seqno", "corrective"):
+        assert by_name[name]["final v"] == 222

@@ -1,0 +1,91 @@
+"""E9 — availability vs partition duration (the Section 1/4 claims as
+a curve).
+
+The E1 scenario with the partition duration swept from 0% to ~80% of
+the run.  Expected series shape:
+
+* mutual exclusion and Section 4.1 degrade roughly linearly with the
+  partition duration (service denied while severed);
+* the Section 4.2 and 4.3 fragments-and-agents options hold at 1.0
+  regardless — the paper's headline claim;
+* the optimistic baseline's *effective* availability (accepted minus
+  backed out) also degrades: longer partitions mean more conflicting
+  optimistic work to undo.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.analysis.spectrum import (
+    SpectrumConfig,
+    run_fragments_agents,
+    run_mutual_exclusion,
+    run_optimistic,
+)
+from repro.core.control.acyclic import AcyclicReadsStrategy
+from repro.core.control.read_locks import ReadLocksStrategy
+from repro.core.control.unrestricted import UnrestrictedReadsStrategy
+
+DURATIONS = [0.0, 100.0, 200.0, 300.0, 400.0, 480.0]
+
+
+def config_for(duration):
+    return SpectrumConfig(
+        partition_start=60.0,
+        partition_end=60.0 + max(duration, 0.001),
+        horizon=600.0,
+    )
+
+
+def sweep():
+    series = []
+    for duration in DURATIONS:
+        config = config_for(duration)
+        row = {
+            "partition duration": duration,
+            "mutual-exclusion": run_mutual_exclusion(config).availability,
+            "fa-read-locks": run_fragments_agents(
+                config,
+                ReadLocksStrategy(lock_timeout=60.0, retry_interval=2.0),
+                "fa-read-locks",
+                view_mode="own",
+            ).availability,
+            "fa-acyclic": run_fragments_agents(
+                config, AcyclicReadsStrategy(), "fa-acyclic", view_mode="none"
+            ).availability,
+            "fa-unrestricted": run_fragments_agents(
+                config,
+                UnrestrictedReadsStrategy(),
+                "fa-unrestricted",
+                view_mode="own",
+            ).availability,
+            "optimistic": run_optimistic(config).availability,
+        }
+        series.append(row)
+    return series
+
+
+def test_e9_partition_sweep(benchmark, report):
+    series = run_once(benchmark, sweep)
+    headers = list(series[0])
+    report(
+        format_table(
+            headers,
+            [[row[h] for h in headers] for row in series],
+            title=(
+                "E9 — availability vs partition duration "
+                "(600-tick horizon, partition starts at t=60)"
+            ),
+        )
+    )
+    first, last = series[0], series[-1]
+    # The conservative systems degrade as partitions lengthen...
+    assert last["mutual-exclusion"] < first["mutual-exclusion"]
+    assert last["fa-read-locks"] < first["fa-read-locks"]
+    # ...the high-availability fragments-and-agents options do not.
+    for row in series:
+        assert row["fa-acyclic"] == 1.0
+        assert row["fa-unrestricted"] == 1.0
+    # Crossover: under long partitions the free options dominate the
+    # conservative ones by a wide margin.
+    assert last["fa-unrestricted"] - last["mutual-exclusion"] > 0.2

@@ -1,0 +1,102 @@
+"""The Section 4.4 movement protocols, side by side.
+
+One scripted hazard — the agent's last pre-move transaction T1 is still
+trapped behind a partition when the agent resumes at its new home and
+runs T2 on the same object — replayed under every protocol, showing the
+paper's guarantee matrix emerge from the measurements.
+
+Run:  python examples/moving_agents.py
+"""
+
+from repro import (
+    CorrectiveMoveProtocol,
+    FragmentedDatabase,
+    InstantMoveProtocol,
+    MajorityCommitProtocol,
+    MoveWithDataProtocol,
+    MoveWithSeqnoProtocol,
+)
+from repro.analysis.report import format_table
+from repro.cc.ops import Write
+
+
+def run_protocol(protocol):
+    db = FragmentedDatabase(["X", "Y", "Z"], movement=protocol)
+    db.add_agent("courier", home_node="X")
+    db.add_fragment("PARCELS", agent="courier", objects=["manifest"])
+    db.load({"manifest": "empty"})
+    db.finalize()
+
+    def set_manifest(value):
+        def body(_ctx):
+            yield Write("manifest", value)
+
+        return body
+
+    results = {}
+    db.sim.schedule_at(
+        1, lambda: db.partitions.partition_now([["X"], ["Y", "Z"]])
+    )
+    db.sim.schedule_at(5, lambda: results.update(
+        t1=db.submit_update("courier", set_manifest("loaded-at-X"),
+                            writes=["manifest"], txn_id="T1")))
+    db.sim.schedule_at(
+        10, lambda: db.move_agent("courier", "Y", transport_delay=2)
+    )
+    db.sim.schedule_at(25, lambda: results.update(
+        t2=db.submit_update("courier", set_manifest("updated-at-Y"),
+                            writes=["manifest"], txn_id="T2")))
+    db.sim.schedule_at(60, db.partitions.heal_now)
+    db.quiesce()
+
+    finals = {
+        name: node.store.read("manifest") for name, node in db.nodes.items()
+    }
+    return {
+        "protocol": protocol.name,
+        "T1": results["t1"].status.value,
+        "T2": results["t2"].status.value,
+        "T2 done at": (
+            f"t={results['t2'].finish_time:.0f}"
+            if results["t2"].finish_time is not None
+            else "-"
+        ),
+        "mutual consistency": db.mutual_consistency().consistent,
+        "fragmentwise": db.fragmentwise_serializability().ok,
+        "replicas agree on": (
+            finals["X"] if len(set(finals.values())) == 1 else str(finals)
+        ),
+    }
+
+
+def main() -> None:
+    print(__doc__)
+    rows = [
+        run_protocol(InstantMoveProtocol()),
+        run_protocol(MajorityCommitProtocol()),
+        run_protocol(MoveWithDataProtocol()),
+        run_protocol(MoveWithSeqnoProtocol()),
+        run_protocol(CorrectiveMoveProtocol()),
+    ]
+    headers = list(rows[0])
+    print(format_table(headers, [[row[h] for h in headers] for row in rows]))
+    print(
+        "\nReading the table against the paper's Section 4.4:\n"
+        "  none        — T2 overwritten by the late T1 at some replicas:\n"
+        "                mutual consistency can break (here: divergence\n"
+        "                or a lucky overwrite, but fragmentwise is gone);\n"
+        "  majority    — T1 was rejected outright (X was a minority):\n"
+        "                safety bought with availability (4.4.1);\n"
+        "  with-data   — the token carried the fragment: everything\n"
+        "                preserved, no waiting (4.4.2A);\n"
+        "  with-seqno  — T2 waited for T1 to arrive after the heal:\n"
+        "                note its late finish time (4.4.2B);\n"
+        "  corrective  — T2 ran immediately; the orphaned T1 was\n"
+        "                stripped (already overwritten) and dropped:\n"
+        "                consistency converges, fragmentwise is\n"
+        "                sacrificed (4.4.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

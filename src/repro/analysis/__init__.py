@@ -1,0 +1,20 @@
+"""Experiment analysis: correctness summaries, the spectrum driver,
+fixed-width report rendering."""
+
+from repro.analysis.metrics import CorrectnessSummary, correctness_summary
+from repro.analysis.report import format_series, format_table
+from repro.analysis.spectrum import (
+    SpectrumConfig,
+    SpectrumRow,
+    run_spectrum,
+)
+
+__all__ = [
+    "CorrectnessSummary",
+    "SpectrumConfig",
+    "SpectrumRow",
+    "correctness_summary",
+    "format_series",
+    "format_table",
+    "run_spectrum",
+]

@@ -1,0 +1,48 @@
+"""Correctness summaries shared by the benchmark harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.system import FragmentedDatabase
+
+
+@dataclass
+class CorrectnessSummary:
+    """All correctness checks of one finished run, in one record."""
+
+    globally_serializable: bool
+    fragmentwise_serializable: bool
+    property1: bool
+    property2: bool
+    mutually_consistent: bool
+    single_fragment_violations: int
+    multi_fragment_violations: int
+
+    def as_flags(self) -> str:
+        """Compact ``GS/FW/MC`` flag string for tables."""
+        flag = lambda ok: "yes" if ok else "NO"  # noqa: E731 - tiny local fmt
+        return (
+            f"GS={flag(self.globally_serializable)} "
+            f"FW={flag(self.fragmentwise_serializable)} "
+            f"MC={flag(self.mutually_consistent)}"
+        )
+
+
+def correctness_summary(db: FragmentedDatabase) -> CorrectnessSummary:
+    """Run every checker against a quiesced system."""
+    gs = db.global_serializability()
+    fw = db.fragmentwise_serializability()
+    mutual = db.mutual_consistency()
+    violations = db.predicates.evaluate_all(
+        node.store for node in db.nodes.values()
+    )
+    return CorrectnessSummary(
+        globally_serializable=gs.ok,
+        fragmentwise_serializable=fw.ok,
+        property1=fw.property1.ok,
+        property2=fw.property2.ok,
+        mutually_consistent=mutual.consistent,
+        single_fragment_violations=violations.single,
+        multi_fragment_violations=violations.multi,
+    )

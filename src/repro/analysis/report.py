@@ -1,0 +1,50 @@
+"""Fixed-width table and series rendering for bench output.
+
+The benchmark harnesses print the same rows/series the paper's figures
+describe; these helpers keep the output uniform and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = ""
+) -> str:
+    """Render an aligned text table."""
+    materialized = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        header.ljust(widths[index]) for index, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in materialized:
+        lines.append(
+            "  ".join(value.ljust(widths[index]) for index, value in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str, pairs: Iterable[tuple[Any, Any]], x_label: str = "x",
+    y_label: str = "y"
+) -> str:
+    """Render an (x, y) series as an aligned two-column block."""
+    return format_table([x_label, y_label], pairs, title=title)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)

@@ -1,0 +1,442 @@
+"""The Figure 1.1 spectrum, measured (experiments E1 and E9).
+
+One scripted banking scenario — same accounts, same operation stream,
+same partition episode — is replayed against six systems spanning the
+paper's correctness-availability spectrum:
+
+======================  =============================================
+``mutual-exclusion``    Section 1 conservative baseline [8]
+``fa-read-locks``       fragments & agents, Section 4.1
+``fa-acyclic``          fragments & agents, Section 4.2 (write-only
+                        customer ops so the RAG stays a star)
+``fa-unrestricted``     fragments & agents, Section 4.3
+``optimistic``          free-for-all + validation/backout [4]
+``log-transform``       free-for-all + log merge [2]
+======================  =============================================
+
+Each run yields one :class:`SpectrumRow`: customer-facing availability,
+which correctness properties held, how many multi-fragment invariants
+ended up violated, how many corrective actions were needed, and the
+message cost.  The paper's Figure 1.1 is qualitative; these rows are
+its quantitative rendering — availability must increase down the table
+while the guaranteed correctness weakens.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.baselines.log_transform import LogTransformSystem, Operation
+from repro.baselines.mutual_exclusion import MutualExclusionSystem
+from repro.baselines.optimistic import OptimisticSystem
+from repro.cc.ops import Read, Write
+from repro.core.control.acyclic import AcyclicReadsStrategy
+from repro.core.control.base import ControlStrategy
+from repro.core.control.read_locks import ReadLocksStrategy
+from repro.core.control.unrestricted import UnrestrictedReadsStrategy
+from repro.core.system import FragmentedDatabase
+from repro.sim.rng import SeededRng
+from repro.workloads.banking import BankingWorkload
+from repro.workloads.generator import BankingDriver, OpEvent, generate_script
+
+
+@dataclass
+class SpectrumConfig:
+    """Shared scenario parameters for every compared system."""
+
+    nodes: Sequence[str] = ("A", "B", "C", "D")
+    n_accounts: int = 8
+    owners_per_account: int = 2
+    initial_balance: float = 200.0
+    partition_start: float = 100.0
+    partition_end: float = 400.0
+    partition_groups: Sequence[Sequence[str]] = (("A",), ("B", "C", "D"))
+    horizon: float = 600.0
+    mean_interarrival: float = 4.0
+    withdraw_fraction: float = 0.6
+    amount_range: tuple[float, float] = (20.0, 150.0)
+    account_skew: float = 0.9
+    seed: int = 7
+    overdraft_fine: float = 25.0
+    lock_timeout: float = 60.0
+
+    @property
+    def accounts(self) -> list[str]:
+        """Account ids."""
+        return [f"acct{i}" for i in range(self.n_accounts)]
+
+    def account_owners(self, account: str) -> list[tuple[str, str]]:
+        """(owner id, home node) pairs, spread round-robin over nodes.
+
+        Joint owners of one account land on *different* nodes — during
+        the scripted partition they typically end up in different
+        groups, which is what recreates the paper's "same account,
+        withdrawals at two locations" scenarios at scale.
+        """
+        index = self.accounts.index(account)
+        nodes = list(self.nodes)
+        return [
+            (f"{account}-o{j}", nodes[(index + j) % len(nodes)])
+            for j in range(self.owners_per_account)
+        ]
+
+    def owner_home(self, account: str, owner: int) -> str:
+        """The node where the given owner issues transactions."""
+        return self.account_owners(account)[owner][1]
+
+
+@dataclass
+class SpectrumRow:
+    """One system's measured position on the spectrum."""
+
+    system: str
+    submitted: int
+    committed: int
+    denied: int  # rejected + timed out (availability losses)
+    availability: float
+    globally_serializable: bool
+    fragmentwise_serializable: bool
+    mutually_consistent: bool
+    multi_violations: int
+    corrective_actions: int
+    messages: int
+    notes: str = ""
+
+    def as_tuple(self) -> tuple:
+        """Row for the report table."""
+        return (
+            self.system,
+            self.submitted,
+            self.committed,
+            self.denied,
+            round(self.availability, 3),
+            self.globally_serializable,
+            self.fragmentwise_serializable,
+            self.mutually_consistent,
+            self.multi_violations,
+            self.corrective_actions,
+            self.messages,
+        )
+
+
+SPECTRUM_HEADERS = [
+    "system",
+    "subm",
+    "ok",
+    "denied",
+    "avail",
+    "GS",
+    "FW",
+    "MC",
+    "multiviol",
+    "corrective",
+    "msgs",
+]
+
+
+def scenario_script(config: SpectrumConfig) -> list[OpEvent]:
+    """The shared deterministic operation stream."""
+    rng = SeededRng(config.seed)
+    return generate_script(
+        rng,
+        config.accounts,
+        config.horizon,
+        mean_interarrival=config.mean_interarrival,
+        withdraw_fraction=config.withdraw_fraction,
+        amount_range=config.amount_range,
+        account_skew=config.account_skew,
+        owners_per_account=config.owners_per_account,
+    )
+
+
+# -- fragments-and-agents runs ----------------------------------------------
+
+
+def run_fragments_agents(
+    config: SpectrumConfig,
+    strategy: ControlStrategy,
+    label: str,
+    view_mode: str = "own",
+) -> SpectrumRow:
+    """Run the scripted scenario on a fragments-and-agents system."""
+    db = FragmentedDatabase(
+        list(config.nodes), strategy=strategy, seed=config.seed
+    )
+    workload = BankingWorkload(
+        db,
+        {account: config.initial_balance for account in config.accounts},
+        central_node=list(config.nodes)[0],
+        owners={
+            account: config.account_owners(account)
+            for account in config.accounts
+        },
+        overdraft_fine=config.overdraft_fine,
+        view_mode=view_mode,
+    )
+    driver = BankingDriver(db, workload)
+    driver.schedule(scenario_script(config))
+    db.sim.schedule_at(
+        config.partition_start,
+        lambda: db.partitions.partition_now(
+            [list(g) for g in config.partition_groups]
+        ),
+        label="partition",
+    )
+    db.sim.schedule_at(
+        config.partition_end, db.partitions.heal_now, label="heal"
+    )
+    db.quiesce()
+
+    outcomes = driver.stats.trackers
+    committed = sum(1 for t in outcomes if t.succeeded)
+    denied = sum(1 for t in outcomes if not t.succeeded)
+    gs = db.global_serializability()
+    fw = db.fragmentwise_serializability()
+    mutual = db.mutual_consistency()
+    # After quiescence the replicas agree; count violations once, at
+    # the reference replica.
+    violations = db.predicates.evaluate(
+        db.nodes[list(config.nodes)[0]].store
+    )
+    return SpectrumRow(
+        system=label,
+        submitted=len(outcomes),
+        committed=committed,
+        denied=denied,
+        availability=committed / len(outcomes) if outcomes else 1.0,
+        globally_serializable=gs.ok,
+        fragmentwise_serializable=fw.ok,
+        mutually_consistent=mutual.consistent,
+        multi_violations=violations.multi,
+        corrective_actions=len(workload.stats.letters),
+        messages=db.network.messages_sent,
+    )
+
+
+# -- baseline runs ---------------------------------------------------------------
+
+
+def run_mutual_exclusion(config: SpectrumConfig) -> SpectrumRow:
+    """Section 1's conservative comparator on the same script."""
+    system = MutualExclusionSystem(
+        list(config.nodes), token_node=list(config.nodes)[0]
+    )
+    system.load(
+        {f"bal:{account}": config.initial_balance for account in config.accounts}
+    )
+    script = scenario_script(config)
+    for event in script:
+        system.sim.schedule_at(
+            event.time,
+            lambda e=event: system.submit(
+                config.owner_home(e.account, e.owner), _mutex_body(e),
+                txn_id=None,
+            ),
+            label=f"{event.kind} {event.account}",
+        )
+    system.sim.schedule_at(
+        config.partition_start,
+        lambda: system.partitions.partition_now(
+            [list(g) for g in config.partition_groups]
+        ),
+    )
+    system.sim.schedule_at(config.partition_end, system.partitions.heal_now)
+    system.quiesce()
+
+    committed = sum(1 for t in system.trackers if t.committed)
+    negative = 0  # mutual exclusion never overdraws
+    return SpectrumRow(
+        system="mutual-exclusion",
+        submitted=len(system.trackers),
+        committed=committed,
+        denied=len(system.trackers) - committed,
+        availability=system.availability,
+        globally_serializable=True,  # single ordered writer group
+        fragmentwise_serializable=True,
+        mutually_consistent=system.mutual_consistency().consistent,
+        multi_violations=negative,
+        corrective_actions=0,
+        messages=system.network.messages_sent,
+    )
+
+
+def _mutex_body(event: OpEvent):
+    obj = f"bal:{event.account}"
+
+    def body(_ctx: Any) -> Generator[Any, Any, Any]:
+        balance = yield Read(obj)
+        if event.kind == "deposit":
+            yield Write(obj, balance + event.amount)
+            return ("deposited", event.amount)
+        if balance >= event.amount:
+            yield Write(obj, balance - event.amount)
+            return ("granted", event.amount)
+        return ("refused", balance)
+
+    return body
+
+
+def _banking_apply(state: dict[str, Any], op: Operation) -> None:
+    """Semantic re-execution for the free-for-all baselines."""
+    key = f"bal:{op.params['account']}"
+    if op.kind == "deposit":
+        state[key] = state.get(key, 0.0) + op.params["amount"]
+    elif op.kind == "withdraw":
+        if op.params["granted"]:
+            state[key] = state.get(key, 0.0) - op.params["amount"]
+    elif op.kind == "fine":
+        state[key] = state.get(key, 0.0) - op.params["amount"]
+
+
+def run_log_transform(config: SpectrumConfig) -> SpectrumRow:
+    """Section 1's free-for-all comparator on the same script."""
+
+    def correct(state: dict[str, Any], _ops: list[Operation]) -> list[Operation]:
+        corrections = []
+        for account in config.accounts:
+            if state.get(f"bal:{account}", 0.0) < 0:
+                corrections.append(
+                    Operation(
+                        op_id=f"fine:{account}",
+                        kind="fine",
+                        params={
+                            "account": account,
+                            "amount": config.overdraft_fine,
+                        },
+                        timestamp=float("inf"),
+                        node="reconciler",
+                    )
+                )
+        return corrections
+
+    system = LogTransformSystem(
+        list(config.nodes), _banking_apply, correct_fn=correct
+    )
+    system.load(
+        {f"bal:{account}": config.initial_balance for account in config.accounts}
+    )
+    _drive_semantic(system, config)
+    system.quiesce()
+    report = system.reconcile()
+    system.quiesce()
+
+    multi = sum(
+        1
+        for account in config.accounts
+        if any(
+            system.states[node].get(f"bal:{account}", 0.0) < 0
+            for node in config.nodes
+        )
+    )
+    return SpectrumRow(
+        system="log-transform",
+        submitted=system.accepted,
+        committed=system.accepted,
+        denied=0,
+        availability=1.0,
+        globally_serializable=not report.corrective_ops,
+        fragmentwise_serializable=not report.corrective_ops,
+        mutually_consistent=system.mutual_consistency().consistent,
+        multi_violations=multi,
+        corrective_actions=len(report.corrective_ops),
+        messages=system.network.messages_sent + report.messages,
+        notes=f"replayed={report.ops_replayed}",
+    )
+
+
+def run_optimistic(config: SpectrumConfig) -> SpectrumRow:
+    """Davidson's optimistic comparator on the same script."""
+
+    def read_write(op: Operation) -> tuple[set[str], set[str]]:
+        key = f"bal:{op.params['account']}"
+        return {key}, {key}
+
+    system = OptimisticSystem(
+        list(config.nodes), _banking_apply, read_write
+    )
+    system.load(
+        {f"bal:{account}": config.initial_balance for account in config.accounts}
+    )
+    _drive_semantic(system, config)
+    system.run()
+    report = system.validate_and_merge()
+
+    return SpectrumRow(
+        system="optimistic",
+        submitted=system.accepted,
+        committed=system.accepted - report.backout_count,
+        denied=report.backout_count,
+        availability=system.effective_availability,
+        globally_serializable=True,  # enforced by backout
+        fragmentwise_serializable=True,
+        mutually_consistent=system.mutual_consistency().consistent,
+        multi_violations=0,
+        corrective_actions=report.backout_count,
+        messages=system.network.messages_sent,
+        notes=f"backed_out={report.backout_count}",
+    )
+
+
+def _drive_semantic(system, config: SpectrumConfig) -> None:
+    """Schedule the shared script on a semantic (op-based) baseline."""
+    script = scenario_script(config)
+
+    def fire(event: OpEvent) -> None:
+        node = config.owner_home(event.account, event.owner)
+        state = system.states[node]
+        params: dict[str, Any] = {
+            "account": event.account,
+            "amount": event.amount,
+        }
+        if event.kind == "withdraw":
+            balance = state.get(f"bal:{event.account}", 0.0)
+            params["granted"] = balance >= event.amount
+        system.submit(node, event.kind, params)
+
+    for event in script:
+        system.sim.schedule_at(
+            event.time, lambda e=event: fire(e), label=f"{event.kind}"
+        )
+    system.sim.schedule_at(
+        config.partition_start,
+        lambda: system.partitions.partition_now(
+            [list(g) for g in config.partition_groups]
+        ),
+    )
+    system.sim.schedule_at(config.partition_end, system.partitions.heal_now)
+
+
+# -- the full spectrum ------------------------------------------------------------
+
+
+def run_spectrum(config: SpectrumConfig | None = None) -> list[SpectrumRow]:
+    """All six systems, conservative to free-for-all (Figure 1.1 order)."""
+    config = config or SpectrumConfig()
+    rows = [
+        run_mutual_exclusion(config),
+        run_fragments_agents(
+            config,
+            ReadLocksStrategy(
+                lock_timeout=config.lock_timeout, retry_interval=2.0
+            ),
+            "fa-read-locks",
+            view_mode="own",
+        ),
+        run_fragments_agents(
+            config,
+            AcyclicReadsStrategy(),
+            "fa-acyclic",
+            view_mode="none",
+        ),
+        run_fragments_agents(
+            config,
+            UnrestrictedReadsStrategy(),
+            "fa-unrestricted",
+            view_mode="own",
+        ),
+        run_optimistic(config),
+        run_log_transform(config),
+    ]
+    return rows

@@ -1,0 +1,29 @@
+"""Comparison baselines from the paper's Section 1 survey.
+
+Three points on the Figure 1.1 spectrum, implemented over the same
+simulation substrate as the fragments-and-agents system so the
+experiments compare like with like:
+
+* :class:`~repro.baselines.mutual_exclusion.MutualExclusionSystem` —
+  the conservative end ([8]): only the partition group holding the
+  token may process transactions; global serializability, lowest
+  availability;
+* :class:`~repro.baselines.log_transform.LogTransformSystem` — the
+  "free-for-all" end ([2]): every node processes everything; after a
+  heal, logs are exchanged and merged into a canonical timestamp order,
+  state is rebuilt, and application-level corrective actions fire;
+* :class:`~repro.baselines.optimistic.OptimisticSystem` — Davidson's
+  optimistic protocol ([4]): free-for-all during the partition, then
+  precedence-graph validation with transaction backout at the heal.
+"""
+
+from repro.baselines.log_transform import LogTransformSystem, Operation
+from repro.baselines.mutual_exclusion import MutualExclusionSystem
+from repro.baselines.optimistic import OptimisticSystem
+
+__all__ = [
+    "LogTransformSystem",
+    "MutualExclusionSystem",
+    "Operation",
+    "OptimisticSystem",
+]

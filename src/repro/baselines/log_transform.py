@@ -1,0 +1,232 @@
+"""Log transformation baseline (the paper's reference [2]).
+
+The "free-for-all" comparator of Section 1: every node processes every
+transaction against its local replica during a partition; when the
+partition is repaired, the nodes "exchange logs for transactions
+executed during the partition", compute a canonical merged order, and
+rebuild a common state — running application-level *corrective actions*
+(the overdraft fine) where the merged execution turns out inconsistent.
+
+The system is semantic: transactions are :class:`Operation` records and
+the application supplies ``apply(state, op)`` — log transformation
+re-executes operations, it does not ship values.  This is what lets the
+merge "transform" a log: an operation's effect in merged order can
+differ from its effect in local order (withdrawing into overdraft).
+
+Two measured costs, per the paper's critique:
+
+* **overhead** — log records exchanged and operations re-executed at
+  reconciliation (experiment E10);
+* **anomalies** — corrective actions needed, plus (with
+  ``divergent_fines=True``) the Section 1 "chaos" mode where each node
+  assesses the fine from its *own* view of how long the balance stayed
+  negative, leaving replicas disagreeing even after reconciliation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.properties import MutualConsistencyReport
+from repro.net.network import Network
+from repro.net.partition import PartitionManager
+from repro.net.topology import Topology
+from repro.sim.simulator import Simulator
+
+State = dict[str, Any]
+ApplyFn = Callable[[State, "Operation"], Any]
+CorrectFn = Callable[[State, list["Operation"]], list["Operation"]]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One semantic operation (e.g. ``withdraw(acct, $200)``).
+
+    ``kind`` and ``params`` are interpreted solely by the application's
+    ``apply`` function.  ``timestamp``/``op_id`` define the canonical
+    merge order; ``node`` records where the operation was accepted.
+    """
+
+    op_id: str
+    kind: str
+    params: dict[str, Any]
+    timestamp: float
+    node: str
+
+
+@dataclass
+class ReconcileReport:
+    """What one reconciliation round cost and found."""
+
+    logs_exchanged: int = 0
+    ops_replayed: int = 0
+    corrective_ops: list[Operation] = field(default_factory=list)
+    messages: int = 0
+
+
+class LogTransformSystem:
+    """Free-for-all processing + post-heal log exchange and merge."""
+
+    def __init__(
+        self,
+        node_names: Sequence[str],
+        apply_fn: ApplyFn,
+        correct_fn: CorrectFn | None = None,
+        topology: Topology | None = None,
+        default_latency: float = 1.0,
+        divergent_fines: bool = False,
+    ) -> None:
+        self.sim = Simulator()
+        self.topology = topology or Topology.full_mesh(
+            node_names, default_latency
+        )
+        self.network = Network(self.sim, self.topology)
+        self.partitions = PartitionManager(self.network)
+        self.apply_fn = apply_fn
+        self.correct_fn = correct_fn
+        self.divergent_fines = divergent_fines
+        self.states: dict[str, State] = {name: {} for name in node_names}
+        self.logs: dict[str, list[Operation]] = {name: [] for name in node_names}
+        self.initial_state: State = {}
+        self.accepted = 0
+        self.reports: list[ReconcileReport] = []
+        self._op_counter = 0
+        for name in node_names:
+            self.network.register(name, self._on_message)
+        self._pending_remote: dict[str, list[Operation]] = {
+            name: [] for name in node_names
+        }
+
+    def load(self, initial: State) -> None:
+        """Set the common initial state (kept for reconciliation replay)."""
+        self.initial_state = dict(initial)
+        for state in self.states.values():
+            state.update(initial)
+
+    # -- free-for-all processing -------------------------------------------
+
+    def submit(self, node: str, kind: str, params: dict[str, Any]) -> Operation:
+        """Accept and apply an operation at ``node`` — never refused."""
+        self._op_counter += 1
+        op = Operation(
+            op_id=f"LT{self._op_counter}",
+            kind=kind,
+            params=dict(params),
+            timestamp=self.sim.now,
+            node=node,
+        )
+        self.accepted += 1
+        self.apply_fn(self.states[node], op)
+        self.logs[node].append(op)
+        # Best-effort propagation to currently reachable peers.
+        for other in self.states:
+            if other != node:
+                self.network.send(node, other, "lt-op", op)
+        return op
+
+    def _on_message(self, message) -> None:
+        if message.kind != "lt-op":
+            return
+        op: Operation = message.payload
+        known = {o.op_id for o in self.logs[message.dst]}
+        if op.op_id in known:
+            return
+        self.apply_fn(self.states[message.dst], op)
+        self.logs[message.dst].append(op)
+
+    # -- reconciliation ---------------------------------------------------------
+
+    def reconcile(self) -> ReconcileReport:
+        """Exchange logs, merge by timestamp, rebuild a common state.
+
+        Every node conceptually sends its full partition-era log to
+        every other node (message count recorded); the merged log is
+        replayed from the initial state; the application's corrective
+        function inspects the merged state and may append corrective
+        operations (fines, cancellations).  With ``divergent_fines``,
+        each node instead computes its *own* corrective operations from
+        its own pre-merge log view — reproducing the paper's
+        different-fines divergence.
+        """
+        report = ReconcileReport()
+        n = len(self.states)
+        merged: dict[str, Operation] = {}
+        for log in self.logs.values():
+            for op in log:
+                merged[op.op_id] = op
+        ordered = sorted(merged.values(), key=lambda o: (o.timestamp, o.op_id))
+        report.logs_exchanged = sum(len(log) for log in self.logs.values())
+        report.messages = n * (n - 1)
+
+        canonical: State = dict(self.initial_state)
+        for op in ordered:
+            self.apply_fn(canonical, op)
+            report.ops_replayed += 1
+
+        if self.correct_fn is not None:
+            if self.divergent_fines:
+                # Section 1 "chaos": each node corrects from its own view,
+                # replaying its log in *local arrival order* — the order in
+                # which it actually experienced the operations, which is
+                # where the nodes' views of "how long the balance stayed
+                # negative" (and how deep) diverge.
+                for name in self.states:
+                    local_state = dict(self.initial_state)
+                    for op in self.logs[name]:
+                        self.apply_fn(local_state, op)
+                    corrections = self.correct_fn(local_state, self.logs[name])
+                    state = dict(canonical)
+                    for op in corrections:
+                        self.apply_fn(state, op)
+                    self.states[name] = state
+                    report.corrective_ops.extend(corrections)
+                self._sync_logs(ordered)
+                self.reports.append(report)
+                return report
+            corrections = self.correct_fn(canonical, ordered)
+            for op in corrections:
+                self.apply_fn(canonical, op)
+                report.ops_replayed += 1
+            report.corrective_ops.extend(corrections)
+
+        for name in self.states:
+            self.states[name] = dict(canonical)
+        self._sync_logs(ordered)
+        self.reports.append(report)
+        return report
+
+    def _sync_logs(self, ordered: list[Operation]) -> None:
+        for name in self.logs:
+            self.logs[name] = list(ordered)
+
+    # -- metrics ------------------------------------------------------------
+
+    @property
+    def availability(self) -> float:
+        """Always 1.0 while nodes are up — the free-for-all promise."""
+        return 1.0
+
+    def mutual_consistency(self) -> MutualConsistencyReport:
+        """Compare the semantic states of all replicas."""
+        names = list(self.states)
+        diffs: dict[tuple[str, str], list[str]] = {}
+        reference = self.states[names[0]]
+        for other in names[1:]:
+            state = self.states[other]
+            keys = set(reference) | set(state)
+            mismatched = sorted(
+                k for k in keys if reference.get(k) != state.get(k)
+            )
+            if mismatched:
+                diffs[(names[0], other)] = mismatched
+        return MutualConsistencyReport(consistent=not diffs, diffs=diffs)
+
+    def run(self, until: float | None = None) -> None:
+        """Advance the simulation."""
+        self.sim.run(until=until)
+
+    def quiesce(self) -> None:
+        """Drain all scheduled events."""
+        self.sim.run()

@@ -1,0 +1,259 @@
+"""Optimistic partition protocol baseline (the paper's reference [4]).
+
+Davidson's optimistic approach: during a partition every group
+processes transactions freely against its replica, recording read and
+write sets.  At reconciliation the groups' histories are combined into
+a *precedence graph*; if it is acyclic the combined execution was
+serializable and all transactions stand; otherwise transactions are
+**backed out** (undone and re-executed or discarded) until the graph is
+acyclic.
+
+The measured quantities for the spectrum experiment (E1):
+
+* availability during the partition: 1.0 (everything is accepted);
+* *effective* availability: accepted minus backed-out transactions —
+  an accepted-then-undone withdrawal still sent the customer home with
+  money the bank later clawed back;
+* reconciliation overhead: precedence-graph size, backout count,
+  replayed operations.
+
+Precedence edges between transactions of different partition groups
+(Davidson's rules): ``T -> T'`` if T read an item T' wrote (T saw the
+pre-partition value, so T must precede T'), and ``T -> T'`` if T wrote
+an item T' wrote or read within the *same* group ordering.  Within a
+group, transactions are totally ordered by execution time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.baselines.log_transform import Operation
+from repro.core.properties import MutualConsistencyReport
+from repro.graphs import Digraph
+from repro.net.network import Network
+from repro.net.partition import PartitionManager
+from repro.net.topology import Topology
+from repro.sim.simulator import Simulator
+
+State = dict[str, Any]
+ApplyFn = Callable[[State, Operation], Any]
+ReadWriteFn = Callable[[Operation], tuple[set[str], set[str]]]
+
+
+@dataclass
+class OptimisticTxn:
+    """One transaction executed optimistically during the partition."""
+
+    op: Operation
+    group: int
+    reads: set[str]
+    writes: set[str]
+    backed_out: bool = False
+
+
+@dataclass
+class ValidationReport:
+    """Result of one reconciliation/validation round."""
+
+    transactions: int = 0
+    cross_edges: int = 0
+    backed_out: list[str] = field(default_factory=list)
+    ops_replayed: int = 0
+
+    @property
+    def backout_count(self) -> int:
+        """How many accepted transactions were undone."""
+        return len(self.backed_out)
+
+
+class OptimisticSystem:
+    """Free-for-all partition processing + validation with backout."""
+
+    def __init__(
+        self,
+        node_names: Sequence[str],
+        apply_fn: ApplyFn,
+        read_write_fn: ReadWriteFn,
+        topology: Topology | None = None,
+        default_latency: float = 1.0,
+    ) -> None:
+        self.sim = Simulator()
+        self.topology = topology or Topology.full_mesh(
+            node_names, default_latency
+        )
+        self.network = Network(self.sim, self.topology)
+        self.partitions = PartitionManager(self.network)
+        self.apply_fn = apply_fn
+        self.read_write_fn = read_write_fn
+        self.states: dict[str, State] = {name: {} for name in node_names}
+        self.initial_state: State = {}
+        self.history: list[OptimisticTxn] = []
+        self.reports: list[ValidationReport] = []
+        self._op_counter = 0
+        for name in node_names:
+            self.network.register(name, lambda _msg: None)
+
+    def load(self, initial: State) -> None:
+        """Set the common initial state."""
+        self.initial_state = dict(initial)
+        for state in self.states.values():
+            state.update(initial)
+
+    # -- optimistic processing ---------------------------------------------
+
+    def submit(self, node: str, kind: str, params: dict[str, Any]) -> Operation:
+        """Accept and apply an operation at ``node`` (never refused)."""
+        self._op_counter += 1
+        op = Operation(
+            op_id=f"OP{self._op_counter}",
+            kind=kind,
+            params=dict(params),
+            timestamp=self.sim.now,
+            node=node,
+        )
+        group = self._group_of(node)
+        reads, writes = self.read_write_fn(op)
+        self.apply_fn(self.states[node], op)
+        # Within the group, peers see the update immediately (they are
+        # connected); this baseline abstracts intra-group replication.
+        for other in self.states:
+            if other != node and self.topology.reachable(node, other):
+                self.apply_fn(self.states[other], op)
+        self.history.append(OptimisticTxn(op, group, reads, writes))
+        return op
+
+    def _group_of(self, node: str) -> int:
+        """The node's partition group, or -1 when fully connected.
+
+        Group -1 transactions executed while the network was whole are
+        globally ordered by timestamp; only transactions from two
+        *different* partition groups conflict optimistically.
+        """
+        components = self.topology.components()
+        if len(components) == 1:
+            return -1
+        for index, component in enumerate(components):
+            if node in component:
+                return index
+        raise ValueError(f"unknown node {node!r}")
+
+    # -- validation at heal -----------------------------------------------------
+
+    def validate_and_merge(self) -> ValidationReport:
+        """Build the precedence graph, back out until acyclic, rebuild.
+
+        Backout policy: repeatedly remove the transaction that appears
+        in a cycle and has the largest timestamp (the youngest — least
+        sunk cost), deterministically.
+        """
+        report = ValidationReport(transactions=len(self.history))
+        active = [t for t in self.history if not t.backed_out]
+
+        while True:
+            graph, cross_edges = self._precedence_graph(active)
+            report.cross_edges = cross_edges
+            cycle = graph.find_cycle()
+            if cycle is None:
+                break
+            members = cycle[:-1]
+            by_id = {t.op.op_id: t for t in active}
+            victim = max(
+                members, key=lambda op_id: (by_id[op_id].op.timestamp, op_id)
+            )
+            by_id[victim].backed_out = True
+            report.backed_out.append(victim)
+            active = [t for t in active if not t.backed_out]
+
+        ordered = sorted(active, key=lambda t: (t.op.timestamp, t.op.op_id))
+        state: State = dict(self.initial_state)
+        for txn in ordered:
+            self.apply_fn(state, txn.op)
+            report.ops_replayed += 1
+        for name in self.states:
+            self.states[name] = dict(state)
+        self.reports.append(report)
+        return report
+
+    def _precedence_graph(
+        self, active: list[OptimisticTxn]
+    ) -> tuple[Digraph, int]:
+        graph = Digraph()
+        cross_edges = 0
+        for txn in active:
+            graph.add_node(txn.op.op_id)
+        # Intra-group: total order by execution time.  Globally-ordered
+        # transactions (group -1, executed while the network was whole)
+        # are additionally ordered by timestamp against every later
+        # transaction that touches the same items.
+        by_group: dict[int, list[OptimisticTxn]] = {}
+        for txn in active:
+            by_group.setdefault(txn.group, []).append(txn)
+        for group in by_group.values():
+            ordered = sorted(group, key=lambda t: (t.op.timestamp, t.op.op_id))
+            for first, second in zip(ordered, ordered[1:]):
+                graph.add_edge(first.op.op_id, second.op.op_id)
+        for txn in by_group.get(-1, []):
+            for other in active:
+                if other.group == -1 or not (
+                    (txn.reads | txn.writes) & (other.reads | other.writes)
+                ):
+                    continue
+                if txn.op.timestamp <= other.op.timestamp:
+                    graph.add_edge(txn.op.op_id, other.op.op_id)
+                else:
+                    graph.add_edge(other.op.op_id, txn.op.op_id)
+        # Cross-group: T read the pre-partition value of an item T' wrote,
+        # so T must precede T'; write-write conflicts order both ways and
+        # therefore form a cycle unless one is backed out.
+        for txn in active:
+            for other in active:
+                if (
+                    txn.group == other.group
+                    or txn.group == -1
+                    or other.group == -1
+                ):
+                    continue
+                if txn.reads & other.writes:
+                    graph.add_edge(txn.op.op_id, other.op.op_id)
+                    cross_edges += 1
+                if txn.writes & other.writes:
+                    graph.add_edge(txn.op.op_id, other.op.op_id)
+                    cross_edges += 1
+        return graph, cross_edges
+
+    # -- metrics ------------------------------------------------------------
+
+    @property
+    def accepted(self) -> int:
+        """Transactions accepted during processing."""
+        return len(self.history)
+
+    @property
+    def effective_availability(self) -> float:
+        """Accepted and never backed out / accepted."""
+        if not self.history:
+            return 1.0
+        surviving = sum(1 for t in self.history if not t.backed_out)
+        return surviving / len(self.history)
+
+    def mutual_consistency(self) -> MutualConsistencyReport:
+        """Compare semantic states across replicas."""
+        names = list(self.states)
+        diffs: dict[tuple[str, str], list[str]] = {}
+        reference = self.states[names[0]]
+        for other in names[1:]:
+            state = self.states[other]
+            keys = set(reference) | set(state)
+            mismatched = sorted(
+                k for k in keys if reference.get(k) != state.get(k)
+            )
+            if mismatched:
+                diffs[(names[0], other)] = mismatched
+        return MutualConsistencyReport(consistent=not diffs, diffs=diffs)
+
+    def run(self, until: float | None = None) -> None:
+        """Advance the simulation."""
+        self.sim.run(until=until)

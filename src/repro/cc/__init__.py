@@ -1,0 +1,58 @@
+"""Local concurrency control substrate.
+
+The paper assumes that "at every node in the system, a local
+concurrency control mechanism is implemented" producing serializable
+local schedules, with quasi-transactions applied atomically and in
+per-sender order (Section 3.2).  This package supplies that mechanism:
+
+* :mod:`repro.cc.locks` — a shared/exclusive lock table,
+* :mod:`repro.cc.deadlock` — waits-for-graph deadlock detection,
+* :mod:`repro.cc.scheduler` — a strict two-phase-locking scheduler that
+  drives generator-style transaction bodies,
+* :mod:`repro.cc.history` — committed-transaction records consumed by
+  the serialization-graph builders in :mod:`repro.core.gsg`,
+* :mod:`repro.cc.serializability` — conflict-graph serializability
+  testing for single-site action histories.
+
+Transaction bodies are generator functions that yield
+:class:`~repro.cc.ops.Read` and :class:`~repro.cc.ops.Write` operations;
+the scheduler feeds read values back in.  Writes are buffered and
+applied atomically at commit (deferred update), which is what makes
+quasi-transaction installation atomic — Property 2 of the paper.
+"""
+
+from repro.cc.history import (
+    CommittedTxn,
+    HistoryRecorder,
+    InstallRecord,
+    ReadObservation,
+    WriteRecord,
+)
+from repro.cc.locks import LockMode, LockTable
+from repro.cc.ops import Read, Write
+from repro.cc.scheduler import LocalScheduler, TxnHandle, TxnOutcome
+from repro.cc.serializability import (
+    ActionRecord,
+    conflict_graph,
+    equivalent_serial_order,
+    is_conflict_serializable,
+)
+
+__all__ = [
+    "ActionRecord",
+    "CommittedTxn",
+    "HistoryRecorder",
+    "InstallRecord",
+    "LocalScheduler",
+    "LockMode",
+    "LockTable",
+    "Read",
+    "ReadObservation",
+    "TxnHandle",
+    "TxnOutcome",
+    "Write",
+    "WriteRecord",
+    "conflict_graph",
+    "equivalent_serial_order",
+    "is_conflict_serializable",
+]

@@ -1,0 +1,62 @@
+"""Waits-for-graph deadlock detection and victim selection."""
+
+from __future__ import annotations
+
+from repro.graphs import Digraph
+
+
+class WaitsForGraph:
+    """Tracks which transaction waits for which, detects cycles.
+
+    Edges are recomputed incrementally: :meth:`block` records the full
+    blocker set when a transaction blocks; :meth:`clear` removes the
+    waiter's edges when it resumes or dies.
+    """
+
+    def __init__(self) -> None:
+        self._edges: dict[str, set[str]] = {}
+
+    def block(self, waiter: str, blockers: set[str]) -> None:
+        """Record that ``waiter`` now waits for each of ``blockers``."""
+        self._edges[waiter] = set(blockers)
+
+    def clear_waiting(self, txn: str) -> None:
+        """``txn`` resumed: drop its outgoing wait edges only.
+
+        Other waiters' edges *to* ``txn`` must survive — a resumed
+        transaction still holds every lock it ever acquired (strict
+        2PL), so anyone recorded as blocked by it still is.  Erasing
+        those edges here is how deadlocks go undetected.
+        """
+        self._edges.pop(txn, None)
+
+    def remove(self, txn: str) -> None:
+        """``txn`` finished (commit/abort): remove it from both sides.
+
+        Its locks are released, so edges pointing at it are now stale.
+        """
+        self._edges.pop(txn, None)
+        for blockers in self._edges.values():
+            blockers.discard(txn)
+
+    def find_cycle(self) -> list[str] | None:
+        """A deadlock cycle (node list, first == last), or None."""
+        graph = Digraph()
+        for waiter, blockers in self._edges.items():
+            graph.add_node(waiter)
+            for blocker in blockers:
+                graph.add_edge(waiter, blocker)
+        cycle = graph.find_cycle()
+        if cycle is None:
+            return None
+        return [str(node) for node in cycle]
+
+
+def choose_victim(cycle: list[str], start_seq: dict[str, int]) -> str:
+    """Pick the youngest transaction in the cycle as the abort victim.
+
+    Youngest = largest start sequence number; deterministic.  Aborting
+    the youngest wastes the least completed work, the classic policy.
+    """
+    members = cycle[:-1] if cycle and cycle[0] == cycle[-1] else cycle
+    return max(members, key=lambda txn: (start_seq.get(txn, -1), txn))

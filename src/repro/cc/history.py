@@ -1,0 +1,154 @@
+"""Committed-transaction records and the global history recorder.
+
+The serialization-graph constructions of the paper's appendix
+(Definitions 8.2 and 8.3) are computed *after the fact* from what
+actually happened in a run.  This module defines the facts we record:
+
+* :class:`CommittedTxn` — one transaction committed at its home node,
+  with the exact versions it read (reads-from) and the versions it
+  produced;
+* :class:`InstallRecord` — one quasi-transaction installed at one
+  remote replica (with local install order preserved).
+
+One :class:`HistoryRecorder` is shared by every node in a simulated
+system; all checkers (:mod:`repro.core.gsg`,
+:mod:`repro.core.properties`) consume it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ReadObservation:
+    """A read: object name plus the identity of the version observed."""
+
+    obj: str
+    writer: str
+    version_no: int
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """A committed write: object, the version number produced, the value."""
+
+    obj: str
+    version_no: int
+    value: Any
+
+
+@dataclass
+class CommittedTxn:
+    """One transaction committed at its home node.
+
+    ``fragment`` is the fragment updated (None for read-only
+    transactions).  ``stream_seq`` is the position in the fragment's
+    update stream (the reliable-broadcast sequence number), None for
+    read-only transactions.  ``agent`` is the initiating agent's name.
+    """
+
+    txn_id: str
+    agent: str
+    fragment: str | None
+    node: str
+    commit_time: float
+    stream_seq: int | None
+    kind: str  # "update" | "readonly"
+    reads: list[ReadObservation] = field(default_factory=list)
+    writes: list[WriteRecord] = field(default_factory=list)
+
+    @property
+    def is_update(self) -> bool:
+        """True if the transaction wrote anything."""
+        return bool(self.writes)
+
+
+@dataclass(frozen=True)
+class InstallRecord:
+    """A quasi-transaction installed at a (remote) replica."""
+
+    node: str
+    txn_id: str
+    fragment: str
+    stream_seq: int
+    time: float
+
+
+class HistoryRecorder:
+    """Collects the global history of a simulated run."""
+
+    def __init__(self) -> None:
+        self.committed: list[CommittedTxn] = []
+        self.installs: list[InstallRecord] = []
+        self._by_id: dict[str, CommittedTxn] = {}
+        self.aborted: list[tuple[str, str]] = []  # (txn_id, reason)
+        self.rejected: list[tuple[str, str]] = []  # (txn_id, reason)
+
+    # -- recording ----------------------------------------------------------
+
+    def record_commit(self, record: CommittedTxn) -> None:
+        """Record a commit at its home node."""
+        self.committed.append(record)
+        self._by_id[record.txn_id] = record
+
+    def record_install(self, record: InstallRecord) -> None:
+        """Record a quasi-transaction install at a replica."""
+        self.installs.append(record)
+
+    def record_abort(self, txn_id: str, reason: str) -> None:
+        """Record a local abort (deadlock victim, body abort)."""
+        self.aborted.append((txn_id, reason))
+
+    def record_rejection(self, txn_id: str, reason: str) -> None:
+        """Record an availability loss: the system refused the request."""
+        self.rejected.append((txn_id, reason))
+
+    # -- queries ---------------------------------------------------------
+
+    def transaction(self, txn_id: str) -> CommittedTxn:
+        """Lookup by id; raises KeyError if unknown."""
+        return self._by_id[txn_id]
+
+    def updates_of_fragment(self, fragment: str) -> list[CommittedTxn]:
+        """The set ``U(F_i)`` of the paper, in stream order."""
+        selected = [
+            t for t in self.committed
+            if t.fragment == fragment and t.is_update
+        ]
+        selected.sort(key=lambda t: (t.stream_seq if t.stream_seq is not None
+                                     else -1, t.commit_time))
+        return selected
+
+    def version_order(self) -> dict[str, list[tuple[int, str]]]:
+        """Per object: committed ``(version_no, txn_id)`` in version order.
+
+        This is the version order induced by each fragment's update
+        stream, which all replicas install in the same order under FIFO
+        broadcast.
+        """
+        order: dict[str, list[tuple[int, str]]] = defaultdict(list)
+        for txn in self.committed:
+            for write in txn.writes:
+                order[write.obj].append((write.version_no, txn.txn_id))
+        for versions in order.values():
+            versions.sort()
+        return dict(order)
+
+    def installs_at(self, node: str) -> list[InstallRecord]:
+        """Install records at one node, in install order."""
+        return [r for r in self.installs if r.node == node]
+
+    # -- summary counters ----------------------------------------------------
+
+    @property
+    def commit_count(self) -> int:
+        """Total committed transactions."""
+        return len(self.committed)
+
+    @property
+    def update_count(self) -> int:
+        """Committed update transactions."""
+        return sum(1 for t in self.committed if t.is_update)

@@ -1,0 +1,33 @@
+"""Operations yielded by transaction bodies.
+
+A transaction body is a generator function of one argument (an opaque
+context the workload may use for parameters) that yields these ops::
+
+    def withdraw(ctx):
+        balance = yield Read(f"balance:{ctx['account']}")
+        if balance >= ctx['amount']:
+            yield Write(f"balance:{ctx['account']}", balance - ctx['amount'])
+
+The scheduler sends the read value back into the generator; ``Write``
+yields resume with ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Read:
+    """Request the current committed value of one object."""
+
+    obj: str
+
+
+@dataclass(frozen=True)
+class Write:
+    """Buffer a new value for one object (applied at commit)."""
+
+    obj: str
+    value: Any

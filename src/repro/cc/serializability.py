@@ -1,0 +1,66 @@
+"""Conflict-serializability testing for single-site action histories.
+
+Used to validate the local scheduler ("local concurrency control
+mechanisms will guarantee that all the l.s.g.'s are acyclic", appendix
+footnote): the scheduler can emit its raw action history and the tests
+assert conflict serializability here, independently of the heavier
+distributed machinery in :mod:`repro.core.gsg`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.graphs import Digraph
+
+
+@dataclass(frozen=True)
+class ActionRecord:
+    """One executed action in a single-site history.
+
+    ``kind`` is ``'r'`` or ``'w'``; ``seq`` is the global position of
+    the action in the site's history.
+    """
+
+    txn: str
+    kind: str
+    obj: str
+    seq: int
+
+
+def conflict_graph(actions: Iterable[ActionRecord]) -> Digraph:
+    """The conflict (serialization) graph of a single-site history.
+
+    Nodes are transaction ids; there is an edge ``Ti -> Tj`` when an
+    action of ``Ti`` precedes and conflicts with an action of ``Tj``
+    (same object, at least one write, different transactions).
+    """
+    ordered = sorted(actions, key=lambda a: a.seq)
+    graph = Digraph()
+    per_obj: dict[str, list[ActionRecord]] = {}
+    for action in ordered:
+        graph.add_node(action.txn)
+        per_obj.setdefault(action.obj, []).append(action)
+    for history in per_obj.values():
+        for i, first in enumerate(history):
+            for second in history[i + 1 :]:
+                if first.txn == second.txn:
+                    continue
+                if first.kind == "w" or second.kind == "w":
+                    graph.add_edge(first.txn, second.txn)
+    return graph
+
+
+def is_conflict_serializable(actions: Iterable[ActionRecord]) -> bool:
+    """True iff the history's conflict graph is acyclic."""
+    return conflict_graph(actions).is_acyclic()
+
+
+def equivalent_serial_order(actions: Iterable[ActionRecord]) -> list[str]:
+    """A serial transaction order equivalent to the history.
+
+    Raises :class:`ValueError` if the history is not conflict
+    serializable.
+    """
+    return [str(t) for t in conflict_graph(actions).topological_order()]

@@ -1,0 +1,199 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+::
+
+    python -m repro spectrum            # E1: the Figure 1.1 table
+    python -m repro spectrum --seed 42 --duration 200
+    python -m repro sweep               # E9: availability vs duration
+    python -m repro theorem --runs 50   # E8: randomized theorem check
+    python -m repro scenario            # E2/E3: the Section 1-2 banking story
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import format_table
+from repro.analysis.spectrum import (
+    SPECTRUM_HEADERS,
+    SpectrumConfig,
+    run_fragments_agents,
+    run_mutual_exclusion,
+    run_optimistic,
+    run_spectrum,
+)
+from repro.analysis.theorem import run_random_workload
+from repro.core.control.acyclic import AcyclicReadsStrategy
+from repro.core.control.read_locks import ReadLocksStrategy
+from repro.core.control.unrestricted import UnrestrictedReadsStrategy
+
+
+def _config_from_args(args: argparse.Namespace) -> SpectrumConfig:
+    duration = getattr(args, "duration", None)
+    kwargs = {"seed": args.seed}
+    if duration is not None:
+        kwargs["partition_start"] = 60.0
+        kwargs["partition_end"] = 60.0 + max(duration, 0.001)
+    return SpectrumConfig(**kwargs)
+
+
+def cmd_spectrum(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    rows = run_spectrum(config)
+    print(
+        format_table(
+            SPECTRUM_HEADERS,
+            [row.as_tuple() for row in rows],
+            title=(
+                f"Figure 1.1 spectrum (seed {config.seed}, partition "
+                f"{config.partition_start}-{config.partition_end})"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    durations = [0.0, 100.0, 200.0, 300.0, 400.0, 480.0]
+    rows = []
+    for duration in durations:
+        config = SpectrumConfig(
+            partition_start=60.0,
+            partition_end=60.0 + max(duration, 0.001),
+            seed=args.seed,
+        )
+        rows.append(
+            [
+                duration,
+                run_mutual_exclusion(config).availability,
+                run_fragments_agents(
+                    config,
+                    ReadLocksStrategy(lock_timeout=60.0, retry_interval=2.0),
+                    "fa-read-locks",
+                    view_mode="own",
+                ).availability,
+                run_fragments_agents(
+                    config, AcyclicReadsStrategy(), "fa-acyclic",
+                    view_mode="none",
+                ).availability,
+                run_fragments_agents(
+                    config,
+                    UnrestrictedReadsStrategy(),
+                    "fa-unrestricted",
+                    view_mode="own",
+                ).availability,
+                run_optimistic(config).availability,
+            ]
+        )
+    print(
+        format_table(
+            ["duration", "mutual-excl", "read-locks", "acyclic",
+             "unrestricted", "optimistic"],
+            rows,
+            title="availability vs partition duration (E9)",
+        )
+    )
+    return 0
+
+
+def cmd_theorem(args: argparse.Namespace) -> int:
+    rows = []
+    for label, acyclic in (("forests", True), ("cyclic", False)):
+        violations = sum(
+            not run_random_workload(seed, acyclic=acyclic).globally_serializable
+            for seed in range(args.runs)
+        )
+        rows.append([label, args.runs, violations])
+    print(
+        format_table(
+            ["read-access graphs", "runs", "GS violations"],
+            rows,
+            title="Section 4.2 theorem, randomized (E8)",
+        )
+    )
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    from repro import FragmentedDatabase
+    from repro.workloads import BankingWorkload
+
+    db = FragmentedDatabase(["A", "B"])
+    bank = BankingWorkload(
+        db,
+        accounts={"00001": 300.0},
+        central_node="A",
+        owners={"00001": [("alice", "A"), ("bob", "B")]},
+        view_mode="balance",
+    )
+    db.finalize()
+    db.partitions.partition_now([["A"], ["B"]])
+    at_a = bank.withdraw("00001", args.amount, owner=0)
+    at_b = bank.withdraw("00001", args.amount, owner=1)
+    db.run(until=20)
+    db.partitions.heal_now()
+    db.quiesce()
+    print(
+        format_table(
+            ["measure", "value"],
+            [
+                ["withdrawal at A", at_a.result[0]],
+                ["withdrawal at B", at_b.result[0]],
+                ["final balance", bank.balance_at("00001", "A")],
+                ["overdraft letters", len(bank.stats.letters)],
+                ["mutually consistent", db.mutual_consistency().consistent],
+                ["fragmentwise", db.fragmentwise_serializability().ok],
+            ],
+            title=(
+                f"Section 2 banking scenario: two ${args.amount:.0f} "
+                f"withdrawals on a $300 joint account during a partition"
+            ),
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Garcia-Molina & Kogan, 'Achieving High "
+            "Availability in Distributed Databases' (ICDE 1987)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    spectrum = sub.add_parser("spectrum", help="the Figure 1.1 table (E1)")
+    spectrum.add_argument("--seed", type=int, default=7)
+    spectrum.add_argument(
+        "--duration", type=float, default=None,
+        help="partition duration in ticks (default: the E1 scenario's 300)",
+    )
+    spectrum.set_defaults(func=cmd_spectrum)
+
+    sweep = sub.add_parser("sweep", help="availability vs duration (E9)")
+    sweep.add_argument("--seed", type=int, default=7)
+    sweep.set_defaults(func=cmd_sweep)
+
+    theorem = sub.add_parser("theorem", help="randomized §4.2 theorem (E8)")
+    theorem.add_argument("--runs", type=int, default=60)
+    theorem.set_defaults(func=cmd_theorem)
+
+    scenario = sub.add_parser(
+        "scenario", help="the Section 1/2 banking walkthrough"
+    )
+    scenario.add_argument("--amount", type=float, default=200.0)
+    scenario.set_defaults(func=cmd_scenario)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

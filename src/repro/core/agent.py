@@ -1,0 +1,57 @@
+"""Agents: the exclusive updaters of fragments.
+
+Section 3.1: an update to a fragment can be authorized only by the
+current owner of the corresponding token, referred to as this
+fragment's *agent*.  An agent is a user or a node; its *home node* is
+where it currently issues transactions.  We model both kinds with one
+class — the paper itself notes the distinction is "a mere convenience"
+(a node-agent is simply a user-agent that never moves off its node).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TokenError
+from repro.core.token import Token
+
+
+class Agent:
+    """A user or node holding the tokens of one or more fragments."""
+
+    def __init__(self, name: str, home_node: str, kind: str = "user") -> None:
+        if kind not in ("user", "node"):
+            raise TokenError(f"agent kind must be 'user' or 'node', got {kind!r}")
+        self.name = name
+        self.home_node = home_node
+        self.kind = kind
+        self.tokens: dict[str, Token] = {}
+
+    def grant(self, token: Token) -> None:
+        """Give this agent the token (initial assignment)."""
+        if token.fragment in self.tokens:
+            raise TokenError(
+                f"agent {self.name!r} already holds token for "
+                f"{token.fragment!r}"
+            )
+        self.tokens[token.fragment] = token
+        token.home_node = self.home_node
+
+    def controls(self, fragment: str) -> bool:
+        """True if this agent holds the fragment's token."""
+        return fragment in self.tokens
+
+    def token_for(self, fragment: str) -> Token:
+        """The held token for ``fragment``; raises if not held."""
+        try:
+            return self.tokens[fragment]
+        except KeyError:
+            raise TokenError(
+                f"agent {self.name!r} does not control fragment {fragment!r}"
+            ) from None
+
+    @property
+    def fragments(self) -> list[str]:
+        """Fragments controlled by this agent."""
+        return list(self.tokens)
+
+    def __repr__(self) -> str:
+        return f"Agent({self.name!r} @ {self.home_node!r})"

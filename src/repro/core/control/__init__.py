@@ -1,0 +1,30 @@
+"""Control strategies: the paper's Section 4 family.
+
+Three fixed-agent options, in decreasing order of restriction and
+increasing order of availability:
+
+* :class:`~repro.core.control.read_locks.ReadLocksStrategy` — §4.1,
+  remote read locks, global serializability, lowest availability;
+* :class:`~repro.core.control.acyclic.AcyclicReadsStrategy` — §4.2,
+  no read synchronization, global serializability *if* the read-access
+  graph is elementarily acyclic (validated at design time);
+* :class:`~repro.core.control.unrestricted.UnrestrictedReadsStrategy`
+  — §4.3, no read restrictions, fragmentwise serializability.
+
+Agent movement is orthogonal and lives in
+:mod:`repro.core.movement`.
+"""
+
+from repro.core.control.acyclic import AcyclicReadsStrategy
+from repro.core.control.base import ControlStrategy
+from repro.core.control.combined import CombinedStrategy
+from repro.core.control.read_locks import ReadLocksStrategy
+from repro.core.control.unrestricted import UnrestrictedReadsStrategy
+
+__all__ = [
+    "AcyclicReadsStrategy",
+    "CombinedStrategy",
+    "ControlStrategy",
+    "ReadLocksStrategy",
+    "UnrestrictedReadsStrategy",
+]

@@ -1,0 +1,112 @@
+"""Section 4.2: fixed agents, elementarily acyclic read-access pattern.
+
+No read locks and no run-time synchronization at all — but the database
+*design* must keep the read-access graph elementarily acyclic, and then
+the Section 4.2 theorem guarantees global serializability.  Enforcement
+is therefore in two places:
+
+* :meth:`validate_design` — the whole declared graph must be
+  elementarily acyclic (raises :class:`~repro.errors.DesignError`);
+* :meth:`validate_actual_reads` — at commit time, the reads an *update*
+  transaction actually performed must stay within the declared edges
+  (raises :class:`~repro.errors.TransactionAborted`, vetoing the
+  commit).
+
+Read-only transactions may optionally be exempted
+(``allow_readonly_violations``), reflecting the paper's observation
+that a non-serializable read-only transaction "will not leave any trace
+on the database itself" — e.g. one warehouse peeking at another's
+inventory.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cc.scheduler import TxnHandle
+from repro.core.control.base import ControlStrategy
+from repro.errors import TransactionAborted
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.node import DatabaseNode
+    from repro.core.system import FragmentedDatabase
+
+
+class AcyclicReadsStrategy(ControlStrategy):
+    """Design-time acyclicity validation, zero run-time synchronization."""
+
+    name = "acyclic"
+
+    def __init__(self, allow_readonly_violations: bool = True) -> None:
+        self.allow_readonly_violations = allow_readonly_violations
+        self.readonly_violations_observed = 0
+
+    def validate_design(self, system: "FragmentedDatabase") -> None:
+        system.rag.assert_elementarily_acyclic()
+
+    def validate_actual_reads(
+        self,
+        system: "FragmentedDatabase",
+        node: "DatabaseNode",
+        handle: TxnHandle,
+        fragment: str | None,
+    ) -> None:
+        if fragment is None:
+            if self.allow_readonly_violations:
+                self._count_readonly_violations(system, handle)
+                return
+            home = self._readonly_home_fragment(system, handle)
+            self._check(system, handle, home, readonly=True)
+            return
+        self._check(system, handle, fragment, readonly=False)
+
+    # -- internals ----------------------------------------------------------
+
+    def _check(
+        self,
+        system: "FragmentedDatabase",
+        handle: TxnHandle,
+        home_fragment: str | None,
+        readonly: bool,
+    ) -> None:
+        for obj, _version in handle.reads:
+            read_fragment = system.catalog.fragment_of(obj)
+            if home_fragment is None:
+                continue
+            if not system.rag.allows(home_fragment, read_fragment):
+                raise TransactionAborted(
+                    handle.txn_id,
+                    f"read of {obj!r} (fragment {read_fragment!r}) not "
+                    f"declared in the read-access graph for "
+                    f"{home_fragment!r}",
+                )
+
+    def _count_readonly_violations(
+        self, system: "FragmentedDatabase", handle: TxnHandle
+    ) -> None:
+        home = self._readonly_home_fragment(system, handle)
+        if home is None:
+            return
+        for obj, _version in handle.reads:
+            read_fragment = system.catalog.fragment_of(obj)
+            if not system.rag.allows(home, read_fragment):
+                self.readonly_violations_observed += 1
+                return
+
+    @staticmethod
+    def _readonly_home_fragment(
+        system: "FragmentedDatabase", handle: TxnHandle
+    ) -> str | None:
+        """The fragment whose agent initiated a read-only transaction.
+
+        Agents controlling several fragments have no unique home
+        fragment; those read-only transactions are only checked against
+        the union of their fragments' edges (None = unchecked).
+        """
+        spec = handle.meta.get("spec")
+        if spec is None:
+            return None
+        agent = system.agents.get(spec.agent)
+        if agent is None or len(agent.fragments) != 1:
+            return None
+        return agent.fragments[0]

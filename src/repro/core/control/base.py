@@ -1,0 +1,71 @@
+"""Control strategy interface."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cc.scheduler import TxnHandle
+from repro.core.transaction import RequestTracker, TransactionSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.node import DatabaseNode
+    from repro.core.system import FragmentedDatabase
+
+
+class ControlStrategy:
+    """Hooks a control option plugs into the submission path.
+
+    The default implementations are the Section 4.3 behaviour: no read
+    restrictions, execute locally, propagate at commit.
+    """
+
+    name = "base"
+
+    def attach(self, system: "FragmentedDatabase") -> None:
+        """One-time wiring (register unicast handlers, etc.)."""
+
+    def validate_design(self, system: "FragmentedDatabase") -> None:
+        """Design-time validation, called by ``system.finalize()``."""
+
+    def begin_update(
+        self,
+        system: "FragmentedDatabase",
+        node: "DatabaseNode",
+        spec: TransactionSpec,
+        tracker: RequestTracker,
+        fragment: str,
+    ) -> None:
+        """Start an update transaction (after initiation checks pass)."""
+        node.execute_update(spec, tracker, fragment)
+
+    def begin_readonly(
+        self,
+        system: "FragmentedDatabase",
+        node: "DatabaseNode",
+        spec: TransactionSpec,
+        tracker: RequestTracker,
+    ) -> None:
+        """Start a read-only transaction."""
+        node.execute_readonly(spec, tracker)
+
+    def validate_actual_reads(
+        self,
+        system: "FragmentedDatabase",
+        node: "DatabaseNode",
+        handle: TxnHandle,
+        fragment: str | None,
+    ) -> None:
+        """Commit-time check of the reads the body actually performed.
+
+        May raise :class:`~repro.errors.TransactionAborted` to veto the
+        commit (nothing has been installed yet at that point).
+        """
+
+    def after_local(
+        self,
+        system: "FragmentedDatabase",
+        node: "DatabaseNode",
+        spec: TransactionSpec,
+        tracker: RequestTracker,
+    ) -> None:
+        """Cleanup after local execution finished (commit or abort)."""

@@ -1,0 +1,155 @@
+"""Per-fragment strategy combination (the paper's conclusion).
+
+"It is also possible to combine several of our strategies in a single
+system.  Since all of our strategies are based on the same framework,
+this combination is not difficult.  Hence it is possible to guarantee
+mutual consistency for some fragments ..., fragmentwise serializability
+for a set of other fragments ..., and conventional serializability
+within another group ...  This gives us even greater flexibility in
+tailoring a system to the correctness and availability requirements of
+the users."
+
+:class:`CombinedStrategy` routes each update transaction to the
+strategy assigned to its fragment; read-only transactions route through
+the initiating agent's fragment (falling back to the default).
+
+Design-time soundness rule for Section 4.2 sub-strategies: a fragment
+assigned the acyclic strategy must live in a weakly connected component
+of the read-access graph that is elementarily acyclic *as a whole* —
+reads cannot leave a weakly connected component, so a forest component
+is globally serializable among its own transactions regardless of what
+the rest of the database does.
+
+Wiring caveat: strategies that register network handlers (currently
+:class:`~repro.core.control.read_locks.ReadLocksStrategy`) must appear
+at most once across the combination — one instance can serve any number
+of fragments, but two instances would fight over the handler slots.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from repro.cc.scheduler import TxnHandle
+from repro.core.control.acyclic import AcyclicReadsStrategy
+from repro.core.control.base import ControlStrategy
+from repro.core.transaction import RequestTracker, TransactionSpec
+from repro.errors import DesignError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.node import DatabaseNode
+    from repro.core.system import FragmentedDatabase
+
+
+class CombinedStrategy(ControlStrategy):
+    """Route control decisions to per-fragment sub-strategies."""
+
+    name = "combined"
+
+    def __init__(
+        self,
+        default: ControlStrategy,
+        per_fragment: Mapping[str, ControlStrategy] | None = None,
+    ) -> None:
+        self.default = default
+        self.per_fragment = dict(per_fragment or {})
+        self._began: dict[str, ControlStrategy] = {}  # txn id -> strategy
+        distinct = {id(s): s for s in self._all_strategies()}
+        handler_owners = [
+            s for s in distinct.values() if hasattr(s, "attach")
+            and type(s).attach is not ControlStrategy.attach
+        ]
+        names = [type(s).__name__ for s in handler_owners]
+        if len(names) != len(set(names)):
+            raise DesignError(
+                "two sub-strategy instances of the same handler-registering "
+                "class; share one instance across fragments instead"
+            )
+
+    def _all_strategies(self) -> list[ControlStrategy]:
+        return [self.default, *self.per_fragment.values()]
+
+    def _for_fragment(self, fragment: str | None) -> ControlStrategy:
+        if fragment is None:
+            return self.default
+        return self.per_fragment.get(fragment, self.default)
+
+    def _for_readonly(
+        self, system: "FragmentedDatabase", spec: TransactionSpec
+    ) -> ControlStrategy:
+        fragment = system.agent_fragments.get(spec.agent)
+        return self._for_fragment(fragment)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self, system: "FragmentedDatabase") -> None:
+        seen: set[int] = set()
+        for strategy in self._all_strategies():
+            if id(strategy) not in seen:
+                seen.add(id(strategy))
+                strategy.attach(system)
+
+    def validate_design(self, system: "FragmentedDatabase") -> None:
+        for fragment, strategy in self.per_fragment.items():
+            if fragment not in system.catalog:
+                raise DesignError(
+                    f"combined strategy assigns unknown fragment {fragment!r}"
+                )
+            if isinstance(strategy, AcyclicReadsStrategy):
+                if not system.rag.component_is_elementarily_acyclic(fragment):
+                    raise DesignError(
+                        f"fragment {fragment!r} is assigned the Section 4.2 "
+                        f"strategy but its read-access component "
+                        f"{sorted(system.rag.component_of(fragment))} is not "
+                        f"elementarily acyclic"
+                    )
+        if isinstance(self.default, AcyclicReadsStrategy):
+            self.default.validate_design(system)
+
+    # -- routing -----------------------------------------------------------------
+
+    def begin_update(
+        self,
+        system: "FragmentedDatabase",
+        node: "DatabaseNode",
+        spec: TransactionSpec,
+        tracker: RequestTracker,
+        fragment: str,
+    ) -> None:
+        strategy = self._for_fragment(fragment)
+        self._began[spec.txn_id] = strategy
+        strategy.begin_update(system, node, spec, tracker, fragment)
+
+    def begin_readonly(
+        self,
+        system: "FragmentedDatabase",
+        node: "DatabaseNode",
+        spec: TransactionSpec,
+        tracker: RequestTracker,
+    ) -> None:
+        strategy = self._for_readonly(system, spec)
+        self._began[spec.txn_id] = strategy
+        strategy.begin_readonly(system, node, spec, tracker)
+
+    def validate_actual_reads(
+        self,
+        system: "FragmentedDatabase",
+        node: "DatabaseNode",
+        handle: TxnHandle,
+        fragment: str | None,
+    ) -> None:
+        spec = handle.meta.get("spec")
+        strategy = self._began.get(spec.txn_id) if spec else None
+        if strategy is None:
+            strategy = self._for_fragment(fragment)
+        strategy.validate_actual_reads(system, node, handle, fragment)
+
+    def after_local(
+        self,
+        system: "FragmentedDatabase",
+        node: "DatabaseNode",
+        spec: TransactionSpec,
+        tracker: RequestTracker,
+    ) -> None:
+        strategy = self._began.pop(spec.txn_id, self.default)
+        strategy.after_local(system, node, spec, tracker)

@@ -1,0 +1,409 @@
+"""Section 4.1: fixed agents, remote read locks.
+
+The most conservative option: before executing, a transaction acquires
+a shared lock on every object it intends to read outside the fragment
+it updates.  "For each data object, it is clearly sufficient to acquire
+the lock on it from the home node of the agent in charge of the
+fragment containing that object, for that is the only node at which the
+object can be updated."
+
+Protocol (per transaction):
+
+1. group the declared read set by fragment, drop the written fragment;
+2. acquire fragment groups one at a time in sorted fragment order (the
+   global ordering rules out distributed deadlock);
+3. a lock site grants all-or-nothing; on "busy" the requester retries
+   after ``retry_interval``;
+4. an unreachable lock site simply never answers — the request times
+   out after ``lock_timeout`` and the transaction is reported
+   ``TIMED_OUT``.  This is precisely the availability loss the paper
+   attributes to this option during partitions;
+5. after local execution (commit or abort), every granted lock is
+   released with an ``rlock-rel`` message (held across partitions, so
+   locks on the far side of a partition are released at heal — the
+   price of conservatism, also measurable).
+
+The granted S locks live in the *remote* node's lock table, so they
+genuinely block that node's agent from writing the locked objects
+until release: this is what buys global serializability.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING
+
+from repro.core.control.base import ControlStrategy
+from repro.core.transaction import RequestStatus, RequestTracker, TransactionSpec
+from repro.net.message import Message
+from repro.sim.events import EventHandle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.node import DatabaseNode
+    from repro.core.system import FragmentedDatabase
+
+KIND_REQ = "rlock-req"
+KIND_GRANT = "rlock-grant"
+KIND_REL = "rlock-rel"
+
+
+class _Acquisition:
+    """State machine for one transaction's remote lock acquisition."""
+
+    def __init__(
+        self,
+        spec: TransactionSpec,
+        tracker: RequestTracker,
+        node: "DatabaseNode",
+        fragment: str | None,
+        plan: list[tuple[str, str, list[str]]],  # (fragment, lock_node, objs)
+    ) -> None:
+        self.spec = spec
+        self.tracker = tracker
+        self.node = node
+        self.fragment = fragment
+        self.plan = plan
+        self.index = 0
+        self.granted: list[tuple[str, list[str]]] = []  # (lock_node, objs)
+        self.versions: dict = {}  # obj -> Version pinned at the lock site
+        self.done = False
+        self.timeout_handle: EventHandle | None = None
+        self.request_sent_at = 0.0  # when the in-flight group was requested
+        self.lease_deadlines: list[float] = []  # conservative, per grant
+        self.restarts = 0
+
+    @property
+    def owner(self) -> str:
+        """The lock-table owner id used at remote sites."""
+        return f"rl:{self.spec.txn_id}"
+
+
+class ReadLocksStrategy(ControlStrategy):
+    """Remote read locks ahead of execution; global serializability."""
+
+    name = "read-locks"
+
+    def __init__(
+        self,
+        lock_timeout: float = 100.0,
+        retry_interval: float = 5.0,
+        lock_lease: float | None = None,
+    ) -> None:
+        self.lock_timeout = lock_timeout
+        self.retry_interval = retry_interval
+        # A granted remote lock expires at the lock site after this long
+        # unless released earlier.  Without a lease, a grant message
+        # severed by a partition leaves a ghost lock held until the heal
+        # delivers the requester's give-up release — freezing the
+        # agent's own updates for the whole partition.  The lease bounds
+        # that damage; it outlives the requester's timeout, so a live
+        # transaction never loses a lock it still needs.
+        self.lock_lease = (
+            lock_lease if lock_lease is not None else lock_timeout + 10.0
+        )
+        self._pending: dict[str, _Acquisition] = {}
+        self.lock_requests_sent = 0
+        self.lock_timeouts = 0
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach(self, system: "FragmentedDatabase") -> None:
+        for node in system.nodes.values():
+            node.register_unicast(KIND_REQ, self._make_req_handler(system, node))
+            node.register_unicast(KIND_GRANT, self._make_grant_handler(system))
+            node.register_unicast(KIND_REL, self._make_rel_handler(node))
+
+    # -- submission path -----------------------------------------------------
+
+    def begin_update(
+        self,
+        system: "FragmentedDatabase",
+        node: "DatabaseNode",
+        spec: TransactionSpec,
+        tracker: RequestTracker,
+        fragment: str,
+    ) -> None:
+        self._begin(system, node, spec, tracker, fragment)
+
+    def begin_readonly(
+        self,
+        system: "FragmentedDatabase",
+        node: "DatabaseNode",
+        spec: TransactionSpec,
+        tracker: RequestTracker,
+    ) -> None:
+        self._begin(system, node, spec, tracker, None)
+
+    def after_local(
+        self,
+        system: "FragmentedDatabase",
+        node: "DatabaseNode",
+        spec: TransactionSpec,
+        tracker: RequestTracker,
+    ) -> None:
+        acq = self._pending.pop(spec.txn_id, None)
+        if acq is None:
+            return
+        acq.done = True
+        if acq.timeout_handle is not None:
+            acq.timeout_handle.cancel()
+        self._release_all(system, acq)
+
+    # -- acquisition machinery ------------------------------------------------
+
+    def _begin(
+        self,
+        system: "FragmentedDatabase",
+        node: "DatabaseNode",
+        spec: TransactionSpec,
+        tracker: RequestTracker,
+        fragment: str | None,
+    ) -> None:
+        plan = self._plan(system, node, spec, fragment)
+        if not plan:
+            self._execute(system, node, spec, tracker, fragment)
+            return
+        acq = _Acquisition(spec, tracker, node, fragment, plan)
+        self._pending[spec.txn_id] = acq
+        acq.timeout_handle = system.sim.schedule(
+            self.lock_timeout,
+            lambda: self._on_timeout(system, acq),
+            label=f"rlock timeout {spec.txn_id}",
+        )
+        self._request_next(system, acq)
+
+    def _plan(
+        self,
+        system: "FragmentedDatabase",
+        node: "DatabaseNode",
+        spec: TransactionSpec,
+        fragment: str | None,
+    ) -> list[tuple[str, str, list[str]]]:
+        by_fragment: dict[str, list[str]] = defaultdict(list)
+        for obj in spec.reads:
+            read_fragment = system.catalog.fragment_of(obj)
+            if read_fragment == fragment:
+                continue  # intra-fragment read: the agent locks locally
+            by_fragment[read_fragment].append(obj)
+        plan = []
+        for read_fragment in sorted(by_fragment):
+            lock_node = system.agent_of(read_fragment).home_node
+            if lock_node == node.name:
+                # The transaction executes at the lock site itself: its
+                # body's reads take regular local S locks under strict
+                # 2PL, which is exactly the lock this plan would take.
+                # Taking it under a separate external owner id would
+                # alias one transaction as two lock owners and create
+                # deadlocks the waits-for graph cannot see.
+                continue
+            plan.append((read_fragment, lock_node, by_fragment[read_fragment]))
+        return plan
+
+    def _request_next(self, system: "FragmentedDatabase", acq: _Acquisition) -> None:
+        if acq.done:
+            return
+        if acq.index >= len(acq.plan):
+            self._pending_execute(system, acq)
+            return
+        _fragment, lock_node, objs = acq.plan[acq.index]
+        if lock_node == acq.node.name:
+            ok = acq.node.scheduler.try_lock_external(acq.owner, objs)
+            self._after_reply(system, acq, lock_node, objs, ok)
+            return
+        self.lock_requests_sent += 1
+        acq.request_sent_at = system.sim.now
+        system.network.send(
+            acq.node.name,
+            lock_node,
+            KIND_REQ,
+            {"owner": acq.owner, "objs": objs, "requester": acq.node.name,
+             "txn": acq.spec.txn_id},
+        )
+
+    def _after_reply(
+        self,
+        system: "FragmentedDatabase",
+        acq: _Acquisition,
+        lock_node: str,
+        objs: list[str],
+        ok: bool,
+        versions: dict | None = None,
+    ) -> None:
+        if acq.done:
+            if ok:
+                # Granted after we gave up: release immediately.
+                self._release_one(system, acq, lock_node)
+            return
+        if ok:
+            acq.granted.append((lock_node, objs))
+            if versions:
+                acq.versions.update(versions)
+            # Conservative lease deadline: the lease started no earlier
+            # than the moment we sent the request.
+            acq.lease_deadlines.append(acq.request_sent_at + self.lock_lease)
+            acq.index += 1
+            self._request_next(system, acq)
+        else:
+            system.sim.schedule(
+                self.retry_interval,
+                lambda: self._request_next(system, acq),
+                label=f"rlock retry {acq.spec.txn_id}",
+            )
+
+    def _pending_execute(self, system: "FragmentedDatabase", acq: _Acquisition) -> None:
+        margin = self.retry_interval + 2.0
+        if acq.lease_deadlines and (
+            system.sim.now > min(acq.lease_deadlines) - margin
+        ):
+            # An early lock's lease may already have expired at its lock
+            # site (acquiring the later groups took too long) — its
+            # pinned version can be stale, which would silently break
+            # global serializability.  Release everything and start the
+            # acquisition over with fresh locks and fresh pins; the
+            # overall transaction timeout still bounds the total wait.
+            acq.restarts += 1
+            self._release_all(system, acq)
+            acq.versions.clear()
+            acq.lease_deadlines.clear()
+            acq.index = 0
+            self._request_next(system, acq)
+            return
+        if acq.timeout_handle is not None:
+            acq.timeout_handle.cancel()
+        if acq.versions:
+            acq.spec.meta["remote_versions"] = dict(acq.versions)
+        if acq.lease_deadlines:
+            # Commit-time guard: if local lock waits delay the commit
+            # past this point, a lease may have expired mid-flight and
+            # the pinned versions can no longer be trusted — the commit
+            # is vetoed (see validate_actual_reads).
+            acq.spec.meta["rlock_deadline"] = min(acq.lease_deadlines) - margin
+        self._execute(system, acq.node, acq.spec, acq.tracker, acq.fragment)
+
+    def _execute(
+        self,
+        system: "FragmentedDatabase",
+        node: "DatabaseNode",
+        spec: TransactionSpec,
+        tracker: RequestTracker,
+        fragment: str | None,
+    ) -> None:
+        if fragment is None:
+            node.execute_readonly(spec, tracker)
+        else:
+            node.execute_update(spec, tracker, fragment)
+
+    def _on_timeout(self, system: "FragmentedDatabase", acq: _Acquisition) -> None:
+        if acq.done:
+            return
+        acq.done = True
+        self.lock_timeouts += 1
+        self._pending.pop(acq.spec.txn_id, None)
+        self._release_all(system, acq)
+        system.recorder.record_rejection(
+            acq.spec.txn_id, "remote read locks unavailable"
+        )
+        acq.tracker.finish(
+            RequestStatus.TIMED_OUT,
+            system.sim.now,
+            reason="remote read locks unavailable within timeout",
+        )
+
+    # -- commit-time soundness guard ------------------------------------------
+
+    def validate_actual_reads(self, system, node, handle, fragment) -> None:
+        """Veto commits that outlived their remote-lock leases.
+
+        A transaction pins remote versions at grant time; strict 2PL at
+        the lock site keeps them current only while the lease lives.
+        If local lock queues delayed this commit past the earliest
+        conservative lease deadline, serializability can no longer be
+        guaranteed — abort (callers retry with fresh locks).
+        """
+        from repro.errors import TransactionAborted
+
+        spec = handle.meta.get("spec")
+        if spec is None:
+            return
+        deadline = spec.meta.get("rlock_deadline")
+        if deadline is not None and system.sim.now > deadline:
+            raise TransactionAborted(
+                handle.txn_id,
+                "remote read-lock lease expired before commit",
+            )
+
+    # -- release ----------------------------------------------------------
+
+    def _release_all(self, system: "FragmentedDatabase", acq: _Acquisition) -> None:
+        for lock_node, _objs in acq.granted:
+            self._release_one(system, acq, lock_node)
+        acq.granted = []
+
+    def _release_one(
+        self, system: "FragmentedDatabase", acq: _Acquisition, lock_node: str
+    ) -> None:
+        if lock_node == acq.node.name:
+            acq.node.scheduler.release_external(acq.owner)
+        else:
+            system.network.send(
+                acq.node.name, lock_node, KIND_REL, {"owner": acq.owner}
+            )
+
+    # -- remote-side handlers -----------------------------------------------
+
+    def _make_req_handler(self, system: "FragmentedDatabase", node: "DatabaseNode"):
+        def handle(message: Message) -> None:
+            body = message.payload
+            ok = node.scheduler.try_lock_external(body["owner"], body["objs"])
+            versions = {}
+            if ok:
+                # The grant pins the objects' *current* versions: the
+                # requester's own replica may lag the fragment's stream,
+                # and reading stale values under a lock would defeat the
+                # global serializability this strategy pays for.
+                versions = {
+                    obj: node.store.read_version(obj) for obj in body["objs"]
+                }
+                system.sim.schedule(
+                    self.lock_lease,
+                    lambda: node.scheduler.release_external(body["owner"]),
+                    label=f"rlock lease expiry {body['owner']}",
+                )
+            system.network.send(
+                node.name,
+                body["requester"],
+                KIND_GRANT,
+                {"owner": body["owner"], "objs": body["objs"], "ok": ok,
+                 "lock_node": node.name, "txn": body["txn"],
+                 "versions": versions},
+            )
+
+        return handle
+
+    def _make_grant_handler(self, system: "FragmentedDatabase"):
+        def handle(message: Message) -> None:
+            body = message.payload
+            acq = self._pending.get(body["txn"])
+            if acq is None:
+                # Transaction already finished; release a late grant.
+                if body["ok"]:
+                    system.network.send(
+                        message.dst,
+                        body["lock_node"],
+                        KIND_REL,
+                        {"owner": body["owner"]},
+                    )
+                return
+            self._after_reply(
+                system, acq, body["lock_node"], body["objs"], body["ok"],
+                body.get("versions"),
+            )
+
+        return handle
+
+    @staticmethod
+    def _make_rel_handler(node: "DatabaseNode"):
+        def handle(message: Message) -> None:
+            node.scheduler.release_external(message.payload["owner"])
+
+        return handle

@@ -1,0 +1,19 @@
+"""Section 4.3: fixed agents, no read access restrictions.
+
+Maximum availability among the fixed-agent options: any transaction can
+read anything locally, updates are gated only by the initiation
+requirement.  Global serializability may be lost (Figure 4.3.2's cycle)
+but fragmentwise serializability — Properties 1 and 2 — and mutual
+consistency are guaranteed; the property checkers in
+:mod:`repro.core.properties` verify both on every experiment run.
+"""
+
+from __future__ import annotations
+
+from repro.core.control.base import ControlStrategy
+
+
+class UnrestrictedReadsStrategy(ControlStrategy):
+    """Reads are always local and never synchronized."""
+
+    name = "unrestricted"

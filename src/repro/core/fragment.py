@@ -1,0 +1,123 @@
+"""Fragments: the disjoint logical division of the database.
+
+Section 3.1: "The entire database is logically divided into *k*
+non-overlapping subsets called fragments."  Membership is by explicit
+object name or by name prefix — prefixes cover fragments whose object
+population grows at run time (e.g. a new record appended to a bank
+account's ACTIVITY fragment).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import DesignError
+
+
+class Fragment:
+    """One fragment: a named set of data objects.
+
+    ``objects`` lists concrete object names; ``prefixes`` are name
+    prefixes such that any object ``p + suffix`` belongs to the
+    fragment.  A fragment may use either or both.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        objects: Iterable[str] = (),
+        prefixes: Iterable[str] = (),
+    ) -> None:
+        if not name:
+            raise DesignError("fragment name must be non-empty")
+        self.name = name
+        self.objects = set(objects)
+        self.prefixes = tuple(prefixes)
+        if not self.objects and not self.prefixes:
+            raise DesignError(f"fragment {name!r} has no objects and no prefixes")
+
+    def contains(self, obj: str) -> bool:
+        """True if ``obj`` belongs to this fragment."""
+        if obj in self.objects:
+            return True
+        return any(obj.startswith(prefix) for prefix in self.prefixes)
+
+    def __repr__(self) -> str:
+        return f"Fragment({self.name!r})"
+
+
+class FragmentCatalog:
+    """All fragments of one database, with disjointness enforced.
+
+    Lookup of an object's fragment first tries exact membership, then
+    prefix membership.  Prefix overlap between two fragments is a
+    design error caught at registration time.
+    """
+
+    def __init__(self) -> None:
+        self._fragments: dict[str, Fragment] = {}
+        self._by_object: dict[str, str] = {}
+
+    def add(self, fragment: Fragment) -> Fragment:
+        """Register a fragment; raises :class:`DesignError` on overlap."""
+        if fragment.name in self._fragments:
+            raise DesignError(f"duplicate fragment {fragment.name!r}")
+        for obj in fragment.objects:
+            owner = self.fragment_of(obj, strict=False)
+            if owner is not None:
+                raise DesignError(
+                    f"object {obj!r} already in fragment {owner!r}; "
+                    f"fragments must not overlap"
+                )
+        for prefix in fragment.prefixes:
+            for other in self._fragments.values():
+                for other_prefix in other.prefixes:
+                    if prefix.startswith(other_prefix) or other_prefix.startswith(
+                        prefix
+                    ):
+                        raise DesignError(
+                            f"prefix {prefix!r} of fragment {fragment.name!r} "
+                            f"overlaps prefix {other_prefix!r} of "
+                            f"{other.name!r}"
+                        )
+        self._fragments[fragment.name] = fragment
+        for obj in fragment.objects:
+            self._by_object[obj] = fragment.name
+        return fragment
+
+    def get(self, name: str) -> Fragment:
+        """Fragment by name; raises :class:`DesignError` if unknown."""
+        try:
+            return self._fragments[name]
+        except KeyError:
+            raise DesignError(f"unknown fragment {name!r}") from None
+
+    def fragment_of(self, obj: str, strict: bool = True) -> str | None:
+        """Name of the fragment containing ``obj``.
+
+        With ``strict=True`` (the default) an unassigned object raises;
+        with ``strict=False`` it returns None.
+        """
+        name = self._by_object.get(obj)
+        if name is not None:
+            return name
+        for fragment in self._fragments.values():
+            if any(obj.startswith(prefix) for prefix in fragment.prefixes):
+                return fragment.name
+        if strict:
+            raise DesignError(f"object {obj!r} belongs to no fragment")
+        return None
+
+    @property
+    def names(self) -> list[str]:
+        """All fragment names, in registration order."""
+        return list(self._fragments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._fragments
+
+    def __iter__(self):
+        return iter(self._fragments.values())
+
+    def __len__(self) -> int:
+        return len(self._fragments)

@@ -1,0 +1,241 @@
+"""Multi-fragment tasks (the paper's Section 3.2 footnote).
+
+"One way is to replace, whenever possible, a multi-fragment transaction
+by a group of transactions that perform the same task and update only
+one fragment each.  When this cannot be done, a semblance of the
+two-phase commit protocol can be used, that involves the agents of all
+the fragments that are being updated."
+
+Both ways are provided:
+
+* :func:`submit_group` — the decomposition: fire the single-fragment
+  transactions independently and track them together.  No failure
+  atomicity; the aggregate tracker reports which parts landed.
+* :class:`MultiFragmentCoordinator` — the 2PC semblance: each
+  participant executes at its agent's home node and parks in the
+  *prepared* state (all locks held, nothing applied); the coordinator
+  commits everyone once all are prepared, or aborts everyone on any
+  failure or timeout.  Commit/abort decisions travel as unicast
+  messages, so a partition between the coordinator and a participant
+  stalls the group (locks held) until the heal — the classic 2PC
+  blocking cost, measurable here.
+
+Visibility caveat (inherent to the framework): the 2PC group is atomic
+with respect to *failure*, not with respect to *observation* — each
+fragment's updates become visible along its own stream, so a remote
+reader can still observe one fragment's part before another's.  That is
+a multi-fragment predicate phenomenon, exactly the class of
+inconsistency Section 4.3 already scopes out.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.transaction import RequestStatus, RequestTracker, TransactionSpec
+from repro.errors import DesignError
+from repro.net.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.system import FragmentedDatabase
+
+KIND_DECIDE = "grp-decide"
+
+
+@dataclass
+class GroupTracker:
+    """Aggregate outcome of a transaction group."""
+
+    trackers: list[RequestTracker] = field(default_factory=list)
+    atomic: bool = False
+    decided: str = ""  # "", "committed", "aborted"
+    on_done: Callable[["GroupTracker"], None] | None = None
+    # Members can finish synchronously during submission; completion is
+    # only meaningful once the whole membership has been registered.
+    sealed: bool = False
+
+    @property
+    def all_succeeded(self) -> bool:
+        """True iff every member committed."""
+        return bool(self.trackers) and all(
+            t.status is RequestStatus.COMMITTED for t in self.trackers
+        )
+
+    @property
+    def finished(self) -> bool:
+        """True once every member reached a terminal status."""
+        return all(
+            t.status is not RequestStatus.PENDING for t in self.trackers
+        )
+
+    def _maybe_done(self) -> None:
+        if self.sealed and self.finished and self.on_done is not None:
+            callback, self.on_done = self.on_done, None
+            callback(self)
+
+
+def submit_group(
+    system: "FragmentedDatabase",
+    specs: Sequence[TransactionSpec],
+    on_done: Callable[[GroupTracker], None] | None = None,
+) -> GroupTracker:
+    """Fire single-fragment transactions independently, track together."""
+    group = GroupTracker(on_done=on_done)
+    for spec in specs:
+        tracker = system.submit(spec, on_done=lambda _t: group._maybe_done())
+        group.trackers.append(tracker)
+    group.sealed = True
+    group._maybe_done()
+    return group
+
+
+class MultiFragmentCoordinator:
+    """The paper's "semblance of the two-phase commit protocol"."""
+
+    def __init__(self, system: "FragmentedDatabase") -> None:
+        self.system = system
+        self._groups: dict[str, "_AtomicGroup"] = {}
+        self._counter = 0
+        for node in system.nodes.values():
+            node.register_unicast(
+                KIND_DECIDE, self._make_decide_handler(node)
+            )
+
+    def submit_atomic(
+        self,
+        specs: Sequence[TransactionSpec],
+        coordinator_node: str | None = None,
+        timeout: float = 100.0,
+        on_done: Callable[[GroupTracker], None] | None = None,
+    ) -> GroupTracker:
+        """Prepare every participant, then commit all or abort all."""
+        if not specs:
+            raise DesignError("empty transaction group")
+        fragments = set()
+        for spec in specs:
+            agent = self.system.agents[spec.agent]
+            fragment = self.system._update_fragment(spec, agent)
+            if fragment in fragments:
+                raise DesignError(
+                    f"two group members update fragment {fragment!r}; "
+                    f"merge them into one transaction"
+                )
+            fragments.add(fragment)
+        self._counter += 1
+        group_id = f"grp{self._counter}"
+        coordinator = coordinator_node or self.system.agents[
+            specs[0].agent
+        ].home_node
+        group = _AtomicGroup(group_id, coordinator, on_done)
+        self._groups[group_id] = group
+
+        # Register the full membership before submitting anything: the
+        # first member can prepare synchronously during its submission,
+        # and the "everyone prepared?" check must already know how many
+        # votes it is waiting for.
+        for spec in specs:
+            group.members[spec.txn_id] = self.system.agents[
+                spec.agent
+            ].home_node
+        for spec in specs:
+            spec.meta["hold"] = True
+            spec.meta["on_prepared"] = (
+                lambda handle, s=spec: self._on_prepared(group, s, handle)
+            )
+            tracker = self.system.submit(
+                spec,
+                on_done=lambda t, g=group: self._member_done(g, t),
+            )
+            group.tracker.trackers.append(tracker)
+        group.tracker.sealed = True
+        group.tracker._maybe_done()
+        group.timeout_handle = self.system.sim.schedule(
+            timeout,
+            lambda: self._on_timeout(group),
+            label=f"2pc timeout {group_id}",
+        )
+        self._maybe_commit(group)
+        return group.tracker
+
+    # -- coordinator internals ---------------------------------------------
+
+    def _on_prepared(self, group: "_AtomicGroup", spec, handle) -> None:
+        if group.decided:
+            return
+        group.prepared.add(spec.txn_id)
+        self._maybe_commit(group)
+
+    def _member_done(self, group: "_AtomicGroup", tracker: RequestTracker) -> None:
+        """Any member failing before the decision aborts the group.
+
+        Rejections (token in transit, minority partition) finish the
+        tracker before preparation; deadlock-victim aborts can strike a
+        member mid-execution.  Either way, all-or-nothing demands the
+        rest be rolled back.
+        """
+        if (
+            tracker.status is not RequestStatus.COMMITTED
+            and group.decided != "aborted"
+            and not group.decided
+        ):
+            self._decide(group, "aborted")
+        group.tracker._maybe_done()
+
+    def _maybe_commit(self, group: "_AtomicGroup") -> None:
+        if group.decided or not group.members:
+            return
+        if group.prepared == set(group.members):
+            self._decide(group, "committed")
+
+    def _on_timeout(self, group: "_AtomicGroup") -> None:
+        if not group.decided:
+            self._decide(group, "aborted")
+
+    def _decide(self, group: "_AtomicGroup", decision: str) -> None:
+        if group.decided:
+            return
+        group.decided = decision
+        group.tracker.decided = decision
+        if group.timeout_handle is not None:
+            group.timeout_handle.cancel()
+        for txn_id, home in group.members.items():
+            if home == group.coordinator:
+                self._apply_decision(
+                    self.system.nodes[home], txn_id, decision
+                )
+            else:
+                self.system.network.send(
+                    group.coordinator, home, KIND_DECIDE,
+                    {"txn": txn_id, "decision": decision},
+                )
+
+    def _apply_decision(self, node, txn_id: str, decision: str) -> None:
+        handle = node.scheduler.active.get(txn_id)
+        if handle is None or handle.state != "prepared":
+            return  # already aborted locally (e.g. deadlock victim)
+        if decision == "committed":
+            node.scheduler.commit_prepared(txn_id)
+        else:
+            node.scheduler.abort_prepared(txn_id)
+
+    def _make_decide_handler(self, node):
+        def handle(message: Message) -> None:
+            body = message.payload
+            self._apply_decision(node, body["txn"], body["decision"])
+
+        return handle
+
+
+class _AtomicGroup:
+    """Coordinator-side state of one 2PC group."""
+
+    def __init__(self, group_id, coordinator, on_done) -> None:
+        self.group_id = group_id
+        self.coordinator = coordinator
+        self.tracker = GroupTracker(atomic=True, on_done=on_done)
+        self.members: dict[str, str] = {}  # txn id -> home node
+        self.prepared: set[str] = set()
+        self.decided = ""
+        self.timeout_handle = None

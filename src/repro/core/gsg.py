@@ -1,0 +1,171 @@
+"""Global and local serialization graphs (Definitions 8.2 and 8.3).
+
+Built after the fact from the :class:`~repro.cc.history.HistoryRecorder`:
+every read records exactly which version (writer transaction + version
+number) it observed at its home node, and every fragment's update
+stream induces a total version order per object, identical at all
+replicas under FIFO installation.  The classic multiversion
+serialization-graph construction then yields precisely the paper's
+edges:
+
+* ``Tj -> Ti`` when Ti read the version Tj wrote ("the update ... is
+  installed in the copy at the home node of A(Fq) *before* Ti reads d");
+* ``Ti -> Tk`` when Ti read a version older than Tk's write ("the
+  update is installed *after* Ti reads d");
+* ``Tj -> Tk`` along each object's version order (transactions of the
+  same type are additionally totally ordered by their stream).
+
+Acyclicity of the global graph is equivalent to global serializability
+of the distributed schedule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.cc.history import CommittedTxn, HistoryRecorder
+from repro.core.rag import ReadAccessGraph
+from repro.graphs import Digraph
+from repro.storage.values import INITIAL_WRITER
+
+
+def global_serialization_graph(recorder: HistoryRecorder) -> Digraph:
+    """The g.s.g. of Definition 8.2 over all committed transactions."""
+    graph = Digraph()
+    known = {txn.txn_id for txn in recorder.committed}
+    for txn in recorder.committed:
+        graph.add_node(txn.txn_id)
+    version_order = recorder.version_order()
+
+    # ww edges along each object's version order (consecutive pairs
+    # generate the same reachability as all pairs).
+    for versions in version_order.values():
+        for (_v1, txn1), (_v2, txn2) in zip(versions, versions[1:]):
+            if txn1 != txn2:
+                graph.add_edge(txn1, txn2)
+
+    for txn in recorder.committed:
+        for read in txn.reads:
+            # wr edge: the version's writer precedes the reader.
+            if read.writer != INITIAL_WRITER and read.writer != txn.txn_id:
+                if read.writer in known:
+                    graph.add_edge(read.writer, txn.txn_id)
+            # rw anti-dependency: the reader precedes the writer of the
+            # next version (the chain of ww edges covers later ones).
+            for version_no, writer in version_order.get(read.obj, ()):
+                if version_no <= read.version_no:
+                    continue
+                if writer == txn.txn_id:
+                    break  # own later write; covered by the ww chain
+                graph.add_edge(txn.txn_id, writer)
+                break
+    return graph
+
+
+def is_globally_serializable(
+    recorder: HistoryRecorder,
+) -> tuple[bool, list[str] | None]:
+    """Acyclicity test plus a witness cycle for diagnostics."""
+    graph = global_serialization_graph(recorder)
+    cycle = graph.find_cycle()
+    if cycle is None:
+        return True, None
+    return False, [str(node) for node in cycle]
+
+
+def transaction_type(
+    txn: CommittedTxn, agent_fragments: Mapping[str, str]
+) -> str | None:
+    """``tp(T)`` of Definition 8.1: the fragment whose agent initiated T.
+
+    Update transactions carry their fragment; read-only transactions
+    are typed through their initiating agent (None when the agent
+    controls zero or several fragments — the appendix splits such
+    agents conceptually, which our checkers mirror by leaving those
+    transactions untyped).
+    """
+    if txn.fragment is not None:
+        return txn.fragment
+    return agent_fragments.get(txn.agent)
+
+
+def local_serialization_graph(
+    recorder: HistoryRecorder,
+    rag: ReadAccessGraph,
+    fragment: str,
+    home_node: str,
+    agent_fragments: Mapping[str, str],
+) -> Digraph:
+    """The l.s.g. for ``fragment`` of Definition 8.3.
+
+    Vertices: transactions of type ``fragment`` plus update
+    transactions of every fragment the read-access graph lets
+    ``fragment`` read from.  Edge rules (i)-(iv) of the definition,
+    with rule (iii)'s install order taken from the recorded install
+    sequence at ``home_node``.
+    """
+    graph = Digraph()
+    readable = set(rag.reads_from(fragment))
+    local: list[CommittedTxn] = []
+    nonlocal_by_type: dict[str, list[CommittedTxn]] = {f: [] for f in readable}
+    for txn in recorder.committed:
+        txn_type = transaction_type(txn, agent_fragments)
+        if txn_type == fragment:
+            local.append(txn)
+            graph.add_node(txn.txn_id)
+        elif txn.fragment in readable and txn.is_update:
+            nonlocal_by_type[txn.fragment].append(txn)
+            graph.add_node(txn.txn_id)
+
+    # (i) local transactions: conflict edges in local commit order.
+    _add_conflict_edges(graph, sorted(local, key=lambda t: t.commit_time))
+
+    # (iii) non-local transactions of one type: install order at the
+    # home node of A(fragment).
+    install_position = {
+        record.txn_id: index
+        for index, record in enumerate(recorder.installs_at(home_node))
+    }
+    for siblings in nonlocal_by_type.values():
+        ordered = sorted(
+            siblings,
+            key=lambda t: install_position.get(t.txn_id, len(install_position)),
+        )
+        for first, second in zip(ordered, ordered[1:]):
+            graph.add_edge(first.txn_id, second.txn_id)
+
+    # (ii) local vs non-local: version-based edges, restricted to pairs
+    # present in this graph.
+    version_order = recorder.version_order()
+    nonlocal_ids = {
+        t.txn_id for siblings in nonlocal_by_type.values() for t in siblings
+    }
+    for txn in local:
+        for read in txn.reads:
+            if read.writer in nonlocal_ids:
+                graph.add_edge(read.writer, txn.txn_id)
+            for version_no, writer in version_order.get(read.obj, ()):
+                if version_no <= read.version_no:
+                    continue
+                if writer in nonlocal_ids:
+                    graph.add_edge(txn.txn_id, writer)
+                break
+    # (iv) non-local transactions of different types: no edges.
+    return graph
+
+
+def _add_conflict_edges(graph: Digraph, ordered: list[CommittedTxn]) -> None:
+    """Standard dependency rules for a serially committed local stream."""
+    for i, first in enumerate(ordered):
+        first_writes = {w.obj for w in first.writes}
+        first_reads = {r.obj for r in first.reads}
+        for second in ordered[i + 1 :]:
+            second_writes = {w.obj for w in second.writes}
+            second_reads = {r.obj for r in second.reads}
+            conflict = (
+                first_writes & second_writes
+                or first_writes & second_reads
+                or first_reads & second_writes
+            )
+            if conflict:
+                graph.add_edge(first.txn_id, second.txn_id)

@@ -1,0 +1,41 @@
+"""Agent movement protocols (Section 4.4).
+
+Moving an agent from node X to node Y risks *missing transactions*:
+Y (or a third node Z) may see the agent's first post-move transaction
+T2 before X's last pre-move transaction T1 — violating fragmentwise
+serializability and, without care, even mutual consistency
+(Figure 4.4.1).  The paper's three protocol families are all here, plus
+the no-protection baseline that exhibits the problem:
+
+* :class:`~repro.core.movement.base.FixedAgentsProtocol` — agents never
+  move; per-fragment sequence-ordered installation (Sections 4.1-4.3);
+* :class:`~repro.core.movement.none_protocol.InstantMoveProtocol` —
+  "none": the token just moves; demonstrates divergence;
+* :class:`~repro.core.movement.majority.MajorityCommitProtocol` —
+  §4.4.1: permanent majority-commit; moves resync from a majority;
+* :class:`~repro.core.movement.with_data.MoveWithDataProtocol` —
+  §4.4.2A: the token carries a fragment snapshot;
+* :class:`~repro.core.movement.with_seqno.MoveWithSeqnoProtocol` —
+  §4.4.2B: the token carries the last sequence number; the new home
+  waits until it has caught up;
+* :class:`~repro.core.movement.corrective.CorrectiveMoveProtocol` —
+  §4.4.3: no preparation; the M0 announcement, orphan forwarding,
+  timestamp-based stripping, repackaging, and corrective-action hooks.
+"""
+
+from repro.core.movement.base import FixedAgentsProtocol, MovementProtocol
+from repro.core.movement.corrective import CorrectiveMoveProtocol
+from repro.core.movement.majority import MajorityCommitProtocol
+from repro.core.movement.none_protocol import InstantMoveProtocol
+from repro.core.movement.with_data import MoveWithDataProtocol
+from repro.core.movement.with_seqno import MoveWithSeqnoProtocol
+
+__all__ = [
+    "CorrectiveMoveProtocol",
+    "FixedAgentsProtocol",
+    "InstantMoveProtocol",
+    "MajorityCommitProtocol",
+    "MovementProtocol",
+    "MoveWithDataProtocol",
+    "MoveWithSeqnoProtocol",
+]

@@ -1,0 +1,151 @@
+"""Movement protocol interface and the fixed-agents default."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TYPE_CHECKING
+
+from repro.core.transaction import (
+    QuasiTransaction,
+    RequestTracker,
+    TransactionSpec,
+)
+from repro.errors import TokenError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.node import DatabaseNode
+    from repro.core.system import FragmentedDatabase
+
+
+class MovementProtocol:
+    """Hooks the Section 4.4 protocols plug into the system.
+
+    The base class implements the behaviour shared by all faithful
+    protocols: per-fragment sequence-ordered quasi-transaction
+    admission (buffer gaps, drop duplicates) and plain reliable
+    broadcast for propagation.  Subclasses override the pieces their
+    section of the paper changes.
+    """
+
+    name = "base"
+
+    def attach(self, system: "FragmentedDatabase") -> None:
+        """One-time wiring (register message handlers)."""
+        self.system = system
+
+    # -- propagation -------------------------------------------------------
+
+    def propagate(self, node: "DatabaseNode", quasi: QuasiTransaction) -> None:
+        """Send a freshly committed quasi-transaction to all replicas."""
+        node.system.broadcast.broadcast(
+            node.name, {"type": "qt", "qt": quasi}, kind="qt"
+        )
+
+    # -- admission -----------------------------------------------------------
+
+    def admit(self, node: "DatabaseNode", quasi: QuasiTransaction) -> None:
+        """Decide what to do with an arriving quasi-transaction.
+
+        Default: install in per-fragment ``(epoch, stream_seq)`` order —
+        gaps are buffered, duplicates dropped.  This is the paper's
+        "processed at all other nodes in the same order as they were
+        sent" requirement, keyed by fragment stream rather than sender
+        so it stays correct when a later protocol moves the stream to a
+        new sender node.
+        """
+        self._ordered_admit(node, quasi)
+
+    def _ordered_admit(self, node: "DatabaseNode", quasi: QuasiTransaction) -> None:
+        fragment = quasi.fragment
+        key = (quasi.epoch, quasi.stream_seq)
+        expected = (node.epoch[fragment], node.next_expected[fragment])
+        if key < expected:
+            return  # duplicate / already superseded
+        if key > expected:
+            node.qt_buffer[fragment][key] = quasi
+            return
+        node.next_expected[fragment] = quasi.stream_seq + 1
+        node.enqueue_install(quasi)
+        self._drain_buffer(node, fragment)
+
+    def _drain_buffer(self, node: "DatabaseNode", fragment: str) -> None:
+        buffer = node.qt_buffer[fragment]
+        while True:
+            key = (node.epoch[fragment], node.next_expected[fragment])
+            quasi = buffer.pop(key, None)
+            if quasi is None:
+                return
+            node.next_expected[fragment] = quasi.stream_seq + 1
+            node.enqueue_install(quasi)
+
+    def after_install(self, node: "DatabaseNode", quasi: QuasiTransaction) -> None:
+        """Called after a quasi-transaction finished installing locally."""
+
+    # -- update gating ---------------------------------------------------------
+
+    def before_update(
+        self,
+        system: "FragmentedDatabase",
+        node: "DatabaseNode",
+        spec: TransactionSpec,
+        tracker: RequestTracker,
+        fragment: str,
+    ) -> bool:
+        """Gate an update submission.
+
+        Return True to proceed to the control strategy; return False if
+        the protocol took ownership of the request (queued it or
+        finished the tracker itself).
+        """
+        return True
+
+    # -- moving ----------------------------------------------------------------
+
+    def request_move(
+        self,
+        system: "FragmentedDatabase",
+        agent_name: str,
+        to_node: str,
+        transport_delay: float = 0.0,
+        on_done: Callable[[], None] | None = None,
+    ) -> None:
+        """Move an agent (with all its tokens) to a new home node."""
+        raise TokenError(
+            f"protocol {self.name!r} does not allow agents to move"
+        )
+
+    # -- shared move machinery -----------------------------------------------
+
+    def _transport(
+        self,
+        system: "FragmentedDatabase",
+        agent_name: str,
+        to_node: str,
+        transport_delay: float,
+        arrive: Callable[[], None],
+    ) -> None:
+        """Common physical-token transport: mark in transit, then arrive.
+
+        While a token is in transit, update submissions for its
+        fragment are rejected (the agent is on the road; see
+        ``FragmentedDatabase.submit``).
+        """
+        agent = system.agents[agent_name]
+        for fragment in agent.fragments:
+            agent.token_for(fragment).begin_move(to_node)
+
+        def complete() -> None:
+            for fragment in agent.fragments:
+                agent.token_for(fragment).complete_move()
+            agent.home_node = to_node
+            arrive()
+
+        system.sim.schedule(
+            transport_delay, complete, label=f"token arrival {agent_name}"
+        )
+
+
+class FixedAgentsProtocol(MovementProtocol):
+    """Agents never move — Sections 4.1-4.3 operation."""
+
+    name = "fixed-agents"

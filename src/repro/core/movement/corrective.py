@@ -1,0 +1,217 @@
+"""Section 4.4.3: omitting preparatory actions (the M0 protocol).
+
+The agent "must start processing new transactions as soon as it arrives
+at Y".  Fragmentwise serializability is forfeited; mutual consistency
+is preserved by the following protocol (paper's notation: the agent ran
+T1..Tr at X, of which Y had installed T1..Ti when it resumed):
+
+At node Y (the new home):
+
+* A1 — before broadcasting its first transaction, broadcast
+  ``M0 = (T1, ..., Ti)``: the pre-move transactions installed at Y so
+  far (we send the quasi-transactions themselves so behind nodes can
+  catch up from the message);
+* A2 — when a *missing* pre-move transaction Tl (l > i) surfaces later
+  (via the healed network or a forward), strip the updates whose
+  objects have since been overwritten (timestamp comparison), package
+  the rest as a brand-new transaction with the next sequence number,
+  install and broadcast it, and fire the registered corrective-action
+  hooks ("if after Tk runs, a flight is overbooked, cancel one or more
+  reservations").
+
+At every other node Z:
+
+* B1 — on M0: if behind (j < i), install T(j+1)..Ti from the message;
+* B2 — a missing pre-move transaction arriving *after* M0 is not
+  processed; it is forwarded to Y;
+* B3 — post-move transactions install in the new stream order.
+
+Implementation note: fragment streams are epoch-stamped; a move bumps
+the epoch, so "pre-move transaction" is simply "quasi-transaction with
+a stale epoch" and B3 falls out of the ordered admission keyed on
+``(epoch, seq)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+from typing import TYPE_CHECKING, Any
+
+from repro.cc.ops import Write
+from repro.core.movement.base import MovementProtocol
+from repro.core.transaction import QuasiTransaction, TransactionSpec
+from repro.net.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.node import DatabaseNode
+    from repro.core.system import FragmentedDatabase
+
+KIND_FWD = "fwd-orphan"
+M0_TYPE = "m0"
+
+
+class CorrectiveMoveProtocol(MovementProtocol):
+    """Move instantly; reconcile missing transactions after the fact."""
+
+    name = "corrective"
+
+    def __init__(self) -> None:
+        self._repackaged: set[str] = set()
+        self.orphans_handled = 0
+        self.orphans_dropped_empty = 0
+        self.repackaged_count = 0
+        self.m0_broadcasts = 0
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach(self, system: "FragmentedDatabase") -> None:
+        super().attach(system)
+        for node in system.nodes.values():
+            node.register_unicast(KIND_FWD, self._make_fwd_handler(system, node))
+            node.register_broadcast(M0_TYPE, self._on_m0)
+
+    # -- admission -----------------------------------------------------------
+
+    def admit(self, node: "DatabaseNode", quasi: QuasiTransaction) -> None:
+        fragment = quasi.fragment
+        if quasi.epoch == node.epoch[fragment]:
+            self._ordered_admit(node, quasi)
+        elif quasi.epoch > node.epoch[fragment]:
+            # New-epoch transaction racing ahead of its M0 (cannot happen
+            # via FIFO from the same sender, but forwarded copies can):
+            # park it until the M0 activates the epoch.
+            node.qt_buffer[fragment][(quasi.epoch, quasi.stream_seq)] = quasi
+        else:
+            # Pre-move orphan arriving after M0: rule B2 / A2.
+            self._handle_orphan(node, quasi)
+
+    # -- moving -------------------------------------------------------------
+
+    def request_move(
+        self,
+        system: "FragmentedDatabase",
+        agent_name: str,
+        to_node: str,
+        transport_delay: float = 0.0,
+        on_done: Callable[[], None] | None = None,
+    ) -> None:
+        agent = system.agents[agent_name]
+        fragments = list(agent.fragments)
+
+        def arrive() -> None:
+            destination = system.nodes[to_node]
+            for fragment in fragments:
+                token = agent.token_for(fragment)
+                new_epoch = token.payload.get("epoch", 0) + 1
+                installed_upto = destination.next_expected[fragment]
+                carried = [
+                    destination.qt_archive[fragment][seq]
+                    for seq in sorted(destination.qt_archive[fragment])
+                    if seq < installed_upto
+                ]
+                self.m0_broadcasts += 1
+                system.broadcast.broadcast(
+                    to_node,
+                    {
+                        "type": M0_TYPE,
+                        "fragment": fragment,
+                        "epoch": new_epoch,
+                        "upto": installed_upto,
+                        "qts": carried,
+                    },
+                    kind="m0",
+                )
+                token.payload["epoch"] = new_epoch
+                token.payload["next_seq"] = installed_upto
+            if on_done is not None:
+                on_done()
+
+        self._transport(system, agent_name, to_node, transport_delay, arrive)
+
+    # -- M0 processing (rule B1 + epoch activation) -----------------------------
+
+    def _on_m0(
+        self, node: "DatabaseNode", sender: str, body: dict[str, Any]
+    ) -> None:
+        fragment = body["fragment"]
+        epoch = body["epoch"]
+        if epoch <= node.epoch[fragment]:
+            return  # stale announcement
+        # Catch up from the M0 contents (rule B1).
+        for quasi in sorted(body["qts"], key=lambda q: q.stream_seq):
+            node.enqueue_install(quasi)  # dedups already-installed sources
+        # Orphans sitting in the old-epoch buffer become rule-B2 forwards.
+        stale = [
+            quasi
+            for key, quasi in list(node.qt_buffer[fragment].items())
+            if key[0] < epoch
+        ]
+        for quasi in stale:
+            del node.qt_buffer[fragment][(quasi.epoch, quasi.stream_seq)]
+        node.epoch[fragment] = epoch
+        node.next_expected[fragment] = body["upto"]
+        for quasi in stale:
+            self._handle_orphan(node, quasi)
+        self._drain_buffer(node, fragment)
+
+    # -- orphan handling (rules B2 and A2) -------------------------------------
+
+    def _handle_orphan(self, node: "DatabaseNode", quasi: QuasiTransaction) -> None:
+        if (
+            quasi.source_txn in node.installed_sources
+            or quasi.source_txn in self._repackaged
+        ):
+            return
+        system = node.system
+        agent = system.agent_of(quasi.fragment)
+        home = agent.home_node
+        if node.name != home:
+            system.network.send(node.name, home, KIND_FWD, {"qt": quasi})
+            return
+        self._repackage(system, node, agent.name, quasi)
+
+    def _repackage(
+        self,
+        system: "FragmentedDatabase",
+        node: "DatabaseNode",
+        agent_name: str,
+        quasi: QuasiTransaction,
+    ) -> None:
+        """Rule A2: strip overwritten updates, rebroadcast the rest."""
+        self._repackaged.add(quasi.source_txn)
+        self.orphans_handled += 1
+        kept: list[tuple[str, Any]] = []
+        for obj, version in quasi.writes:
+            if (
+                node.store.exists(obj)
+                and node.store.read_version(obj).timestamp > quasi.origin_time
+            ):
+                continue  # already overwritten by a more recent transaction
+            kept.append((obj, version.value))
+        if kept:
+            self.repackaged_count += 1
+
+            def body(_ctx: Any) -> Generator[Any, Any, Any]:
+                for obj, value in kept:
+                    yield Write(obj, value)
+
+            spec = TransactionSpec(
+                txn_id=f"rp:{quasi.source_txn}",
+                agent=agent_name,
+                body=body,
+                update=True,
+                meta={"repackaged_from": quasi.source_txn},
+            )
+            system.submit(spec)
+        else:
+            self.orphans_dropped_empty += 1
+        for hook in system.corrective_hooks:
+            hook(node, quasi, kept)
+
+    # -- handlers ---------------------------------------------------------
+
+    def _make_fwd_handler(self, system: "FragmentedDatabase", node: "DatabaseNode"):
+        def handle(message: Message) -> None:
+            self._handle_orphan(node, message.payload["qt"])
+
+        return handle

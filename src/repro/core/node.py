@@ -1,0 +1,522 @@
+"""A database node: one replica site of the fragmented database.
+
+Responsibilities (Section 3.2):
+
+* execute local update and read-only transactions through the local
+  strict-2PL scheduler;
+* at commit of an update transaction, enforce the initiation
+  requirement, assign version numbers along the fragment's update
+  stream, install locally, and hand the resulting
+  :class:`~repro.core.transaction.QuasiTransaction` to the movement
+  protocol for propagation;
+* receive quasi-transactions from other nodes and install them
+  *atomically* and *in per-fragment stream order* (the admission logic
+  is delegated to the movement protocol — fixed agents use plain
+  sequence order, Section 4.4 protocols override it);
+* multiplex broadcast and unicast traffic over its single network
+  handler.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
+
+from repro.cc.history import (
+    CommittedTxn,
+    InstallRecord,
+    ReadObservation,
+    WriteRecord,
+)
+from repro.cc.scheduler import LocalScheduler, TxnHandle, TxnOutcome
+from repro.core.transaction import (
+    QuasiTransaction,
+    RequestStatus,
+    RequestTracker,
+    TransactionSpec,
+)
+from repro.errors import ReproError, TransactionAborted
+from repro.net.broadcast import SeqPayload
+from repro.net.message import Message
+from repro.storage.store import ObjectStore
+from repro.storage.values import INITIAL_WRITER, Version
+from repro.storage.wal import WriteAheadLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.system import FragmentedDatabase
+
+UnicastHandler = Callable[[Message], None]
+BroadcastHandler = Callable[["DatabaseNode", str, dict[str, Any]], None]
+
+
+class DatabaseNode:
+    """One site: local store, local scheduler, install machinery."""
+
+    def __init__(self, name: str, system: "FragmentedDatabase") -> None:
+        self.name = name
+        self.system = system
+        self.store = ObjectStore(name)
+        self.scheduler = LocalScheduler(
+            name,
+            self.store,
+            sim=system.sim,
+            action_delay=system.action_delay,
+            apply_writes=self._apply_commit,
+        )
+        # Per-fragment install bookkeeping.
+        self.next_expected: dict[str, int] = defaultdict(int)
+        self.epoch: dict[str, int] = defaultdict(int)
+        self.qt_buffer: dict[str, dict[tuple[int, int], QuasiTransaction]] = (
+            defaultdict(dict)
+        )
+        self._installing: dict[str, bool] = defaultdict(bool)
+        self._ready: dict[str, deque[QuasiTransaction]] = defaultdict(deque)
+        self.installed_sources: set[str] = set()
+        # Archive of every quasi-transaction seen, per fragment by stream
+        # seq — the majority-move resync and corrective M0 replay read it.
+        self.qt_archive: dict[str, dict[int, QuasiTransaction]] = defaultdict(dict)
+        # Message routing.
+        self.unicast_handlers: dict[str, UnicastHandler] = {}
+        self.broadcast_handlers: dict[str, BroadcastHandler] = {}
+        # Install atomicity ablation (Property 2 demonstration).
+        self.atomic_installs = True
+        self.quasi_installed = 0
+        self.quasi_skipped = 0  # fragments this node does not replicate
+        # Crash-stop failure model: the WAL survives a crash, nothing
+        # else does.
+        self.wal = WriteAheadLog(name)
+        self.down = False
+        self.crashes = 0
+        self.register_unicast("recovery-req", self._on_recovery_req)
+        self.register_unicast("recovery-rep", self._on_recovery_rep)
+
+    # -- network plumbing ---------------------------------------------------
+
+    def handle_network(self, message: Message) -> None:
+        """Single network entry point: route broadcast vs unicast."""
+        if self.down:
+            # Shouldn't happen (a crashed node's links are down and the
+            # network re-holds in-flight messages), but a zero-latency
+            # race is cheap to make safe: the network layer re-holds.
+            return
+        if isinstance(message.payload, SeqPayload):
+            self.system.broadcast.handle_message(message)
+            return
+        handler = self.unicast_handlers.get(message.kind)
+        if handler is None:
+            raise ReproError(
+                f"node {self.name!r}: no handler for unicast kind "
+                f"{message.kind!r}"
+            )
+        handler(message)
+
+    def on_broadcast(self, sender: str, seq: int, body: dict[str, Any]) -> None:
+        """Reliable-broadcast delivery callback (FIFO per sender)."""
+        kind = body.get("type")
+        if kind == "qt":
+            quasi = body["qt"]
+            if not self.system.replicates(self.name, quasi.fragment):
+                self.quasi_skipped += 1
+                return
+            self.system.movement.admit(self, quasi)
+            return
+        handler = self.broadcast_handlers.get(kind)
+        if handler is None:
+            raise ReproError(
+                f"node {self.name!r}: no handler for broadcast type {kind!r}"
+            )
+        handler(self, sender, body)
+
+    def register_unicast(self, kind: str, handler: UnicastHandler) -> None:
+        """Register a handler for a unicast message kind."""
+        self.unicast_handlers[kind] = handler
+
+    def register_broadcast(self, kind: str, handler: BroadcastHandler) -> None:
+        """Register a handler for a broadcast body type."""
+        self.broadcast_handlers[kind] = handler
+
+    # -- local transaction execution ----------------------------------------
+
+    def execute_update(
+        self,
+        spec: TransactionSpec,
+        tracker: RequestTracker,
+        fragment: str,
+    ) -> None:
+        """Run an update transaction locally (strategy pre-steps done)."""
+
+        def on_done(
+            handle: TxnHandle, outcome: TxnOutcome, error: Exception | None
+        ) -> None:
+            now = self.system.sim.now
+            if outcome is TxnOutcome.COMMITTED:
+                tracker.finish(
+                    RequestStatus.COMMITTED, now, result=handle.result
+                )
+            else:
+                reason = getattr(error, "reason", str(error))
+                self.system.recorder.record_abort(spec.txn_id, reason)
+                tracker.finish(RequestStatus.ABORTED, now, reason=reason)
+            self.system.strategy.after_local(self.system, self, spec, tracker)
+
+        self.scheduler.submit(
+            spec.txn_id,
+            spec.body,
+            ctx=spec.ctx,
+            kind="update",
+            on_done=on_done,
+            meta={
+                "spec": spec,
+                "fragment": fragment,
+                "tracker": tracker,
+                "remote_versions": spec.meta.get("remote_versions"),
+                "hold": spec.meta.get("hold"),
+                "on_prepared": spec.meta.get("on_prepared"),
+            },
+        )
+
+    def execute_readonly(
+        self, spec: TransactionSpec, tracker: RequestTracker
+    ) -> None:
+        """Run a read-only transaction locally."""
+
+        def on_done(
+            handle: TxnHandle, outcome: TxnOutcome, error: Exception | None
+        ) -> None:
+            now = self.system.sim.now
+            if outcome is TxnOutcome.COMMITTED:
+                tracker.finish(
+                    RequestStatus.COMMITTED, now, result=handle.result
+                )
+            else:
+                reason = getattr(error, "reason", str(error))
+                self.system.recorder.record_abort(spec.txn_id, reason)
+                tracker.finish(RequestStatus.ABORTED, now, reason=reason)
+            self.system.strategy.after_local(self.system, self, spec, tracker)
+
+        self.scheduler.submit(
+            spec.txn_id,
+            spec.body,
+            ctx=spec.ctx,
+            kind="readonly",
+            on_done=on_done,
+            meta={
+                "spec": spec,
+                "fragment": None,
+                "tracker": tracker,
+                "remote_versions": spec.meta.get("remote_versions"),
+            },
+        )
+
+    # -- commit application (scheduler callback) ------------------------------
+
+    def _apply_commit(self, handle: TxnHandle) -> None:
+        """Apply a committed transaction's buffered writes.
+
+        For quasi-transactions: install the pre-assigned origin
+        versions.  For local updates: enforce the initiation
+        requirement, run the strategy's dynamic read check, mint
+        versions along the fragment stream, install, record history,
+        and hand the quasi-transaction to the movement protocol.
+        Raising :class:`TransactionAborted` here converts the commit
+        into an abort (nothing has been installed yet).
+        """
+        system = self.system
+        now = system.sim.now
+        if handle.kind == "quasi":
+            versions: dict[str, Version] = handle.meta["versions"]
+            for obj, version in versions.items():
+                self.store.install(obj, version)
+            return
+        spec: TransactionSpec = handle.meta["spec"]
+        if handle.kind == "readonly" or not handle.write_buffer:
+            system.strategy.validate_actual_reads(system, self, handle, None)
+            record = CommittedTxn(
+                txn_id=spec.txn_id,
+                agent=spec.agent,
+                fragment=None,
+                node=self.name,
+                commit_time=now,
+                stream_seq=None,
+                kind="readonly",
+                reads=[
+                    ReadObservation(obj, v.writer, v.version_no)
+                    for obj, v in handle.reads
+                ],
+            )
+            system.recorder.record_commit(record)
+            return
+
+        fragment_name: str = handle.meta["fragment"]
+        fragment = system.catalog.get(fragment_name)
+        for obj in handle.write_buffer:
+            if not fragment.contains(obj):
+                raise TransactionAborted(
+                    spec.txn_id,
+                    f"initiation requirement violated: wrote {obj!r} outside "
+                    f"fragment {fragment_name!r}",
+                )
+        system.strategy.validate_actual_reads(system, self, handle, fragment_name)
+
+        agent = system.agents[spec.agent]
+        token = agent.token_for(fragment_name)
+        if not token.usable_at(self.name):
+            # The transaction was submitted while the agent lived here,
+            # but lock waits delayed its commit past the agent's (token's)
+            # departure.  Committing now would mint a stream position at
+            # the old node while the new home is already numbering its
+            # own transactions — the initiation requirement is a
+            # *commit-time* condition.  The request fails like any other
+            # service the departed agent can no longer render.
+            raise TransactionAborted(
+                spec.txn_id,
+                f"token for {fragment_name!r} left node {self.name!r} "
+                f"before the transaction could commit",
+            )
+        stream_seq = token.payload.setdefault("next_seq", 0)
+        epoch = token.payload.setdefault("epoch", 0)
+        writes: list[tuple[str, Version]] = []
+        write_records: list[WriteRecord] = []
+        for obj, value in handle.write_buffer.items():
+            previous_no = (
+                self.store.read_version(obj).version_no
+                if self.store.exists(obj)
+                else -1
+            )
+            version = Version(value, spec.txn_id, previous_no + 1, now)
+            self.store.install(obj, version)
+            writes.append((obj, version))
+            write_records.append(WriteRecord(obj, version.version_no, value))
+        token.payload["next_seq"] = stream_seq + 1
+
+        quasi = QuasiTransaction(
+            source_txn=spec.txn_id,
+            fragment=fragment_name,
+            agent=spec.agent,
+            origin_node=self.name,
+            stream_seq=stream_seq,
+            epoch=epoch,
+            writes=writes,
+            origin_time=now,
+            meta=dict(spec.meta),
+        )
+        record = CommittedTxn(
+            txn_id=spec.txn_id,
+            agent=spec.agent,
+            fragment=fragment_name,
+            node=self.name,
+            commit_time=now,
+            stream_seq=stream_seq,
+            kind="update",
+            reads=[
+                ReadObservation(obj, v.writer, v.version_no)
+                for obj, v in handle.reads
+            ],
+            writes=write_records,
+        )
+        system.recorder.record_commit(record)
+        system.recorder.record_install(
+            InstallRecord(self.name, spec.txn_id, fragment_name, stream_seq, now)
+        )
+        self.wal.append_install(quasi)
+        self.installed_sources.add(quasi.source_txn)
+        self.qt_archive[fragment_name][stream_seq] = quasi
+        # Keep this node's own install bookkeeping in step with its stream.
+        self.next_expected[fragment_name] = max(
+            self.next_expected[fragment_name], stream_seq + 1
+        )
+        self.epoch[fragment_name] = max(self.epoch[fragment_name], epoch)
+        system.fire_install_hooks(self, quasi)
+        system.movement.propagate(self, quasi)
+
+    # -- quasi-transaction installation ----------------------------------------
+
+    def enqueue_install(self, quasi: QuasiTransaction) -> None:
+        """Queue an admitted quasi-transaction for atomic installation.
+
+        Installation is serialized per fragment so that the equivalent
+        serial local schedule "contains quasi-transactions from a given
+        node in the exact same order as they were generated"
+        (Section 3.2).
+        """
+        if quasi.source_txn in self.installed_sources:
+            return  # duplicate (replay + held original)
+        self.installed_sources.add(quasi.source_txn)
+        self.qt_archive[quasi.fragment][quasi.stream_seq] = quasi
+        self._ready[quasi.fragment].append(quasi)
+        self._pump(quasi.fragment)
+
+    def _pump(self, fragment: str) -> None:
+        if self._installing[fragment] or not self._ready[fragment]:
+            return
+        quasi = self._ready[fragment].popleft()
+        self._installing[fragment] = True
+        if self.atomic_installs:
+            self._install_atomic(quasi)
+        else:
+            self._install_split(quasi)
+
+    def _install_atomic(self, quasi: QuasiTransaction, attempt: int = 0) -> None:
+        def on_done(
+            handle: TxnHandle, outcome: TxnOutcome, error: Exception | None
+        ) -> None:
+            if outcome is TxnOutcome.ABORTED:
+                # A quasi-transaction must never be lost (it is another
+                # replica's committed update); if it was sacrificed to a
+                # local deadlock anyway, retry after a short backoff.
+                self.system.sim.schedule(
+                    1.0,
+                    lambda: self._install_atomic(quasi, attempt + 1),
+                    label=f"retry install {quasi.source_txn}@{self.name}",
+                )
+                return
+            self._finish_install(quasi)
+
+        self.scheduler.submit_quasi(
+            f"q:{quasi.source_txn}@{self.name}#a{attempt}"
+            if attempt
+            else f"q:{quasi.source_txn}@{self.name}",
+            quasi.writes,
+            on_done=on_done,
+            meta={"qt": quasi},
+        )
+
+    def _install_split(self, quasi: QuasiTransaction) -> None:
+        """ABLATION: install each write as a separate mini-transaction.
+
+        Deliberately breaks the atomicity of quasi-transaction
+        installation so the Property 2 checker has something to catch.
+        Never used by the faithful protocols.
+        """
+        writes = list(quasi.writes)
+
+        def install_next(index: int) -> None:
+            if index >= len(writes):
+                self._finish_install(quasi)
+                return
+            obj, version = writes[index]
+
+            def on_done(
+                handle: TxnHandle, outcome: TxnOutcome, error: Exception | None
+            ) -> None:
+                delay = max(self.system.action_delay, 0.5)
+                self.system.sim.schedule(
+                    delay, lambda: install_next(index + 1), label="split-install"
+                )
+
+            self.scheduler.submit_quasi(
+                f"q:{quasi.source_txn}#{index}@{self.name}",
+                [(obj, version)],
+                on_done=on_done,
+            )
+
+        install_next(0)
+
+    def _finish_install(self, quasi: QuasiTransaction) -> None:
+        now = self.system.sim.now
+        self.quasi_installed += 1
+        self.wal.append_install(quasi)
+        self.system.recorder.record_install(
+            InstallRecord(
+                self.name, quasi.source_txn, quasi.fragment, quasi.stream_seq, now
+            )
+        )
+        self._installing[quasi.fragment] = False
+        self.system.fire_install_hooks(self, quasi)
+        self.system.movement.after_install(self, quasi)
+        self._pump(quasi.fragment)
+
+    # -- crash-stop failure and recovery ----------------------------------------
+
+    def load_initial(self, values: dict[str, Any]) -> None:
+        """Install initial values, recording them durably in the WAL."""
+        self.store.load(values)
+        for obj, value in values.items():
+            self.wal.append_load(obj, value)
+
+    def crash(self) -> None:
+        """Crash-stop: every piece of volatile state is lost.
+
+        In-flight local transactions abort (their clients see it), the
+        store, lock tables, install buffers, and archives vanish.  Only
+        the WAL survives.  The caller (``FragmentedDatabase.fail_node``)
+        also takes the node's links down so the middleware holds traffic.
+        """
+        self.down = True
+        self.crashes += 1
+        now = self.system.sim.now
+        for handle in list(self.scheduler.active.values()):
+            tracker = handle.meta.get("tracker")
+            if tracker is not None:
+                tracker.finish(
+                    RequestStatus.ABORTED, now, reason="node crashed"
+                )
+        self.store = ObjectStore(self.name)
+        self.scheduler = LocalScheduler(
+            self.name,
+            self.store,
+            sim=self.system.sim,
+            action_delay=self.system.action_delay,
+            apply_writes=self._apply_commit,
+        )
+        self.next_expected.clear()
+        self.epoch.clear()
+        self.qt_buffer.clear()
+        self._installing.clear()
+        self._ready.clear()
+        self.installed_sources.clear()
+        self.qt_archive.clear()
+
+    def recover(self) -> None:
+        """Replay the WAL, then anti-entropy with the live peers.
+
+        WAL replay rebuilds the store and the per-fragment install
+        bookkeeping to the last stable point.  Quasi-transactions that
+        the broadcast middleware had already handed over but that never
+        reached the WAL are gone from this replica — the recovery
+        request asks every peer for its archive and the ordered
+        admission path re-installs whatever is missing.
+        """
+        self.down = False
+        for record in self.wal.records():
+            if record.kind == "load":
+                self.store.install(
+                    record.obj, Version(record.value, INITIAL_WRITER, 0, 0.0)
+                )
+                continue
+            quasi = record.quasi
+            for obj, version in quasi.writes:
+                self.store.install(obj, version)
+            self.installed_sources.add(quasi.source_txn)
+            self.qt_archive[quasi.fragment][quasi.stream_seq] = quasi
+            self.next_expected[quasi.fragment] = max(
+                self.next_expected[quasi.fragment], quasi.stream_seq + 1
+            )
+            self.epoch[quasi.fragment] = max(
+                self.epoch[quasi.fragment], quasi.epoch
+            )
+        for peer in self.system.nodes:
+            if peer != self.name:
+                self.system.network.send(
+                    self.name, peer, "recovery-req",
+                    {"requester": self.name},
+                )
+
+    def _on_recovery_req(self, message: Message) -> None:
+        requester = message.payload["requester"]
+        archives = {
+            fragment: dict(entries)
+            for fragment, entries in self.qt_archive.items()
+        }
+        self.system.network.send(
+            self.name, requester, "recovery-rep", {"archives": archives}
+        )
+
+    def _on_recovery_rep(self, message: Message) -> None:
+        for fragment, entries in message.payload["archives"].items():
+            for seq in sorted(entries):
+                self.system.movement.admit(self, entries[seq])
+
+    def __repr__(self) -> str:
+        return f"DatabaseNode({self.name!r})"

@@ -1,0 +1,120 @@
+"""Consistency predicates: single- vs multi-fragment (Section 4.3).
+
+"A predicate P(v(x1), ..., v(xr)) ... is a single-fragment predicate if
+all xi lie in one fragment; it is a multi-fragment predicate otherwise.
+...  it is an immediate consequence of [fragmentwise serializability]
+that single-fragment predicates are never violated.  Thus the only kind
+of data inconsistency one can encounter is that characterized by
+violation of multi-fragment predicates."
+
+The experiments register the application's invariants here and count
+violations per class at every evaluation point — E1's "correctness"
+column is exactly these counts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.fragment import FragmentCatalog
+from repro.storage.store import ObjectStore
+
+ObjectsFn = Callable[[ObjectStore], list[str]]
+
+
+@dataclass
+class ConsistencyPredicate:
+    """One invariant over the values of a set of data objects.
+
+    ``objects`` may be a static list or a callable computing the object
+    list from a store (for fragments whose population grows).  ``check``
+    receives ``{object: value}`` and returns True when the invariant
+    holds.
+    """
+
+    name: str
+    objects: list[str] | ObjectsFn
+    check: Callable[[dict[str, Any]], bool]
+
+    def resolve_objects(self, store: ObjectStore) -> list[str]:
+        """The concrete object list at evaluation time."""
+        if callable(self.objects):
+            return self.objects(store)
+        return list(self.objects)
+
+    def classify(self, catalog: FragmentCatalog, store: ObjectStore) -> str:
+        """``'single'`` or ``'multi'`` fragment span."""
+        fragments = {
+            catalog.fragment_of(obj) for obj in self.resolve_objects(store)
+        }
+        return "single" if len(fragments) <= 1 else "multi"
+
+    def holds(self, store: ObjectStore) -> bool:
+        """Evaluate against one replica's current values."""
+        values = {
+            obj: store.read(obj)
+            for obj in self.resolve_objects(store)
+            if store.exists(obj)
+        }
+        return self.check(values)
+
+
+@dataclass
+class PredicateViolations:
+    """Violation counts split by predicate class."""
+
+    single: int = 0
+    multi: int = 0
+    details: list[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        """All violations regardless of class."""
+        return self.single + self.multi
+
+
+class PredicateSuite:
+    """A set of invariants evaluated together against a replica."""
+
+    def __init__(self, catalog: FragmentCatalog) -> None:
+        self.catalog = catalog
+        self._predicates: list[ConsistencyPredicate] = []
+
+    def add(self, predicate: ConsistencyPredicate) -> ConsistencyPredicate:
+        """Register one predicate."""
+        self._predicates.append(predicate)
+        return predicate
+
+    def evaluate(self, store: ObjectStore) -> PredicateViolations:
+        """Count violations (by class) against one replica."""
+        result = PredicateViolations()
+        for predicate in self._predicates:
+            if predicate.holds(store):
+                continue
+            kind = predicate.classify(self.catalog, store)
+            if kind == "single":
+                result.single += 1
+            else:
+                result.multi += 1
+            result.details.append(
+                f"{predicate.name} ({kind}-fragment) violated at "
+                f"{store.node or 'store'}"
+            )
+        return result
+
+    def evaluate_all(
+        self, stores: Iterable[ObjectStore]
+    ) -> PredicateViolations:
+        """Aggregate violations across several replicas."""
+        total = PredicateViolations()
+        for store in stores:
+            partial = self.evaluate(store)
+            total.single += partial.single
+            total.multi += partial.multi
+            total.details.extend(partial.details)
+        return total
+
+    def __len__(self) -> int:
+        return len(self._predicates)

@@ -1,0 +1,191 @@
+"""Checkable correctness properties.
+
+Every experiment ends by running these checkers against the recorded
+history and the final replica states, turning the paper's claims into
+assertions:
+
+* **global serializability** — acyclic g.s.g. (Definition 8.2);
+* **Property 1** — for every fragment, the schedule restricted to
+  ``U(F_i)`` is serializable: the fragment's update stream is a single
+  uninterrupted sequence and every replica installs a subsequence of it
+  in order;
+* **Property 2** — no transaction ever observes a partial effect of an
+  update transaction (atomic quasi-transaction installation);
+* **fragmentwise serializability** — Properties 1 and 2 together;
+* **mutual consistency** — after quiescence, all replicas identical.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.cc.history import HistoryRecorder
+from repro.core.gsg import is_globally_serializable
+from repro.core.node import DatabaseNode
+
+
+@dataclass
+class MutualConsistencyReport:
+    """Pairwise replica comparison result."""
+
+    consistent: bool
+    diffs: dict[tuple[str, str], list[str]] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        if self.consistent:
+            return "mutually consistent"
+        parts = [
+            f"{a} vs {b}: {objs}" for (a, b), objs in self.diffs.items()
+        ]
+        return "DIVERGED: " + "; ".join(parts)
+
+
+@dataclass
+class PropertyReport:
+    """Outcome of one property check with human-readable evidence."""
+
+    ok: bool
+    violations: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "holds"
+        return "VIOLATED: " + "; ".join(self.violations[:5]) + (
+            f" (+{len(self.violations) - 5} more)"
+            if len(self.violations) > 5
+            else ""
+        )
+
+
+@dataclass
+class FragmentwiseReport:
+    """Property 1 + Property 2 = fragmentwise serializability."""
+
+    property1: PropertyReport
+    property2: PropertyReport
+
+    @property
+    def ok(self) -> bool:
+        """True iff both constituent properties hold."""
+        return self.property1.ok and self.property2.ok
+
+
+def check_mutual_consistency(
+    nodes: Iterable[DatabaseNode],
+    common_only: bool = False,
+) -> MutualConsistencyReport:
+    """Compare every replica against the first one, value by value.
+
+    With ``common_only`` (partial replication) only objects present at
+    *both* stores of a pair are compared; a replica lacking a fragment
+    it does not replicate is not divergent.
+    """
+    nodes = list(nodes)
+    if len(nodes) < 2:
+        return MutualConsistencyReport(consistent=True)
+    reference = nodes[0]
+    diffs: dict[tuple[str, str], list[str]] = {}
+    for other in nodes[1:]:
+        if common_only:
+            mismatched = reference.store.diff_common(other.store)
+        else:
+            mismatched = reference.store.diff(other.store)
+        if mismatched:
+            diffs[(reference.name, other.name)] = mismatched
+    return MutualConsistencyReport(consistent=not diffs, diffs=diffs)
+
+
+def check_global_serializability(recorder: HistoryRecorder) -> PropertyReport:
+    """Acyclicity of the global serialization graph."""
+    ok, cycle = is_globally_serializable(recorder)
+    if ok:
+        return PropertyReport(ok=True)
+    return PropertyReport(
+        ok=False, violations=[f"g.s.g. cycle: {' -> '.join(cycle)}"]
+    )
+
+
+def check_property1(recorder: HistoryRecorder) -> PropertyReport:
+    """Each fragment's update schedule is a single serializable stream.
+
+    Two failure modes, both observable with the "none" move protocol:
+    duplicate stream positions (two diverged streams minted the same
+    sequence number) and replicas installing a fragment's updates out
+    of stream order.
+    """
+    violations: list[str] = []
+    # 1. Unique stream positions per fragment (per epoch).
+    seen: dict[tuple[str, int], str] = {}
+    fragments: set[str] = set()
+    for txn in recorder.committed:
+        if not txn.is_update or txn.fragment is None:
+            continue
+        fragments.add(txn.fragment)
+        key = (txn.fragment, txn.stream_seq)
+        if key in seen and seen[key] != txn.txn_id:
+            violations.append(
+                f"fragment {txn.fragment!r}: transactions {seen[key]!r} and "
+                f"{txn.txn_id!r} share stream position {txn.stream_seq}"
+            )
+        seen[key] = txn.txn_id
+
+    # 2. Per node, installs of one fragment happen in stream order.
+    per_node_fragment: dict[tuple[str, str], list[int]] = defaultdict(list)
+    for record in recorder.installs:
+        per_node_fragment[(record.node, record.fragment)].append(
+            record.stream_seq
+        )
+    for (node, fragment), seqs in per_node_fragment.items():
+        deduped = [s for i, s in enumerate(seqs) if s not in seqs[:i]]
+        if deduped != sorted(deduped):
+            violations.append(
+                f"node {node!r} installed fragment {fragment!r} updates out "
+                f"of stream order: {seqs}"
+            )
+    return PropertyReport(ok=not violations, violations=violations)
+
+
+def check_property2(recorder: HistoryRecorder) -> PropertyReport:
+    """No reader observes a partial effect of any update transaction.
+
+    For every update transaction S writing two or more objects that a
+    reader T also read: T must be entirely before S (all read versions
+    older than S's) or entirely after (all at-or-newer).  A mixed
+    observation is a torn read — exactly what atomic quasi-transaction
+    installation forbids.
+    """
+    writes_by_txn: dict[str, dict[str, int]] = defaultdict(dict)
+    for txn in recorder.committed:
+        for write in txn.writes:
+            writes_by_txn[txn.txn_id][write.obj] = write.version_no
+
+    violations: list[str] = []
+    for reader in recorder.committed:
+        read_versions = {read.obj: read.version_no for read in reader.reads}
+        for source, source_writes in writes_by_txn.items():
+            if source == reader.txn_id:
+                continue
+            shared = [obj for obj in source_writes if obj in read_versions]
+            if len(shared) < 2:
+                continue
+            states = {
+                read_versions[obj] >= source_writes[obj] for obj in shared
+            }
+            if len(states) > 1:
+                violations.append(
+                    f"{reader.txn_id!r} saw a partial effect of {source!r} "
+                    f"on objects {shared}"
+                )
+    return PropertyReport(ok=not violations, violations=violations)
+
+
+def check_fragmentwise_serializability(
+    recorder: HistoryRecorder,
+) -> FragmentwiseReport:
+    """Properties 1 and 2 combined."""
+    return FragmentwiseReport(
+        property1=check_property1(recorder),
+        property2=check_property2(recorder),
+    )

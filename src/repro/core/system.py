@@ -1,0 +1,504 @@
+"""The complete simulated system: nodes, network, agents, policies.
+
+:class:`FragmentedDatabase` is the main entry point of the library::
+
+    from repro import FragmentedDatabase, TransactionSpec
+
+    db = FragmentedDatabase(["A", "B"])
+    db.add_agent("central", home_node="A")
+    db.add_fragment("BALANCES", agent="central", objects=["bal:1"])
+    db.load({"bal:1": 300})
+    db.finalize()
+    tracker = db.submit_update("central", body, writes=["bal:1"])
+    db.quiesce()
+    assert tracker.succeeded
+
+It wires one discrete-event simulator, a topology/network with a
+partition manager, the reliable FIFO broadcast, one
+:class:`~repro.core.node.DatabaseNode` per site, the fragment catalog
+and read-access graph, a control strategy (Sections 4.1-4.3), and a
+movement protocol (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cc.history import HistoryRecorder
+from repro.core.agent import Agent
+from repro.core.control.base import ControlStrategy
+from repro.core.control.unrestricted import UnrestrictedReadsStrategy
+from repro.core.fragment import Fragment, FragmentCatalog
+from repro.core.movement.base import FixedAgentsProtocol, MovementProtocol
+from repro.core.node import DatabaseNode
+from repro.core.predicates import PredicateSuite
+from repro.core.properties import (
+    FragmentwiseReport,
+    MutualConsistencyReport,
+    PropertyReport,
+    check_fragmentwise_serializability,
+    check_global_serializability,
+    check_mutual_consistency,
+)
+from repro.core.rag import ReadAccessGraph
+from repro.core.token import Token
+from repro.core.transaction import (
+    QuasiTransaction,
+    RequestStatus,
+    RequestTracker,
+    TransactionSpec,
+)
+from repro.errors import DesignError, InitiationError, TokenError
+from repro.net.network import Network
+from repro.net.partition import PartitionManager
+from repro.net.topology import Topology
+from repro.net.broadcast import ReliableBroadcast
+from repro.sim.rng import SeededRng
+from repro.sim.simulator import Simulator
+from repro.storage.store import ObjectStore
+
+InstallHook = Callable[[DatabaseNode, QuasiTransaction], None]
+CorrectiveHook = Callable[[DatabaseNode, QuasiTransaction, list], None]
+
+
+@dataclass
+class AvailabilityStats:
+    """Aggregate request outcomes — the E1/E9 availability numbers."""
+
+    submitted: int
+    committed: int
+    rejected: int
+    aborted: int
+    timed_out: int
+    pending: int
+    mean_latency: float | None
+
+    @property
+    def availability(self) -> float:
+        """Committed / submitted (1.0 for an idle system)."""
+        if self.submitted == 0:
+            return 1.0
+        return self.committed / self.submitted
+
+
+class FragmentedDatabase:
+    """A fully replicated fragments-and-agents distributed database."""
+
+    def __init__(
+        self,
+        node_names: Sequence[str],
+        topology: Topology | None = None,
+        strategy: ControlStrategy | None = None,
+        movement: MovementProtocol | None = None,
+        seed: int = 0,
+        default_latency: float = 1.0,
+        action_delay: float = 0.0,
+        fifo_broadcast: bool = True,
+    ) -> None:
+        if len(node_names) < 1:
+            raise DesignError("at least one node required")
+        self.sim = Simulator()
+        self.topology = topology or Topology.full_mesh(
+            node_names, default_latency
+        )
+        self.network = Network(self.sim, self.topology)
+        self.broadcast = ReliableBroadcast(self.network, fifo=fifo_broadcast)
+        self.partitions = PartitionManager(self.network)
+        self.recorder = HistoryRecorder()
+        self.catalog = FragmentCatalog()
+        self.rag = ReadAccessGraph(self.catalog)
+        self.predicates = PredicateSuite(self.catalog)
+        self.rng = SeededRng(seed)
+        self.action_delay = action_delay
+        self.agents: dict[str, Agent] = {}
+        self._fragment_agent: dict[str, str] = {}
+        self.nodes: dict[str, DatabaseNode] = {}
+        for name in node_names:
+            node = DatabaseNode(name, self)
+            self.nodes[name] = node
+            self.network.register(name, node.handle_network)
+            self.broadcast.attach(name, node.on_broadcast, register=False)
+        self.strategy = strategy or UnrestrictedReadsStrategy()
+        self.movement = movement or FixedAgentsProtocol()
+        self.strategy.attach(self)
+        self.movement.attach(self)
+        self.trackers: list[RequestTracker] = []
+        # Partial replication (paper's conclusion: "databases that are
+        # not fully replicated"): fragment -> replicating nodes.  Absent
+        # entries mean full replication of that fragment.
+        self.replication: dict[str, set[str]] = {}
+        self._downed_links: dict[str, list[tuple[str, str, bool]]] = {}
+        self._install_hooks: list[tuple[str, InstallHook]] = []
+        self.corrective_hooks: list[CorrectiveHook] = []
+        self._txn_counter = 0
+        self._finalized = False
+
+    # -- schema definition -----------------------------------------------------
+
+    def add_agent(self, name: str, home_node: str, kind: str = "user") -> Agent:
+        """Register an agent at its initial home node."""
+        if name in self.agents:
+            raise DesignError(f"duplicate agent {name!r}")
+        if home_node not in self.nodes:
+            raise DesignError(f"unknown node {home_node!r}")
+        agent = Agent(name, home_node, kind)
+        self.agents[name] = agent
+        return agent
+
+    def add_fragment(
+        self,
+        name: str,
+        agent: str,
+        objects: Iterable[str] = (),
+        prefixes: Iterable[str] = (),
+    ) -> Fragment:
+        """Define a fragment and hand its token to ``agent``."""
+        if agent not in self.agents:
+            raise DesignError(f"unknown agent {agent!r}")
+        fragment = self.catalog.add(Fragment(name, objects, prefixes))
+        self.rag.register_fragment(name)
+        owner = self.agents[agent]
+        token = Token(name, owner.home_node)
+        owner.grant(token)
+        self._fragment_agent[name] = agent
+        return fragment
+
+    def set_replication(self, fragment: str, nodes: Iterable[str]) -> None:
+        """Restrict a fragment's replicas to the given nodes.
+
+        The agent's home node must be included (the agent reads and
+        writes its fragment locally).  Call before :meth:`load`.
+        Non-replicating nodes skip the fragment's quasi-transactions
+        and never hold its objects; transactions reading the fragment
+        must run at a replicating node.
+        """
+        if fragment not in self.catalog:
+            raise DesignError(f"unknown fragment {fragment!r}")
+        node_set = set(nodes)
+        unknown = node_set - set(self.nodes)
+        if unknown:
+            raise DesignError(f"unknown nodes {sorted(unknown)}")
+        home = self.agent_of(fragment).home_node
+        if home not in node_set:
+            raise DesignError(
+                f"replica set for {fragment!r} must include the agent's "
+                f"home node {home!r}"
+            )
+        self.replication[fragment] = node_set
+
+    def replicates(self, node: str, fragment: str) -> bool:
+        """True if ``node`` holds a replica of ``fragment``."""
+        restricted = self.replication.get(fragment)
+        return restricted is None or node in restricted
+
+    def declare_reads(
+        self,
+        fragment: str,
+        objects: Iterable[str] = (),
+        fragments: Iterable[str] = (),
+    ) -> None:
+        """Declare the read pattern of A(fragment)'s transactions.
+
+        Feeds the read-access graph: ``objects`` are resolved through
+        the catalog; ``fragments`` add edges directly.
+        """
+        self.rag.declare_transaction(fragment, objects)
+        for other in fragments:
+            self.rag.add_read_edge(fragment, other)
+
+    def load(self, initial: Mapping[str, Any]) -> None:
+        """Install initial values at each object's replicating nodes."""
+        by_fragment: dict[str, dict[str, Any]] = {}
+        for obj, value in initial.items():
+            fragment = self.catalog.fragment_of(obj)  # raises if unassigned
+            by_fragment.setdefault(fragment, {})[obj] = value
+        for fragment, values in by_fragment.items():
+            for name, node in self.nodes.items():
+                if self.replicates(name, fragment):
+                    node.load_initial(values)
+
+    def finalize(self) -> None:
+        """Run design-time validation (idempotent)."""
+        if self._finalized:
+            return
+        self.strategy.validate_design(self)
+        self._finalized = True
+
+    # -- lookups ----------------------------------------------------------------
+
+    def agent_of(self, fragment: str) -> Agent:
+        """The agent currently holding the fragment's token."""
+        try:
+            return self.agents[self._fragment_agent[fragment]]
+        except KeyError:
+            raise DesignError(f"fragment {fragment!r} has no agent") from None
+
+    def fragment_objects(self, fragment: str, store: ObjectStore) -> list[str]:
+        """Objects of ``fragment`` present in ``store``."""
+        spec = self.catalog.get(fragment)
+        return [obj for obj in store.names if spec.contains(obj)]
+
+    # -- transaction submission ------------------------------------------------
+
+    def next_txn_id(self, prefix: str = "T") -> str:
+        """A fresh unique transaction id."""
+        self._txn_counter += 1
+        return f"{prefix}{self._txn_counter}"
+
+    def submit(
+        self,
+        spec: TransactionSpec,
+        at: str | None = None,
+        on_done: Callable[[RequestTracker], None] | None = None,
+    ) -> RequestTracker:
+        """Submit a transaction; returns its tracker immediately.
+
+        Update transactions run at the initiating agent's current home
+        node (``at`` is ignored); read-only transactions run at ``at``
+        or the agent's home node.  The tracker reaches a terminal
+        status during subsequent simulation (``run``/``quiesce``).
+        """
+        self.finalize()
+        agent = self.agents.get(spec.agent)
+        if agent is None:
+            raise DesignError(f"unknown agent {spec.agent!r}")
+        if not spec.update:
+            node = self.nodes[at or agent.home_node]
+            tracker = RequestTracker(spec, self.sim.now, node.name, on_done=on_done)
+            self.trackers.append(tracker)
+            self.strategy.begin_readonly(self, node, spec, tracker)
+            return tracker
+
+        fragment = self._update_fragment(spec, agent)
+        node = self.nodes[agent.home_node]
+        tracker = RequestTracker(spec, self.sim.now, node.name, on_done=on_done)
+        self.trackers.append(tracker)
+        token = agent.token_for(fragment)
+        if token.in_transit:
+            self.recorder.record_rejection(spec.txn_id, "token in transit")
+            tracker.finish(
+                RequestStatus.REJECTED,
+                self.sim.now,
+                reason=f"token for {fragment!r} is in transit",
+            )
+            return tracker
+        if not self.movement.before_update(self, node, spec, tracker, fragment):
+            return tracker
+        self.strategy.begin_update(self, node, spec, tracker, fragment)
+        return tracker
+
+    def submit_update(
+        self,
+        agent: str,
+        body: Callable,
+        reads: Sequence[str] = (),
+        writes: Sequence[str] = (),
+        txn_id: str | None = None,
+        ctx: Any = None,
+        meta: dict[str, Any] | None = None,
+        on_done: Callable[[RequestTracker], None] | None = None,
+    ) -> RequestTracker:
+        """Convenience wrapper building the spec inline."""
+        spec = TransactionSpec(
+            txn_id=txn_id or self.next_txn_id(),
+            agent=agent,
+            body=body,
+            ctx=ctx,
+            update=True,
+            reads=reads,
+            writes=writes,
+            meta=meta or {},
+        )
+        return self.submit(spec, on_done=on_done)
+
+    def submit_readonly(
+        self,
+        agent: str,
+        body: Callable,
+        at: str | None = None,
+        reads: Sequence[str] = (),
+        txn_id: str | None = None,
+        ctx: Any = None,
+        on_done: Callable[[RequestTracker], None] | None = None,
+    ) -> RequestTracker:
+        """Convenience wrapper for read-only transactions."""
+        spec = TransactionSpec(
+            txn_id=txn_id or self.next_txn_id("R"),
+            agent=agent,
+            body=body,
+            ctx=ctx,
+            update=False,
+            reads=reads,
+        )
+        return self.submit(spec, at=at, on_done=on_done)
+
+    def _update_fragment(self, spec: TransactionSpec, agent: Agent) -> str:
+        """Resolve which fragment an update transaction targets."""
+        if spec.writes:
+            fragments = {self.catalog.fragment_of(obj) for obj in spec.writes}
+            if len(fragments) != 1:
+                raise InitiationError(
+                    f"transaction {spec.txn_id!r} declares writes in "
+                    f"{sorted(fragments)}; single-fragment updates only "
+                    f"(multi-fragment transactions are out of scope, see "
+                    f"the paper's Section 3.2 footnote)"
+                )
+            fragment = fragments.pop()
+        elif len(agent.fragments) == 1:
+            fragment = agent.fragments[0]
+        else:
+            raise InitiationError(
+                f"transaction {spec.txn_id!r}: agent {agent.name!r} controls "
+                f"{len(agent.fragments)} fragments; declare the write set"
+            )
+        if not agent.controls(fragment):
+            raise InitiationError(
+                f"agent {agent.name!r} does not control fragment "
+                f"{fragment!r} (initiation requirement)"
+            )
+        return fragment
+
+    # -- node failure and recovery ----------------------------------------------
+
+    def fail_node(self, name: str) -> None:
+        """Crash-stop one node: volatile state lost, links down.
+
+        In-flight traffic to the node is held by the network; the WAL
+        survives for :meth:`recover_node`.
+        """
+        if name not in self.nodes:
+            raise DesignError(f"unknown node {name!r}")
+        node = self.nodes[name]
+        if node.down:
+            return
+        saved: list[tuple[str, str, bool]] = []
+        for link in self.topology.links:
+            if name in link.endpoints():
+                saved.append((link.a, link.b, link.up))
+                link.up = False
+        self._downed_links[name] = saved
+        node.crash()
+        self.network.topology_changed()
+
+    def recover_node(self, name: str) -> None:
+        """Bring a crashed node back: WAL replay + anti-entropy."""
+        if name not in self.nodes:
+            raise DesignError(f"unknown node {name!r}")
+        node = self.nodes[name]
+        if not node.down:
+            return
+        for a, b, was_up in self._downed_links.pop(name, []):
+            self.topology.link(a, b).up = was_up
+        node.recover()
+        self.network.topology_changed()
+
+    # -- agent movement -----------------------------------------------------------
+
+    def move_agent(
+        self,
+        agent_name: str,
+        to_node: str,
+        transport_delay: float = 0.0,
+        on_done: Callable[[], None] | None = None,
+    ) -> None:
+        """Move an agent (with all its tokens) using the active protocol."""
+        if agent_name not in self.agents:
+            raise DesignError(f"unknown agent {agent_name!r}")
+        if to_node not in self.nodes:
+            raise DesignError(f"unknown node {to_node!r}")
+        for fragment in self.agents[agent_name].fragments:
+            if not self.replicates(to_node, fragment):
+                raise DesignError(
+                    f"agent {agent_name!r} cannot move to {to_node!r}: it "
+                    f"does not replicate fragment {fragment!r}"
+                )
+        self.movement.request_move(
+            self, agent_name, to_node, transport_delay, on_done
+        )
+
+    # -- hooks ---------------------------------------------------------------------
+
+    def on_install(self, fragment: str, hook: InstallHook) -> None:
+        """Register a callback fired at each node after each install.
+
+        The hook fires for the named fragment's quasi-transactions at
+        *every* replica, including the origin — workload logic (e.g.
+        the banking central office reacting to ACTIVITY updates)
+        filters by node itself.
+        """
+        if fragment not in self.catalog:
+            raise DesignError(f"unknown fragment {fragment!r}")
+        self._install_hooks.append((fragment, hook))
+
+    def on_corrective(self, hook: CorrectiveHook) -> None:
+        """Register a Section 4.4.3 corrective-action hook."""
+        self.corrective_hooks.append(hook)
+
+    def fire_install_hooks(self, node: DatabaseNode, quasi: QuasiTransaction) -> None:
+        """Invoke install hooks for one installed quasi-transaction."""
+        for fragment, hook in self._install_hooks:
+            if fragment == quasi.fragment:
+                hook(node, quasi)
+
+    # -- running --------------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> None:
+        """Advance the simulation."""
+        self.sim.run(until=until)
+
+    def quiesce(self) -> None:
+        """Run the simulation until every queued event has fired."""
+        self.sim.run()
+
+    # -- correctness and metrics -------------------------------------------------------
+
+    def mutual_consistency(self) -> MutualConsistencyReport:
+        """Compare all replicas (meaningful after quiescence).
+
+        Under partial replication only objects present at both replicas
+        of a pair are compared — a node that does not replicate a
+        fragment is not "inconsistent", it simply has no copy.
+        """
+        return check_mutual_consistency(
+            self.nodes.values(), common_only=bool(self.replication)
+        )
+
+    def global_serializability(self) -> PropertyReport:
+        """Acyclicity of the global serialization graph."""
+        return check_global_serializability(self.recorder)
+
+    def fragmentwise_serializability(self) -> FragmentwiseReport:
+        """Properties 1 and 2 of Section 4.3."""
+        return check_fragmentwise_serializability(self.recorder)
+
+    def availability_stats(self) -> AvailabilityStats:
+        """Request-outcome aggregate over all submitted transactions."""
+        counts = {status: 0 for status in RequestStatus}
+        latencies: list[float] = []
+        for tracker in self.trackers:
+            counts[tracker.status] += 1
+            if tracker.succeeded and tracker.latency is not None:
+                latencies.append(tracker.latency)
+        return AvailabilityStats(
+            submitted=len(self.trackers),
+            committed=counts[RequestStatus.COMMITTED],
+            rejected=counts[RequestStatus.REJECTED],
+            aborted=counts[RequestStatus.ABORTED],
+            timed_out=counts[RequestStatus.TIMED_OUT],
+            pending=counts[RequestStatus.PENDING],
+            mean_latency=(sum(latencies) / len(latencies)) if latencies else None,
+        )
+
+    @property
+    def agent_fragments(self) -> dict[str, str]:
+        """Agent name -> fragment, for agents controlling exactly one.
+
+        The typing map consumed by the l.s.g. builder.
+        """
+        return {
+            agent.name: agent.fragments[0]
+            for agent in self.agents.values()
+            if len(agent.fragments) == 1
+        }

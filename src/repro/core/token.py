@@ -1,0 +1,57 @@
+"""Tokens: exclusive update capabilities, one per fragment.
+
+Section 3.1: "For every fragment, there is exactly one token, and it
+can be owned by a user as well as by a computer node...  our tokens
+have existence outside of the computer system and can be passed by
+means other than electronic messages."
+
+A token therefore moves by *simulation events*, not network messages —
+it can cross a partition (the bank card in a customer's wallet, the
+airplane carrying the seat-assignment fragment).  Its ``payload`` dict
+models the "magnetic strip": the move-with-data protocol stores a
+fragment snapshot there, move-with-sequence-number stores the last
+sequence number.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import TokenError
+
+
+class Token:
+    """The unique update capability for one fragment."""
+
+    def __init__(self, fragment: str, home_node: str) -> None:
+        self.fragment = fragment
+        self.home_node = home_node
+        self.in_transit = False
+        self.payload: dict[str, Any] = {}
+        self.moves_completed = 0
+
+    def begin_move(self, to_node: str) -> None:
+        """Mark the token as travelling; updates are impossible meanwhile."""
+        if self.in_transit:
+            raise TokenError(
+                f"token for {self.fragment!r} is already in transit"
+            )
+        self.in_transit = True
+        self._destination = to_node
+
+    def complete_move(self) -> str:
+        """Arrive at the destination; returns the new home node."""
+        if not self.in_transit:
+            raise TokenError(f"token for {self.fragment!r} is not in transit")
+        self.home_node = self._destination
+        self.in_transit = False
+        self.moves_completed += 1
+        return self.home_node
+
+    def usable_at(self, node: str) -> bool:
+        """True if updates to the fragment may be initiated at ``node``."""
+        return not self.in_transit and self.home_node == node
+
+    def __repr__(self) -> str:
+        state = "in-transit" if self.in_transit else f"at {self.home_node}"
+        return f"Token({self.fragment!r}, {state})"

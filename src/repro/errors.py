@@ -1,0 +1,85 @@
+"""Exception hierarchy for the fragments-and-agents reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly.
+
+    Examples: scheduling an event in the past, or running a simulator
+    that has already been stopped.
+    """
+
+
+class NetworkError(ReproError):
+    """A network-layer invariant was violated.
+
+    Examples: sending from/to an unknown node, or configuring a link
+    between nodes that are not part of the topology.
+    """
+
+
+class DesignError(ReproError):
+    """The database design violates a framework precondition.
+
+    Examples: overlapping fragments, a transaction whose declared read
+    set makes the read-access graph elementarily cyclic under the
+    :mod:`repro.core.control.acyclic` strategy, or an unknown fragment.
+    """
+
+
+class InitiationError(ReproError):
+    """The initiation requirement of Section 3.2 was violated.
+
+    An update transaction may only be initiated by the agent of the
+    fragment that contains *all* of the objects it writes, and only at
+    that agent's current home node.
+    """
+
+
+class TokenError(ReproError):
+    """Token ownership rules were violated.
+
+    Examples: two owners for one token, moving a token that is mid-move,
+    or updating a fragment without holding its token.
+    """
+
+
+class TransactionAborted(ReproError):
+    """A transaction was aborted by the local scheduler.
+
+    Carries the reason (deadlock victim, explicit abort from the
+    transaction body, or unavailability of a required remote lock).
+    """
+
+    def __init__(self, txn_id: str, reason: str) -> None:
+        super().__init__(f"transaction {txn_id} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class Unavailable(ReproError):
+    """A request could not be serviced under the active control strategy.
+
+    This is the measurable "loss of availability" event of the paper:
+    e.g. a remote read lock cannot be acquired because the lock holder's
+    partition is unreachable, or a mutual-exclusion baseline rejects an
+    update outside the token partition.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class ConsistencyViolation(ReproError):
+    """An integrity check failed (used by checkers, never silently)."""

@@ -1,0 +1,264 @@
+"""Small directed-graph utilities used across the library.
+
+The paper's formal machinery is graph-theoretic: the read-access graph
+(Section 4.2), the global serialization graph (Definition 8.2), and the
+local serialization graphs (Definition 8.3).  This module provides a
+minimal, dependency-free digraph with exactly the operations those
+definitions need:
+
+* cycle detection (serializability = acyclic serialization graph),
+* topological ordering (to exhibit an equivalent serial schedule),
+* *elementary acyclicity* (Section 4.2: the undirected shadow of the
+  graph is a forest).
+
+``networkx`` is deliberately not used here so that the core library has
+no third-party dependencies; the test-suite cross-checks these routines
+against ``networkx``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import TypeVar
+
+N = TypeVar("N", bound=Hashable)
+
+
+class Digraph:
+    """A simple directed graph over hashable node labels.
+
+    Parallel edges are collapsed; self-loops are allowed and count as
+    cycles.  Node/edge insertion order is preserved, which keeps every
+    derived artifact (topological orders, reported cycles) deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._succ: dict[Hashable, dict[Hashable, None]] = {}
+        self._pred: dict[Hashable, dict[Hashable, None]] = {}
+
+    # -- construction -------------------------------------------------
+
+    def add_node(self, node: Hashable) -> None:
+        """Add ``node`` if not already present."""
+        if node not in self._succ:
+            self._succ[node] = {}
+            self._pred[node] = {}
+
+    def add_edge(self, src: Hashable, dst: Hashable) -> None:
+        """Add the edge ``src -> dst``, creating missing endpoints."""
+        self.add_node(src)
+        self.add_node(dst)
+        self._succ[src][dst] = None
+        self._pred[dst][src] = None
+
+    # -- queries ------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[Hashable]:
+        """Nodes in insertion order."""
+        return list(self._succ)
+
+    @property
+    def edges(self) -> list[tuple[Hashable, Hashable]]:
+        """Edges in insertion order of their source nodes."""
+        return [(u, v) for u in self._succ for v in self._succ[u]]
+
+    def successors(self, node: Hashable) -> list[Hashable]:
+        """Direct successors of ``node``."""
+        return list(self._succ[node])
+
+    def predecessors(self, node: Hashable) -> list[Hashable]:
+        """Direct predecessors of ``node``."""
+        return list(self._pred[node])
+
+    def has_edge(self, src: Hashable, dst: Hashable) -> bool:
+        """True if the edge ``src -> dst`` is present."""
+        return src in self._succ and dst in self._succ[src]
+
+    def has_node(self, node: Hashable) -> bool:
+        """True if ``node`` is present."""
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._succ
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._succ)
+
+    # -- algorithms ---------------------------------------------------
+
+    def find_cycle(self) -> list[Hashable] | None:
+        """Return one directed cycle as a node list, or None if acyclic.
+
+        The returned list ``[n0, n1, ..., nk]`` satisfies ``n0 == nk``
+        and every consecutive pair is an edge.  Iterative DFS with an
+        explicit stack (histories can contain tens of thousands of
+        transactions, so recursion depth must not depend on graph size).
+        """
+        white = dict.fromkeys(self._succ)  # unvisited, insertion order
+        grey: set[Hashable] = set()
+        black: set[Hashable] = set()
+        parent: dict[Hashable, Hashable] = {}
+
+        for root in list(white):
+            if root in black:
+                continue
+            stack: list[tuple[Hashable, Iterator[Hashable]]] = [
+                (root, iter(self._succ[root]))
+            ]
+            grey.add(root)
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if nxt in grey:
+                        if nxt == node:  # self-loop
+                            return [node, node]
+                        # Found a cycle: walk parents back from node to nxt.
+                        cycle = [node]
+                        cur = node
+                        while cur != nxt:
+                            cur = parent[cur]
+                            cycle.append(cur)
+                        cycle.reverse()
+                        cycle.append(cycle[0])
+                        return cycle
+                    if nxt not in black:
+                        parent[nxt] = node
+                        grey.add(nxt)
+                        stack.append((nxt, iter(self._succ[nxt])))
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    grey.discard(node)
+                    black.add(node)
+        return None
+
+    def is_acyclic(self) -> bool:
+        """True if the graph has no directed cycle."""
+        return self.find_cycle() is None
+
+    def topological_order(self) -> list[Hashable]:
+        """A topological order of the nodes.
+
+        Raises :class:`ValueError` if the graph is cyclic.  Kahn's
+        algorithm with a FIFO frontier so that the order is stable for
+        a given insertion order.
+        """
+        indegree = {node: len(self._pred[node]) for node in self._succ}
+        frontier = [node for node, deg in indegree.items() if deg == 0]
+        order: list[Hashable] = []
+        head = 0
+        while head < len(frontier):
+            node = frontier[head]
+            head += 1
+            order.append(node)
+            for nxt in self._succ[node]:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    frontier.append(nxt)
+        if len(order) != len(self._succ):
+            raise ValueError("graph is cyclic; no topological order exists")
+        return order
+
+    def is_elementarily_acyclic(self) -> bool:
+        """Section 4.2 test: is the *undirected* shadow graph acyclic?
+
+        Self-loops make the shadow graph cyclic, and so do antiparallel
+        edge pairs (``u -> v`` and ``v -> u``): two fragments whose
+        agents read from each other already admit the classic two-
+        transaction non-serializable interleaving (T1: r(b) w(a),
+        T2: r(a) w(b)), so the pair must count as a length-2 undirected
+        cycle for the Section 4.2 theorem to be sound.  Union-find over
+        the undirected edge multiset: a cycle exists iff some edge joins
+        two already-connected vertices.
+        """
+        parent: dict[Hashable, Hashable] = {}
+
+        def find(x: Hashable) -> Hashable:
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:  # path compression
+                parent[x], x = root, parent[x]
+            return root
+
+        for node in self._succ:
+            parent[node] = node
+
+        for u, v in self.edges:
+            if u == v:
+                return False
+            if self.has_edge(v, u):
+                # Antiparallel pair: two undirected edges between the
+                # same vertices — a length-2 cycle.
+                return False
+            ru, rv = find(u), find(v)
+            if ru == rv:
+                return False
+            parent[ru] = rv
+        return True
+
+    def undirected_cycle(self) -> list[Hashable] | None:
+        """Return one cycle of the undirected shadow graph, or None.
+
+        Used for diagnostics when :meth:`is_elementarily_acyclic` fails:
+        the cycle names the fragments whose read pattern must change.
+        """
+        adj: dict[Hashable, list[Hashable]] = {n: [] for n in self._succ}
+        seen_pairs: set[frozenset[Hashable]] = set()
+        for u, v in self.edges:
+            if u == v:
+                return [u, u]
+            if self.has_edge(v, u):
+                return [u, v]  # antiparallel pair: length-2 cycle
+            key = frozenset((u, v))
+            if key in seen_pairs:
+                continue
+            seen_pairs.add(key)
+            adj[u].append(v)
+            adj[v].append(u)
+
+        visited: set[Hashable] = set()
+        for root in adj:
+            if root in visited:
+                continue
+            # DFS forest; an edge to a visited non-parent closes a cycle.
+            stack: list[tuple[Hashable, Hashable | None]] = [(root, None)]
+            parent: dict[Hashable, Hashable | None] = {root: None}
+            while stack:
+                node, par = stack.pop()
+                if node in visited:
+                    continue
+                visited.add(node)
+                for nxt in adj[node]:
+                    if nxt == par:
+                        # Skip one traversal of the tree edge back to the
+                        # parent; a *second* parallel edge was already
+                        # collapsed, so this is safe.
+                        par = None  # only skip once
+                        continue
+                    if nxt in visited and nxt in parent:
+                        cycle = [nxt, node]
+                        cur = node
+                        while cur != nxt and parent[cur] is not None:
+                            cur = parent[cur]
+                            cycle.append(cur)
+                        cycle.reverse()
+                        return cycle
+                    if nxt not in visited:
+                        parent[nxt] = node
+                        stack.append((nxt, node))
+        return None
+
+
+def digraph_from_edges(edges: Iterable[tuple[Hashable, Hashable]]) -> Digraph:
+    """Build a :class:`Digraph` from an iterable of ``(src, dst)`` pairs."""
+    graph = Digraph()
+    for src, dst in edges:
+        graph.add_edge(src, dst)
+    return graph

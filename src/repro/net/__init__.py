@@ -1,0 +1,32 @@
+"""Network substrate: topology, partitions, delivery, reliable broadcast.
+
+The paper assumes a point-to-point network of arbitrary topology plus a
+reliable broadcast mechanism with two guarantees (Section 3.2):
+
+1. all messages are eventually delivered, and
+2. messages broadcast by one node are processed at all other nodes in
+   the order they were sent.
+
+:class:`~repro.net.network.Network` models links with latency and
+up/down state; messages between nodes that are currently disconnected
+are *held* and delivered after connectivity is restored (eventual
+delivery).  :class:`~repro.net.broadcast.ReliableBroadcast` layers
+per-sender sequence numbers and receiver-side reordering buffers on top
+(FIFO processing), so the paper's guarantee holds even across
+partitions and heals.
+"""
+
+from repro.net.broadcast import ReliableBroadcast
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.partition import PartitionManager, PartitionSpec
+from repro.net.topology import Topology
+
+__all__ = [
+    "Message",
+    "Network",
+    "PartitionManager",
+    "PartitionSpec",
+    "ReliableBroadcast",
+    "Topology",
+]

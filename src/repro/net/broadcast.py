@@ -1,0 +1,135 @@
+"""Reliable FIFO broadcast (Section 3.2 requirements).
+
+The paper requires a broadcast mechanism such that
+
+1. all messages are eventually delivered, and
+2. messages broadcast by one node are *processed* at all other nodes in
+   the same order as they were sent.
+
+Requirement (1) comes from the :class:`~repro.net.network.Network`
+holding messages across partitions.  Requirement (2) is implemented
+here with per-sender sequence numbers and a receiver-side reordering
+buffer: a receiver hands message ``(sender, k)`` to the application
+only after having processed ``(sender, k-1)``.
+
+An optional ``fifo=False`` mode disables the reordering buffer.  It
+exists purely for the ablation experiments that demonstrate how mutual
+consistency breaks without guarantee (2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.net.message import Message
+from repro.net.network import Network
+
+DeliverFn = Callable[[str, int, Any], None]
+
+
+@dataclass
+class SeqPayload:
+    """Wire format: sender's broadcast sequence number plus payload."""
+
+    sender: str
+    seq: int
+    kind: str
+    body: Any
+
+
+class ReliableBroadcast:
+    """Per-sender FIFO reliable broadcast over the simulated network.
+
+    Each participating node gets one endpoint (:meth:`attach`) with a
+    delivery callback ``deliver(sender, seq, body)``.  Broadcasts are
+    sent point-to-point to every other attached node; the sender's own
+    callback is invoked synchronously (a node always "hears" its own
+    broadcast first, matching the paper's home-node-executes-first
+    model).
+    """
+
+    def __init__(self, network: Network, fifo: bool = True) -> None:
+        self.network = network
+        self.fifo = fifo
+        self._deliver: dict[str, DeliverFn] = {}
+        self._next_send_seq: dict[str, int] = defaultdict(int)
+        # Per (receiver, sender): next expected sequence number.
+        self._next_expected: dict[tuple[str, str], int] = defaultdict(int)
+        # Per (receiver, sender): out-of-order buffer seq -> payload.
+        self._buffer: dict[tuple[str, str], dict[int, SeqPayload]] = defaultdict(dict)
+        self.out_of_order_buffered = 0
+
+    def attach(self, node: str, deliver: DeliverFn, register: bool = True) -> None:
+        """Register ``node`` with its application-level delivery callback.
+
+        With ``register=False`` the caller owns the network registration
+        and must route broadcast messages (payload type
+        :class:`SeqPayload`) to :meth:`handle_message` itself — this is
+        how :class:`repro.core.node.DatabaseNode` multiplexes broadcast
+        and unicast traffic over its single network handler.
+        """
+        self._deliver[node] = deliver
+        if register:
+            self.network.register(node, self.handle_message)
+
+    def broadcast(self, sender: str, body: Any, kind: str = "bcast") -> int:
+        """Broadcast ``body`` from ``sender``; returns its sequence number.
+
+        The sender's callback runs synchronously before the method
+        returns; remote deliveries are scheduled network events.
+        """
+        seq = self._next_send_seq[sender]
+        self._next_send_seq[sender] += 1
+        payload = SeqPayload(sender, seq, kind, body)
+        for dst in self._deliver:
+            if dst != sender:
+                self.network.send(sender, dst, kind, payload)
+        # Local synchronous delivery keeps the sender's own replica the
+        # first to reflect its broadcast, as the paper assumes.
+        self._process(sender, payload)
+        return seq
+
+    def unicast_replay(self, src: str, dst: str, payload_seq: int, body: Any,
+                       kind: str = "replay") -> None:
+        """Re-send a previously broadcast payload to one node.
+
+        Used by the majority-commit move protocol (Section 4.4.1) when a
+        new home node fetches quasi-transactions it missed.  The replay
+        goes through the same FIFO machinery, so duplicates (a replay of
+        something that later arrives via the held original) are dropped.
+        """
+        payload = SeqPayload(src, payload_seq, kind, body)
+        self.network.send(src, dst, kind, payload)
+
+    # -- receive path ---------------------------------------------------
+
+    def handle_message(self, message: Message) -> None:
+        """Feed one network message carrying a :class:`SeqPayload`."""
+        payload: SeqPayload = message.payload
+        self._process(message.dst, payload)
+
+    def _process(self, receiver: str, payload: SeqPayload) -> None:
+        if not self.fifo:
+            self._deliver[receiver](payload.sender, payload.seq, payload.body)
+            return
+        key = (receiver, payload.sender)
+        expected = self._next_expected[key]
+        if payload.seq < expected:
+            return  # duplicate (e.g. replay + held original)
+        if payload.seq > expected:
+            self._buffer[key][payload.seq] = payload
+            self.out_of_order_buffered += 1
+            return
+        self._deliver[receiver](payload.sender, payload.seq, payload.body)
+        self._next_expected[key] = expected + 1
+        # Drain any buffered successors.
+        buffered = self._buffer[key]
+        nxt = expected + 1
+        while nxt in buffered:
+            queued = buffered.pop(nxt)
+            self._deliver[receiver](queued.sender, queued.seq, queued.body)
+            nxt += 1
+            self._next_expected[key] = nxt

@@ -1,0 +1,156 @@
+"""The network simulator: delivery with latency, partitions, holding.
+
+Semantics
+---------
+* A message between currently-connected nodes is delivered after the
+  shortest-path latency.
+* A message between disconnected nodes is *held* in a per-channel queue
+  and delivered once :meth:`Network.topology_changed` is called with
+  connectivity restored (the paper's "propagation will be completed
+  after the partition is fixed").
+* Per-channel FIFO: messages on the same ``(src, dst)`` channel are
+  delivered in send order even if latencies would reorder them.  The
+  reliable broadcast layer additionally enforces per-sender order
+  across its own sequence numbers, but FIFO channels keep unicast
+  protocol messages (lock requests/grants, move handshakes) sane too.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable
+from typing import Any
+
+from repro.errors import NetworkError
+from repro.net.message import Message
+from repro.net.topology import Topology
+from repro.sim.simulator import Simulator
+
+Handler = Callable[[Message], None]
+
+
+class Network:
+    """Simulated point-to-point network over a :class:`Topology`.
+
+    Each participating node registers a single receive handler.  All
+    sends are asynchronous; delivery happens via simulator events.
+
+    Statistics (message counts by kind, bytes approximated by payload
+    update counts) are tracked for the overhead experiments.
+    """
+
+    def __init__(self, sim: Simulator, topology: Topology) -> None:
+        self.sim = sim
+        self.topology = topology
+        self._handlers: dict[str, Handler] = {}
+        # Held messages per (src, dst) channel, in send order.
+        self._held: dict[tuple[str, str], list[Message]] = defaultdict(list)
+        # Last scheduled delivery time per channel, for FIFO enforcement.
+        self._last_delivery: dict[tuple[str, str], float] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_by_kind: dict[str, int] = defaultdict(int)
+        # Optional realism knobs (used by ablation experiments):
+        # per-message latency jitter drawn from jitter_rng, and the
+        # per-channel FIFO floor (on by default; switching it off lets
+        # jittered messages overtake each other on one channel, which
+        # is exactly what the reliable broadcast layer's sequence
+        # numbers must then repair).
+        self.jitter = 0.0
+        self.jitter_rng = None
+        self.fifo_channels = True
+        self._down = False
+
+    # -- wiring ---------------------------------------------------------
+
+    def register(self, node: str, handler: Handler) -> None:
+        """Attach the receive handler for ``node``."""
+        if node not in self.topology.nodes:
+            raise NetworkError(f"unknown node {node!r}")
+        if node in self._handlers:
+            raise NetworkError(f"handler already registered for {node!r}")
+        self._handlers[node] = handler
+
+    # -- sending ----------------------------------------------------------
+
+    def send(self, src: str, dst: str, kind: str, payload: Any) -> Message:
+        """Send a message; returns the (not yet delivered) envelope."""
+        if src == dst:
+            raise NetworkError("loopback send; call the handler directly")
+        if dst not in self._handlers:
+            raise NetworkError(f"no handler registered for {dst!r}")
+        message = Message(src, dst, kind, payload, sent_at=self.sim.now)
+        self.messages_sent += 1
+        self.messages_by_kind[kind] += 1
+        latency = self.topology.path_latency(src, dst)
+        if latency is None:
+            self._held[(src, dst)].append(message)
+        else:
+            self._schedule_delivery(message, latency)
+        return message
+
+    def broadcast_raw(self, src: str, kind: str, payload: Any) -> list[Message]:
+        """Unreliable convenience: unicast to every other registered node.
+
+        The *reliable* broadcast of the paper lives in
+        :mod:`repro.net.broadcast`; this raw variant is its transport.
+        """
+        return [
+            self.send(src, dst, kind, payload)
+            for dst in self._handlers
+            if dst != src
+        ]
+
+    # -- partition lifecycle ----------------------------------------------
+
+    def topology_changed(self) -> None:
+        """Re-examine held messages after a link state change.
+
+        Any held message whose endpoints are now connected is scheduled
+        for delivery (in channel FIFO order, after any in-flight
+        messages on the same channel).
+        """
+        for channel, queue in self._held.items():
+            if not queue:
+                continue
+            src, dst = channel
+            latency = self.topology.path_latency(src, dst)
+            if latency is None:
+                continue
+            for message in queue:
+                self._schedule_delivery(message, latency)
+            queue.clear()
+
+    def held_count(self) -> int:
+        """Number of messages currently held due to disconnection."""
+        return sum(len(queue) for queue in self._held.values())
+
+    # -- internals --------------------------------------------------------
+
+    def _schedule_delivery(self, message: Message, latency: float) -> None:
+        channel = (message.src, message.dst)
+        at = self.sim.now + latency
+        if self.jitter and self.jitter_rng is not None:
+            at += self.jitter_rng.uniform(0.0, self.jitter)
+        if self.fifo_channels:
+            floor = self._last_delivery.get(channel, 0.0)
+            if at < floor:
+                at = floor  # preserve channel FIFO
+            self._last_delivery[channel] = at
+        message.delivered_at = at
+        self.sim.schedule_at(
+            at,
+            lambda: self._deliver(message),
+            label=f"deliver {message.kind} {message.src}->{message.dst}",
+        )
+
+    def _deliver(self, message: Message) -> None:
+        # Re-check connectivity at delivery time: a partition that formed
+        # while the message was in flight drops it back into the held
+        # queue (it is not lost — requirement (1) of the paper).
+        if self.topology.path_latency(message.src, message.dst) is None:
+            message.delivered_at = None
+            self._held[(message.src, message.dst)].append(message)
+            return
+        self.messages_delivered += 1
+        self._handlers[message.dst](message)

@@ -1,0 +1,104 @@
+"""Partition schedules: scripted network failures and heals."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import NetworkError
+from repro.net.network import Network
+
+
+@dataclass
+class PartitionSpec:
+    """One scripted partition episode.
+
+    The network is severed into the given ``groups`` at ``start`` and
+    fully healed at ``end``.  Nodes not mentioned in any group remain
+    connected to each other (links among them are untouched), but all
+    links crossing between two distinct groups go down.
+    """
+
+    start: float
+    end: float
+    groups: Sequence[Iterable[str]]
+    label: str = ""
+    links_cut: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise NetworkError(
+                f"partition must end after it starts ({self.start}..{self.end})"
+            )
+
+    @property
+    def duration(self) -> float:
+        """How long the partition lasts."""
+        return self.end - self.start
+
+
+class PartitionManager:
+    """Applies :class:`PartitionSpec` episodes to a :class:`Network`.
+
+    Call :meth:`install` once after constructing the network; each
+    episode schedules a cut event and a heal event on the simulator.
+    The manager notifies the network (``topology_changed``) after every
+    link-state change so held messages get released.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.episodes: list[PartitionSpec] = []
+        self.partitions_applied = 0
+        self.heals_applied = 0
+
+    def install(self, episodes: Iterable[PartitionSpec]) -> None:
+        """Schedule all episodes on the network's simulator."""
+        for spec in episodes:
+            self.episodes.append(spec)
+            self.network.sim.schedule_at(
+                spec.start,
+                lambda spec=spec: self._apply(spec),
+                label=f"partition start {spec.label}",
+            )
+            self.network.sim.schedule_at(
+                spec.end,
+                lambda spec=spec: self._heal(spec),
+                label=f"partition heal {spec.label}",
+            )
+
+    def partition_now(self, groups: Sequence[Iterable[str]]) -> int:
+        """Immediately sever the network into the given groups."""
+        cut = self._cut_groups(groups)
+        self.partitions_applied += 1
+        self.network.topology_changed()
+        return cut
+
+    def heal_now(self) -> int:
+        """Immediately restore every link."""
+        healed = self.network.topology.heal()
+        self.heals_applied += 1
+        self.network.topology_changed()
+        return healed
+
+    # -- internals ------------------------------------------------------
+
+    def _cut_groups(self, groups: Sequence[Iterable[str]]) -> int:
+        materialized = [set(group) for group in groups]
+        total = 0
+        for i, group_a in enumerate(materialized):
+            for group_b in materialized[i + 1 :]:
+                if group_a & group_b:
+                    raise NetworkError("partition groups overlap")
+                total += self.network.topology.cut(group_a, group_b)
+        return total
+
+    def _apply(self, spec: PartitionSpec) -> None:
+        spec.links_cut = self._cut_groups(spec.groups)
+        self.partitions_applied += 1
+        self.network.topology_changed()
+
+    def _heal(self, spec: PartitionSpec) -> None:
+        self.network.topology.heal()
+        self.heals_applied += 1
+        self.network.topology_changed()

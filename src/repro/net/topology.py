@@ -1,0 +1,198 @@
+"""Network topology: nodes, links, reachability, path latency."""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable
+
+from repro.errors import NetworkError
+
+
+class Link:
+    """An undirected link with a latency and an up/down state."""
+
+    __slots__ = ("a", "b", "latency", "up")
+
+    def __init__(self, a: str, b: str, latency: float) -> None:
+        if latency < 0:
+            raise NetworkError(f"negative latency on link {a}-{b}")
+        self.a = a
+        self.b = b
+        self.latency = latency
+        self.up = True
+
+    def endpoints(self) -> frozenset[str]:
+        """The unordered endpoint pair, used as the link's key."""
+        return frozenset((self.a, self.b))
+
+
+class Topology:
+    """An undirected graph of named nodes and latency-weighted links.
+
+    Convenience constructors cover the experiment shapes: full mesh,
+    star, and line.  Reachability and shortest-latency paths consider
+    only links that are currently up.
+    """
+
+    def __init__(self, nodes: Iterable[str] = ()) -> None:
+        self._nodes: dict[str, None] = {}
+        self._links: dict[frozenset[str], Link] = {}
+        self._adj: dict[str, list[Link]] = {}
+        for node in nodes:
+            self.add_node(node)
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def full_mesh(cls, nodes: Iterable[str], latency: float = 1.0) -> "Topology":
+        """Every pair of nodes directly linked with the same latency."""
+        topo = cls(nodes)
+        names = topo.nodes
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                topo.add_link(a, b, latency)
+        return topo
+
+    @classmethod
+    def star(cls, hub: str, leaves: Iterable[str], latency: float = 1.0) -> "Topology":
+        """A hub node linked to every leaf."""
+        leaves = list(leaves)
+        topo = cls([hub, *leaves])
+        for leaf in leaves:
+            topo.add_link(hub, leaf, latency)
+        return topo
+
+    @classmethod
+    def line(cls, nodes: Iterable[str], latency: float = 1.0) -> "Topology":
+        """Nodes linked in a chain, in the given order."""
+        names = list(nodes)
+        topo = cls(names)
+        for a, b in zip(names, names[1:]):
+            topo.add_link(a, b, latency)
+        return topo
+
+    def add_node(self, node: str) -> None:
+        """Add a node (idempotent)."""
+        if node not in self._nodes:
+            self._nodes[node] = None
+            self._adj[node] = []
+
+    def add_link(self, a: str, b: str, latency: float = 1.0) -> None:
+        """Add an undirected link; both endpoints must already exist."""
+        for end in (a, b):
+            if end not in self._nodes:
+                raise NetworkError(f"unknown node {end!r}")
+        if a == b:
+            raise NetworkError(f"self-link on node {a!r}")
+        key = frozenset((a, b))
+        if key in self._links:
+            raise NetworkError(f"duplicate link {a}-{b}")
+        link = Link(a, b, latency)
+        self._links[key] = link
+        self._adj[a].append(link)
+        self._adj[b].append(link)
+
+    # -- link state ----------------------------------------------------
+
+    def link(self, a: str, b: str) -> Link:
+        """The link between ``a`` and ``b``; raises if absent."""
+        try:
+            return self._links[frozenset((a, b))]
+        except KeyError:
+            raise NetworkError(f"no link {a}-{b}") from None
+
+    def set_link_up(self, a: str, b: str, up: bool) -> None:
+        """Set the up/down state of one link."""
+        self.link(a, b).up = up
+
+    def cut(self, group_a: Iterable[str], group_b: Iterable[str]) -> int:
+        """Bring down every link crossing between the two groups.
+
+        Returns the number of links taken down.  Used by the partition
+        manager to sever the network into components.
+        """
+        set_a, set_b = set(group_a), set(group_b)
+        count = 0
+        for link in self._links.values():
+            ends = link.endpoints()
+            if ends & set_a and ends & set_b and link.up:
+                link.up = False
+                count += 1
+        return count
+
+    def heal(self) -> int:
+        """Bring every link back up; returns how many changed state."""
+        count = 0
+        for link in self._links.values():
+            if not link.up:
+                link.up = True
+                count += 1
+        return count
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[str]:
+        """All node names, in insertion order."""
+        return list(self._nodes)
+
+    @property
+    def links(self) -> list[Link]:
+        """All links, in insertion order."""
+        return list(self._links.values())
+
+    def neighbors(self, node: str) -> list[str]:
+        """Nodes adjacent to ``node`` via currently-up links."""
+        return [
+            link.b if link.a == node else link.a
+            for link in self._adj[node]
+            if link.up
+        ]
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """True if a path of up links connects ``src`` and ``dst``."""
+        return self.path_latency(src, dst) is not None
+
+    def path_latency(self, src: str, dst: str) -> float | None:
+        """Latency of the cheapest up-path, or None if disconnected."""
+        for end in (src, dst):
+            if end not in self._nodes:
+                raise NetworkError(f"unknown node {end!r}")
+        if src == dst:
+            return 0.0
+        dist = {src: 0.0}
+        heap: list[tuple[float, str]] = [(0.0, src)]
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node == dst:
+                return d
+            if d > dist.get(node, float("inf")):
+                continue
+            for link in self._adj[node]:
+                if not link.up:
+                    continue
+                nxt = link.b if link.a == node else link.a
+                nd = d + link.latency
+                if nd < dist.get(nxt, float("inf")):
+                    dist[nxt] = nd
+                    heapq.heappush(heap, (nd, nxt))
+        return None
+
+    def components(self) -> list[set[str]]:
+        """Connected components under the current link state."""
+        seen: set[str] = set()
+        comps: list[set[str]] = []
+        for root in self._nodes:
+            if root in seen:
+                continue
+            comp = {root}
+            frontier = [root]
+            while frontier:
+                node = frontier.pop()
+                for nxt in self.neighbors(node):
+                    if nxt not in comp:
+                        comp.add(nxt)
+                        frontier.append(nxt)
+            seen |= comp
+            comps.append(comp)
+        return comps

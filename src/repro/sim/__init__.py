@@ -1,0 +1,18 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately tiny: a clock, a priority queue of events,
+and a run loop.  Everything else in the library (network delays,
+partition schedules, transaction arrivals, agent moves) is expressed as
+events scheduled on one :class:`~repro.sim.simulator.Simulator`.
+
+Determinism is a hard requirement — every experiment in the paper
+reproduction must be replayable from a seed — so ties in event time are
+broken by a monotonically increasing sequence number, and all
+randomness flows through :class:`~repro.sim.rng.SeededRng`.
+"""
+
+from repro.sim.events import Event, EventHandle
+from repro.sim.rng import SeededRng
+from repro.sim.simulator import Simulator
+
+__all__ = ["Event", "EventHandle", "SeededRng", "Simulator"]

@@ -1,0 +1,53 @@
+"""Event objects for the discrete-event simulator."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by ``(time, seq)``; ``seq`` is assigned by the simulator
+    at scheduling time, so two events at the same instant fire in the
+    order they were scheduled.  The callback and its metadata do not
+    participate in ordering.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Cancellation handle returned by :meth:`Simulator.schedule`.
+
+    Cancellation is lazy: the event stays in the heap but is skipped by
+    the run loop.  This keeps scheduling O(log n) with no heap surgery.
+    """
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """The simulation time at which the event will fire."""
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        """Human-readable label attached at scheduling time."""
+        return self._event.label
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True

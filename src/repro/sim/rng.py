@@ -1,0 +1,101 @@
+"""Seeded randomness for reproducible workloads.
+
+All stochastic choices in the library (arrival times, transaction
+parameters, partition timing in randomized experiments) must flow
+through a :class:`SeededRng` so that every experiment is replayable
+from its seed.  The class wraps :class:`random.Random` and adds the
+distributions the workload generators need.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+class SeededRng:
+    """A reproducible random source.
+
+    Child streams (:meth:`fork`) are derived deterministically from the
+    parent, so giving each component its own stream keeps components'
+    draws independent of each other's call counts.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._random = random.Random(seed)
+        self._forks = 0
+
+    def fork(self, label: str = "") -> "SeededRng":
+        """Derive an independent child stream.
+
+        The child's seed mixes the parent seed, a fork counter, and the
+        label through a process-independent polynomial hash (Python's
+        built-in ``hash`` of strings is randomized per process, which
+        would silently break cross-run reproducibility).
+        """
+        self._forks += 1
+        mask = 0x7FFF_FFFF_FFFF_FFFF
+        mixed = (self.seed * 1_000_003 + self._forks * 8_191) & mask
+        for char in label:
+            mixed = (mixed * 131 + ord(char)) & mask
+        return SeededRng(mixed)
+
+    # -- primitive draws ----------------------------------------------
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in [low, high]."""
+        return self._random.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] inclusive."""
+        return self._random.randint(low, high)
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._random.random()
+
+    def choice(self, seq: Sequence[T]) -> T:
+        """Uniform choice from a non-empty sequence."""
+        return self._random.choice(seq)
+
+    def shuffle(self, seq: list[T]) -> None:
+        """In-place Fisher-Yates shuffle."""
+        self._random.shuffle(seq)
+
+    def sample(self, seq: Sequence[T], k: int) -> list[T]:
+        """k distinct elements drawn without replacement."""
+        return self._random.sample(seq, k)
+
+    def bernoulli(self, p: float) -> bool:
+        """True with probability ``p``."""
+        return self._random.random() < p
+
+    # -- workload-shaped draws ----------------------------------------
+
+    def exponential(self, mean: float) -> float:
+        """Exponential inter-arrival time with the given mean."""
+        return self._random.expovariate(1.0 / mean)
+
+    def zipf_index(self, n: int, skew: float = 1.0) -> int:
+        """An index in [0, n) with Zipf-like skew (0 = most popular).
+
+        Used for hot-account access patterns in the banking workload.
+        ``skew=0`` degenerates to uniform.
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if skew <= 0:
+            return self._random.randrange(n)
+        weights = [1.0 / (i + 1) ** skew for i in range(n)]
+        total = sum(weights)
+        target = self._random.random() * total
+        acc = 0.0
+        for i, w in enumerate(weights):
+            acc += w
+            if target <= acc:
+                return i
+        return n - 1

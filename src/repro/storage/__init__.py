@@ -1,0 +1,15 @@
+"""Storage substrate: versioned values, per-node stores, update logs.
+
+Each simulated node owns one :class:`~repro.storage.store.ObjectStore`
+holding its replica of the (fully replicated) database.  Values are
+versioned: every committed write carries the writing transaction's id
+and a per-object version number assigned at the fragment agent's home
+node, which is what lets the serialization-graph builders reconstruct
+reads-from relationships after the fact.
+"""
+
+from repro.storage.log import LogRecord, UpdateLog
+from repro.storage.store import ObjectStore
+from repro.storage.values import Version
+
+__all__ = ["LogRecord", "ObjectStore", "Version", "UpdateLog"]

@@ -1,0 +1,64 @@
+"""Append-only update logs.
+
+Two consumers:
+
+* the **log transformation** baseline (Section 1, [2]) exchanges and
+  merges per-node logs after a partition heals, and
+* audits/metrics — e.g. counting reconciliation work for experiment
+  E10 — read log sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One logged transaction execution at one node.
+
+    ``writes`` maps object name to the written value; ``reads`` maps
+    object name to the value observed.  ``meta`` carries workload
+    payload (e.g. the banking operation descriptor) that merge rules
+    may need when re-executing.
+    """
+
+    txn_id: str
+    node: str
+    timestamp: float
+    writes: dict[str, Any]
+    reads: dict[str, Any] = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+class UpdateLog:
+    """An append-only per-node log of locally executed transactions."""
+
+    def __init__(self, node: str = "") -> None:
+        self.node = node
+        self._records: list[LogRecord] = []
+
+    def append(self, record: LogRecord) -> None:
+        """Append one record."""
+        self._records.append(record)
+
+    def records(self) -> list[LogRecord]:
+        """All records, oldest first (copy)."""
+        return list(self._records)
+
+    def since(self, timestamp: float) -> list[LogRecord]:
+        """Records with ``timestamp`` strictly greater than the bound."""
+        return [r for r in self._records if r.timestamp > timestamp]
+
+    def truncate(self) -> int:
+        """Discard all records; returns how many were dropped."""
+        dropped = len(self._records)
+        self._records.clear()
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)

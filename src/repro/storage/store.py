@@ -1,0 +1,108 @@
+"""Per-node replica of the database."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import Any
+
+from repro.errors import ReproError
+from repro.storage.values import INITIAL_WRITER, Version
+
+
+class ObjectStore:
+    """A node's local copy of every replicated data object.
+
+    The store is a flat map from object name to its current
+    :class:`Version`.  It is intentionally dumb: fragment rules, lock
+    discipline, and install ordering are enforced by the layers above.
+    """
+
+    def __init__(self, node: str = "") -> None:
+        self.node = node
+        self._data: dict[str, Version] = {}
+        self.reads = 0
+        self.writes = 0
+
+    # -- loading ----------------------------------------------------------
+
+    def load(self, initial: Mapping[str, Any]) -> None:
+        """Install initial values (version 0, writer ``@init``)."""
+        for name, value in initial.items():
+            self._data[name] = Version(value, INITIAL_WRITER, 0, 0.0)
+
+    # -- access -----------------------------------------------------------
+
+    def read_version(self, name: str) -> Version:
+        """The current version of ``name``; raises on unknown objects."""
+        self.reads += 1
+        try:
+            return self._data[name]
+        except KeyError:
+            raise ReproError(
+                f"node {self.node!r}: unknown data object {name!r}"
+            ) from None
+
+    def read(self, name: str) -> Any:
+        """The current value of ``name``."""
+        return self.read_version(name).value
+
+    def install(self, name: str, version: Version) -> Version | None:
+        """Unconditionally install a version; returns the one replaced.
+
+        Creates the object if it did not exist (agents may create new
+        items in their fragment, e.g. new ACTIVITY records).
+        """
+        self.writes += 1
+        previous = self._data.get(name)
+        self._data[name] = version
+        return previous
+
+    def exists(self, name: str) -> bool:
+        """True if the object is present in this replica."""
+        return name in self._data
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def names(self) -> list[str]:
+        """All object names, in insertion order."""
+        return list(self._data)
+
+    def snapshot(self, names: Iterable[str] | None = None) -> dict[str, Any]:
+        """Plain value snapshot (for assertions and reports)."""
+        selected = self._data if names is None else {
+            name: self._data[name] for name in names
+        }
+        return {name: version.value for name, version in selected.items()}
+
+    def version_snapshot(self) -> dict[str, Version]:
+        """Full versioned snapshot (for consistency comparison)."""
+        return dict(self._data)
+
+    def diff_common(self, other: "ObjectStore") -> list[str]:
+        """Object names whose values differ, over the common objects only.
+
+        Used under partial replication, where two replicas legitimately
+        hold different object populations.
+        """
+        common = set(self._data) & set(other._data)
+        return sorted(
+            name
+            for name in common
+            if self._data[name].value != other._data[name].value
+        )
+
+    def diff(self, other: "ObjectStore") -> list[str]:
+        """Object names whose *values* differ between two replicas.
+
+        Objects present in only one replica also count as differing.
+        Used by the mutual-consistency checker.
+        """
+        names = set(self._data) | set(other._data)
+        mismatched = []
+        for name in sorted(names):
+            mine = self._data.get(name)
+            theirs = other._data.get(name)
+            if mine is None or theirs is None or mine.value != theirs.value:
+                mismatched.append(name)
+        return mismatched

@@ -1,0 +1,37 @@
+"""Versioned values stored at each replica."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+INITIAL_WRITER = "@init"
+
+
+@dataclass(frozen=True)
+class Version:
+    """One committed version of a data object.
+
+    ``version_no`` counts committed writes to the object along the
+    owning fragment's update stream (0 = initial load).  ``writer`` is
+    the id of the transaction that produced the version.  ``timestamp``
+    is the simulation time at which the write committed at its *origin*
+    node — the Section 4.4.3 corrective protocol compares these
+    timestamps to decide whether a late update has been overwritten.
+    """
+
+    value: Any
+    writer: str = INITIAL_WRITER
+    version_no: int = 0
+    timestamp: float = 0.0
+
+    def newer_than(self, other: "Version") -> bool:
+        """Version-order comparison along the fragment stream.
+
+        Timestamps break ties between conflicting streams (the "none"
+        movement protocol can produce two distinct writes with the same
+        version number; see Section 4.4's missing-transaction problem).
+        """
+        if self.version_no != other.version_no:
+            return self.version_no > other.version_no
+        return self.timestamp > other.timestamp

@@ -1,0 +1,74 @@
+"""Write-ahead logging for crash recovery.
+
+The paper's Section 4.4 motivates agent movement with node failure
+("When an agent's home node goes down, the agent may wish to re-attach
+to some other node"), which presumes nodes *can* go down.  This module
+supplies the durable half of a crash-stop failure model:
+
+* every installed quasi-transaction (including the node's own commits,
+  which are installs at the origin) is appended to the node's WAL
+  before it is considered stable;
+* a crash wipes all volatile state — store, lock tables, in-flight
+  transactions, install buffers;
+* recovery replays the WAL to rebuild the store and the per-fragment
+  install bookkeeping, then anti-entropy (handled by the node) fills
+  whatever arrived at the *middleware* before the crash but never
+  reached the WAL.
+
+"Durable" in a simulation means: survives
+:meth:`~repro.core.node.DatabaseNode.crash`.  The log is an in-memory
+list by construction, but nothing outside this module may touch it
+except through append/replay — the same contract a disk would give.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.transaction import QuasiTransaction
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable log entry.
+
+    ``kind`` is ``"load"`` (initial value) or ``"install"`` (an applied
+    quasi-transaction).  Loads carry ``obj``/``value``; installs carry
+    the full quasi-transaction (its pre-assigned versions are what
+    replay re-installs).
+    """
+
+    kind: str
+    obj: str | None = None
+    value: Any = None
+    quasi: "QuasiTransaction | None" = None
+
+
+@dataclass
+class WriteAheadLog:
+    """A node's durable, append-only recovery log."""
+
+    node: str = ""
+    _records: list[WalRecord] = field(default_factory=list)
+    appends: int = 0
+    replays: int = 0
+
+    def append_load(self, obj: str, value: Any) -> None:
+        """Record an initial-load value."""
+        self._records.append(WalRecord("load", obj=obj, value=value))
+        self.appends += 1
+
+    def append_install(self, quasi: "QuasiTransaction") -> None:
+        """Record an applied quasi-transaction (origin or replica)."""
+        self._records.append(WalRecord("install", quasi=quasi))
+        self.appends += 1
+
+    def records(self) -> list[WalRecord]:
+        """All records, oldest first (copy)."""
+        self.replays += 1
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)

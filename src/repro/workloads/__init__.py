@@ -1,0 +1,29 @@
+"""Application workloads from the paper's running examples.
+
+* :mod:`repro.workloads.banking` — the Section 1/2 bank: BALANCES,
+  per-account ACTIVITY and RECORDED fragments, the central-office
+  trigger that folds activity into balances and assesses overdraft
+  penalties;
+* :mod:`repro.workloads.warehouse` — the Section 4.2 wholesale company:
+  per-warehouse fragments plus a central purchasing fragment, with the
+  star-shaped (elementarily acyclic) read-access graph of Figure 4.2.1;
+* :mod:`repro.workloads.airline` — the Section 4.3 reservations
+  example: customer request fragments C_i and flight fragments F_j,
+  decoupling request entry from grant decisions so that overbooking is
+  impossible while requests stay always-available;
+* :mod:`repro.workloads.generator` — seeded random drivers that pour
+  mixed traffic into the above for the quantitative experiments.
+"""
+
+from repro.workloads.airline import AirlineWorkload
+from repro.workloads.banking import BankingWorkload
+from repro.workloads.generator import BankingDriver, DriverStats
+from repro.workloads.warehouse import WarehouseWorkload
+
+__all__ = [
+    "AirlineWorkload",
+    "BankingDriver",
+    "BankingWorkload",
+    "DriverStats",
+    "WarehouseWorkload",
+]

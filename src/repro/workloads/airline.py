@@ -1,0 +1,171 @@
+"""The airline reservations database of Section 4.3 (Figure 4.3.3).
+
+Fragments: one per customer (``C:i``, holding that customer's requested
+seat counts ``c:i:j`` per flight) and one per flight (``F:j``, holding
+the actually-reserved counts ``f:j:i`` per customer plus the flight's
+capacity).  All agents sit at different nodes.
+
+"The motivation for having c_ij in this database, in addition to f_ij,
+is to allow the customers to enter their requests for reservations any
+time they want to, regardless of the current status of the
+communication network, and, at the same time, to ensure that
+overbooking does not occur."
+
+Customers write requests (write-only, always available).  Each flight
+agent periodically scans the customer fragments and grants requests
+unless that would overbook — a *single-fragment* decision, so the
+no-overbooking invariant can never be violated under fragmentwise
+serializability, even though the global schedule may not be
+serializable (the worked schedule of Section 4.3, reproduced in
+experiment E6).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cc.ops import Read, Write
+from repro.core.predicates import ConsistencyPredicate
+from repro.core.system import FragmentedDatabase
+from repro.core.transaction import RequestTracker
+
+
+@dataclass
+class AirlineStats:
+    """Workload-level counters."""
+
+    requests: int = 0
+    granted: int = 0
+    denied_overbooking: int = 0
+    scans: int = 0
+
+
+class AirlineWorkload:
+    """Builds and drives the Figure 4.3.3 schema on a system."""
+
+    def __init__(
+        self,
+        db: FragmentedDatabase,
+        customer_homes: dict[str, str],  # customer id -> node
+        flight_homes: dict[str, str],  # flight id -> node
+        capacity: int = 100,
+    ) -> None:
+        self.db = db
+        self.customers = dict(customer_homes)
+        self.flights = dict(flight_homes)
+        self.capacity = capacity
+        self.stats = AirlineStats()
+
+        initial: dict[str, Any] = {}
+        for customer, node in self.customers.items():
+            db.add_agent(f"cust:{customer}", home_node=node)
+            objects = []
+            for flight in self.flights:
+                obj = f"c:{customer}:{flight}"
+                objects.append(obj)
+                initial[obj] = 0
+            db.add_fragment(f"C:{customer}", agent=f"cust:{customer}",
+                            objects=objects)
+        for flight, node in self.flights.items():
+            db.add_agent(f"flight:{flight}", home_node=node)
+            objects = []
+            for customer in self.customers:
+                obj = f"f:{flight}:{customer}"
+                objects.append(obj)
+                initial[obj] = 0
+            db.add_fragment(f"F:{flight}", agent=f"flight:{flight}",
+                            objects=objects)
+            # Figure 4.3.3: each flight reads every customer fragment.
+            for customer in self.customers:
+                db.declare_reads(f"F:{flight}", fragments=[f"C:{customer}"])
+        db.load(initial)
+        self._register_predicates()
+
+    # -- customer side --------------------------------------------------------
+
+    def request(self, customer: str, flight: str, seats: int) -> RequestTracker:
+        """Enter a reservation request — write-only, always available.
+
+        Once set, a request is never reset ("a customer cannot change
+        his mind", Section 4.3); re-requesting keeps the first value.
+        """
+        if seats <= 0:
+            raise ValueError("seats must be positive")
+        obj = f"c:{customer}:{flight}"
+
+        def body(_ctx: Any) -> Generator[Any, Any, Any]:
+            current = yield Read(obj)
+            if current:
+                return ("already-requested", current)
+            yield Write(obj, seats)
+            return ("requested", seats)
+
+        self.stats.requests += 1
+        return self.db.submit_update(
+            f"cust:{customer}",
+            body,
+            reads=[obj],
+            writes=[obj],
+            meta={"op": "request", "customer": customer, "flight": flight},
+        )
+
+    # -- flight agent side --------------------------------------------------------
+
+    def scan_flight(self, flight: str) -> RequestTracker:
+        """Grant newly discovered requests unless that would overbook."""
+        reads = [f"c:{customer}:{flight}" for customer in self.customers]
+        reads += [f"f:{flight}:{customer}" for customer in self.customers]
+        writes = [f"f:{flight}:{customer}" for customer in self.customers]
+
+        def body(_ctx: Any) -> Generator[Any, Any, Any]:
+            reserved: dict[str, int] = {}
+            for customer in self.customers:
+                reserved[customer] = yield Read(f"f:{flight}:{customer}")
+            booked = sum(reserved.values())
+            granted = []
+            for customer in self.customers:
+                if reserved[customer]:
+                    continue  # already granted earlier
+                wanted = yield Read(f"c:{customer}:{flight}")
+                if not wanted:
+                    continue
+                if booked + wanted > self.capacity:
+                    self.stats.denied_overbooking += 1
+                    continue
+                yield Write(f"f:{flight}:{customer}", wanted)
+                booked += wanted
+                granted.append((customer, wanted))
+                self.stats.granted += 1
+            self.stats.scans += 1
+            return granted
+
+        return self.db.submit_update(
+            f"flight:{flight}",
+            body,
+            reads=reads,
+            writes=writes,
+            meta={"op": "scan", "flight": flight},
+        )
+
+    def seats_reserved(self, flight: str, node: str) -> int:
+        """Total seats reserved on ``flight`` as seen at ``node``."""
+        store = self.db.nodes[node].store
+        return sum(
+            store.read(f"f:{flight}:{customer}") for customer in self.customers
+        )
+
+    # -- invariants --------------------------------------------------------------
+
+    def _register_predicates(self) -> None:
+        for flight in self.flights:
+            self.db.predicates.add(
+                ConsistencyPredicate(
+                    name=f"no-overbooking:{flight}",
+                    objects=[
+                        f"f:{flight}:{customer}" for customer in self.customers
+                    ],
+                    check=lambda values: sum(values.values()) <= self.capacity,
+                )
+            )

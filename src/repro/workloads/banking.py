@@ -1,0 +1,397 @@
+"""The banking database of Sections 1 and 2.
+
+Schema (Figures 2.1 / 2.2), per account ``a`` and account owner ``o``
+(the paper explicitly allows several customers per account — "the
+customer (customers) who owns (own) account i" — and its Section 1
+scenarios need withdrawals on one account entering at *different*
+nodes):
+
+* fragment ``BALANCES`` — objects ``bal:a`` — agent: the central
+  office;
+* fragment ``ACTIVITY:a:o`` — objects ``act:a:o:dep`` / ``act:a:o:wd``
+  (owner o's running deposit/withdrawal totals) — agent: that owner;
+* fragment ``RECORDED:a:o`` — objects ``rec:a:o:dep`` / ``rec:a:o:wd``
+  (the totals already folded into the balance) — agent: the central
+  office.
+
+The paper's per-row ACTIVITY/RECORDED tables are represented as running
+totals: each owner's operation stream is serial (one agent), so totals
+carry the same information with a static object population.
+
+Local view of the balance (Section 2)::
+
+    view = bal + sum_o (act_dep[o] - rec_dep[o]) - sum_o (act_wd[o] - rec_wd[o])
+
+Operation flow: deposits/withdrawals append to the owner's ACTIVITY
+fragment at the owner's node — always available.  When an ACTIVITY
+update installs at the central office's node, a trigger runs one
+BALANCES transaction (folding the unrecorded delta in and assessing the
+overdraft fine when the balance dips negative) followed by one RECORDED
+transaction — the paper's own workaround for multi-fragment updates
+("replace ... by a group of transactions that perform the same task and
+update only one fragment each").
+
+``view_mode`` controls what a withdrawal consults before consenting:
+
+* ``"own"`` — balance + the owner's *own* unrecorded activity (a
+  realistic teller: it cannot see the other owner's unrecorded
+  operations across a partition — Section 1 scenario 2 in the making);
+* ``"balance"`` — the replicated balance only;
+* ``"none"`` — blind append, write-only customer transactions; the
+  read-access graph becomes an elementarily acyclic star, so this mode
+  is the one usable under the Section 4.2 strategy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cc.ops import Read, Write
+from repro.core.node import DatabaseNode
+from repro.core.predicates import ConsistencyPredicate
+from repro.core.system import FragmentedDatabase
+from repro.core.transaction import QuasiTransaction, RequestTracker
+from repro.errors import DesignError
+
+VIEW_MODES = ("own", "balance", "none")
+
+
+@dataclass
+class OverdraftLetter:
+    """A penalty notification issued by the central office."""
+
+    account: str
+    balance_before_fine: float
+    fine: float
+    time: float
+
+
+@dataclass
+class BankingStats:
+    """Workload-level counters."""
+
+    deposits: int = 0
+    withdrawals_granted: int = 0
+    withdrawals_refused: int = 0
+    letters: list[OverdraftLetter] = field(default_factory=list)
+
+
+class BankingWorkload:
+    """Builds and drives the Section 2 banking schema on a system."""
+
+    def __init__(
+        self,
+        db: FragmentedDatabase,
+        accounts: dict[str, float],
+        central_node: str,
+        owners: dict[str, Sequence[tuple[str, str]]] | None = None,
+        overdraft_fine: float = 25.0,
+        view_mode: str = "own",
+    ) -> None:
+        if view_mode not in VIEW_MODES:
+            raise DesignError(f"view_mode must be one of {VIEW_MODES}")
+        self.db = db
+        self.accounts = dict(accounts)
+        self.central_node = central_node
+        self.overdraft_fine = overdraft_fine
+        self.view_mode = view_mode
+        self.stats = BankingStats()
+        # Default: one owner per account, living at the central node.
+        self.owners: dict[str, list[tuple[str, str]]] = {
+            account: list(
+                (owners or {}).get(account, [(f"{account}-o0", central_node)])
+            )
+            for account in accounts
+        }
+
+        db.add_agent("central", home_node=central_node)
+        db.add_fragment(
+            "BALANCES",
+            agent="central",
+            objects=[f"bal:{account}" for account in accounts],
+        )
+        initial: dict[str, Any] = {}
+        for account, balance in accounts.items():
+            initial[f"bal:{account}"] = balance
+            for owner, home in self.owners[account]:
+                db.add_agent(f"cust:{owner}", home_node=home)
+                db.add_fragment(
+                    f"ACTIVITY:{account}:{owner}",
+                    agent=f"cust:{owner}",
+                    objects=[
+                        f"act:{account}:{owner}:dep",
+                        f"act:{account}:{owner}:wd",
+                    ],
+                )
+                db.add_fragment(
+                    f"RECORDED:{account}:{owner}",
+                    agent="central",
+                    objects=[
+                        f"rec:{account}:{owner}:dep",
+                        f"rec:{account}:{owner}:wd",
+                    ],
+                )
+                for kind in ("dep", "wd"):
+                    initial[f"act:{account}:{owner}:{kind}"] = 0.0
+                    initial[f"rec:{account}:{owner}:{kind}"] = 0.0
+                # The fold transaction (agent: central, writes BALANCES)
+                # reads this owner's ACTIVITY and RECORDED fragments; the
+                # mark-recorded transaction is write-only.  With
+                # view_mode="none" these are the only edges — a star
+                # rooted at BALANCES, elementarily acyclic (Section 4.2).
+                db.declare_reads(
+                    "BALANCES",
+                    fragments=[
+                        f"ACTIVITY:{account}:{owner}",
+                        f"RECORDED:{account}:{owner}",
+                    ],
+                )
+                if view_mode == "own":
+                    db.declare_reads(
+                        f"ACTIVITY:{account}:{owner}",
+                        fragments=["BALANCES", f"RECORDED:{account}:{owner}"],
+                    )
+                elif view_mode == "balance":
+                    db.declare_reads(
+                        f"ACTIVITY:{account}:{owner}", fragments=["BALANCES"]
+                    )
+                db.on_install(
+                    f"ACTIVITY:{account}:{owner}",
+                    lambda node, quasi, account=account, owner=owner: (
+                        self._on_activity(node, quasi, account, owner)
+                    ),
+                )
+        db.load(initial)
+        self._register_predicates()
+
+    # -- owner helpers -----------------------------------------------------------
+
+    def owner_of(self, account: str, index: int = 0) -> str:
+        """The ``index``-th owner id of an account."""
+        return self.owners[account][index][0]
+
+    # -- customer operations ----------------------------------------------------
+
+    def deposit(
+        self, account: str, amount: float, owner: int = 0
+    ) -> RequestTracker:
+        """Record a deposit in the owner's ACTIVITY fragment."""
+        if amount <= 0:
+            raise ValueError("deposit amount must be positive")
+        owner_id = self.owner_of(account, owner)
+        obj = f"act:{account}:{owner_id}:dep"
+
+        def body(_ctx: Any) -> Generator[Any, Any, Any]:
+            total = yield Read(obj)
+            yield Write(obj, total + amount)
+            return ("deposited", amount)
+
+        self.stats.deposits += 1
+        return self.db.submit_update(
+            f"cust:{owner_id}",
+            body,
+            reads=[obj],
+            writes=[obj],
+            meta={"op": "deposit", "account": account, "amount": amount},
+        )
+
+    def withdraw(
+        self, account: str, amount: float, owner: int = 0
+    ) -> RequestTracker:
+        """Attempt a withdrawal, consenting on the configured view.
+
+        The view can be stale during a partition — that is the point:
+        both sides of a severed network may grant withdrawals that
+        jointly overdraw the account (Section 1, scenario 2); the
+        central office later detects and penalizes the overdraft.
+        """
+        if amount <= 0:
+            raise ValueError("withdrawal amount must be positive")
+        owner_id = self.owner_of(account, owner)
+        wd_obj = f"act:{account}:{owner_id}:wd"
+        view_mode = self.view_mode
+        reads = [wd_obj]
+        if view_mode in ("own", "balance"):
+            reads.append(f"bal:{account}")
+        if view_mode == "own":
+            reads += [
+                f"act:{account}:{owner_id}:dep",
+                f"rec:{account}:{owner_id}:dep",
+                f"rec:{account}:{owner_id}:wd",
+            ]
+
+        def body(_ctx: Any) -> Generator[Any, Any, Any]:
+            wd_total = yield Read(wd_obj)
+            if view_mode in ("own", "balance"):
+                view = yield Read(f"bal:{account}")
+                if view_mode == "own":
+                    dep_total = yield Read(f"act:{account}:{owner_id}:dep")
+                    rec_dep = yield Read(f"rec:{account}:{owner_id}:dep")
+                    rec_wd = yield Read(f"rec:{account}:{owner_id}:wd")
+                    view += (dep_total - rec_dep) - (wd_total - rec_wd)
+                if view < amount:
+                    self.stats.withdrawals_refused += 1
+                    return ("refused", view)
+            yield Write(wd_obj, wd_total + amount)
+            self.stats.withdrawals_granted += 1
+            return ("granted", amount)
+
+        return self.db.submit_update(
+            f"cust:{owner_id}",
+            body,
+            reads=reads,
+            writes=[wd_obj],
+            meta={"op": "withdraw", "account": account, "amount": amount},
+        )
+
+    def local_view(self, account: str, node: str) -> float:
+        """The Section 2 local view of the balance at one replica."""
+        store = self.db.nodes[node].store
+        view = store.read(f"bal:{account}")
+        for owner_id, _home in self.owners[account]:
+            view += store.read(f"act:{account}:{owner_id}:dep") - store.read(
+                f"rec:{account}:{owner_id}:dep"
+            )
+            view -= store.read(f"act:{account}:{owner_id}:wd") - store.read(
+                f"rec:{account}:{owner_id}:wd"
+            )
+        return view
+
+    def balance_at(self, account: str, node: str) -> float:
+        """The raw BALANCES value at one replica."""
+        return self.db.nodes[node].store.read(f"bal:{account}")
+
+    # -- central office trigger --------------------------------------------------
+
+    def _on_activity(
+        self,
+        node: DatabaseNode,
+        quasi: QuasiTransaction,
+        account: str,
+        owner_id: str,
+    ) -> None:
+        central = self.db.agents["central"]
+        if node.name != central.home_node:
+            return
+        self._fold_activity(account, owner_id)
+
+    def _fold_activity(self, account: str, owner_id: str) -> None:
+        """Fold one owner's unrecorded activity into the balance."""
+        bal_obj = f"bal:{account}"
+        reads = [
+            bal_obj,
+            f"act:{account}:{owner_id}:dep",
+            f"act:{account}:{owner_id}:wd",
+            f"rec:{account}:{owner_id}:dep",
+            f"rec:{account}:{owner_id}:wd",
+        ]
+
+        def balance_body(_ctx: Any) -> Generator[Any, Any, Any]:
+            balance = yield Read(bal_obj)
+            act_dep = yield Read(f"act:{account}:{owner_id}:dep")
+            act_wd = yield Read(f"act:{account}:{owner_id}:wd")
+            rec_dep = yield Read(f"rec:{account}:{owner_id}:dep")
+            rec_wd = yield Read(f"rec:{account}:{owner_id}:wd")
+            delta = (act_dep - rec_dep) - (act_wd - rec_wd)
+            if delta == 0:
+                return None  # nothing unrecorded; idempotent re-trigger
+            new_balance = balance + delta
+            fine = 0.0
+            if new_balance < 0 and balance >= 0:
+                fine = self.overdraft_fine
+                self.stats.letters.append(
+                    OverdraftLetter(account, new_balance, fine, self.db.sim.now)
+                )
+                new_balance -= fine
+            yield Write(bal_obj, new_balance)
+            return (act_dep, act_wd)
+
+        def on_balance_done(tracker: RequestTracker) -> None:
+            if not tracker.succeeded or tracker.result is None:
+                return
+            act_dep, act_wd = tracker.result
+
+            def recorded_body(_ctx: Any) -> Generator[Any, Any, Any]:
+                yield Write(f"rec:{account}:{owner_id}:dep", act_dep)
+                yield Write(f"rec:{account}:{owner_id}:wd", act_wd)
+
+            self.db.submit_update(
+                "central",
+                recorded_body,
+                writes=[
+                    f"rec:{account}:{owner_id}:dep",
+                    f"rec:{account}:{owner_id}:wd",
+                ],
+                meta={"op": "mark-recorded", "account": account},
+            )
+
+        def on_fold_done(tracker: RequestTracker) -> None:
+            if tracker.succeeded:
+                on_balance_done(tracker)
+                return
+            # Folds are system housekeeping, not customer requests: a
+            # deadlock abort or an expired lock lease must not lose the
+            # balance update — retry after a short backoff.
+            self.db.sim.schedule(
+                5.0,
+                lambda: self._fold_activity(account, owner_id),
+                label=f"fold retry {account}:{owner_id}",
+            )
+
+        self.db.submit_update(
+            "central",
+            balance_body,
+            reads=reads,
+            writes=[bal_obj],
+            meta={"op": "fold", "account": account},
+            on_done=on_fold_done,
+        )
+
+    # -- invariants ------------------------------------------------------------
+
+    def _register_predicates(self) -> None:
+        for account in self.accounts:
+            view_objects = [f"bal:{account}"]
+            for owner_id, _home in self.owners[account]:
+                act_dep = f"act:{account}:{owner_id}:dep"
+                act_wd = f"act:{account}:{owner_id}:wd"
+                view_objects += [
+                    act_dep,
+                    act_wd,
+                    f"rec:{account}:{owner_id}:dep",
+                    f"rec:{account}:{owner_id}:wd",
+                ]
+                self.db.predicates.add(
+                    ConsistencyPredicate(
+                        name=f"activity-totals-nonneg:{account}:{owner_id}",
+                        objects=[act_dep, act_wd],
+                        check=lambda values: all(
+                            v >= 0 for v in values.values()
+                        ),
+                    )
+                )
+
+            def view_check(
+                values: dict[str, Any], account=account, owners=self.owners[account]
+            ) -> bool:
+                view = values[f"bal:{account}"]
+                for owner_id, _home in owners:
+                    view += (
+                        values[f"act:{account}:{owner_id}:dep"]
+                        - values[f"rec:{account}:{owner_id}:dep"]
+                    )
+                    view -= (
+                        values[f"act:{account}:{owner_id}:wd"]
+                        - values[f"rec:{account}:{owner_id}:wd"]
+                    )
+                return view >= 0
+
+            self.db.predicates.add(
+                ConsistencyPredicate(
+                    name=f"view-nonneg:{account}",
+                    objects=view_objects,
+                    check=view_check,
+                )
+            )

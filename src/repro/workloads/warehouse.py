@@ -1,0 +1,208 @@
+"""The wholesale company of Section 4.2 (Figure 4.2.1).
+
+k warehouse fragments ``W:i`` — each holding, per product, the quantity
+on hand, total sold, and total received — controlled by the warehouse's
+own node (a *node* agent), plus a central fragment ``C`` holding the
+purchasing decisions, controlled by the company's central office.
+
+Read pattern: the central office periodically scans all warehouse
+fragments to decide future purchases; warehouses read only their own
+fragment.  The resulting read-access graph is the star of
+Figure 4.2.1 — elementarily acyclic — so under the Section 4.2 strategy
+the system keeps **global serializability with no read locks**, while
+warehouses continue selling and receiving through any partition.
+
+The optional cross-warehouse inventory *peek* is the paper's sanctioned
+read-access-graph violation: a read-only transaction whose
+non-serializable output harms nobody ("one warehouse can be allowed to
+read from the fragment controlled by another warehouse with no great
+harm").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cc.ops import Read, Write
+from repro.core.predicates import ConsistencyPredicate
+from repro.core.system import FragmentedDatabase
+from repro.core.transaction import RequestTracker
+
+
+@dataclass
+class WarehouseStats:
+    """Workload-level counters."""
+
+    sales_granted: int = 0
+    sales_refused: int = 0
+    shipments: int = 0
+    scans: int = 0
+
+
+class WarehouseWorkload:
+    """Builds and drives the Figure 4.2.1 schema on a system."""
+
+    def __init__(
+        self,
+        db: FragmentedDatabase,
+        warehouse_nodes: dict[str, str],  # warehouse id -> node
+        central_node: str,
+        products: list[str],
+        initial_stock: int = 100,
+        target_stock: int = 100,
+    ) -> None:
+        self.db = db
+        self.warehouses = dict(warehouse_nodes)
+        self.central_node = central_node
+        self.products = list(products)
+        self.initial_stock = initial_stock
+        self.target_stock = target_stock
+        self.stats = WarehouseStats()
+
+        initial: dict[str, Any] = {}
+        db.add_agent("office", home_node=central_node)
+        db.add_fragment(
+            "C",
+            agent="office",
+            objects=[f"c:{product}:to_order" for product in products],
+        )
+        for product in products:
+            initial[f"c:{product}:to_order"] = 0
+        for warehouse, node in self.warehouses.items():
+            db.add_agent(f"wh:{warehouse}", home_node=node, kind="node")
+            objects = []
+            for product in products:
+                for field_name in ("onhand", "sold", "received"):
+                    obj = f"w:{warehouse}:{product}:{field_name}"
+                    objects.append(obj)
+                    initial[obj] = initial_stock if field_name == "onhand" else 0
+            db.add_fragment(f"W:{warehouse}", agent=f"wh:{warehouse}",
+                            objects=objects)
+            # The star of Figure 4.2.1: only C reads the warehouses.
+            db.declare_reads("C", fragments=[f"W:{warehouse}"])
+        db.load(initial)
+        self._register_predicates()
+
+    # -- warehouse operations ------------------------------------------------
+
+    def sale(self, warehouse: str, product: str, qty: int) -> RequestTracker:
+        """Sell ``qty`` of ``product`` at ``warehouse`` if stock allows."""
+        onhand = f"w:{warehouse}:{product}:onhand"
+        sold = f"w:{warehouse}:{product}:sold"
+
+        def body(_ctx: Any) -> Generator[Any, Any, Any]:
+            stock = yield Read(onhand)
+            if stock < qty:
+                self.stats.sales_refused += 1
+                return ("refused", stock)
+            total = yield Read(sold)
+            yield Write(onhand, stock - qty)
+            yield Write(sold, total + qty)
+            self.stats.sales_granted += 1
+            return ("sold", qty)
+
+        return self.db.submit_update(
+            f"wh:{warehouse}",
+            body,
+            reads=[onhand, sold],
+            writes=[onhand, sold],
+            meta={"op": "sale", "warehouse": warehouse, "product": product},
+        )
+
+    def shipment(self, warehouse: str, product: str, qty: int) -> RequestTracker:
+        """Receive a shipment of ``qty`` at ``warehouse``."""
+        onhand = f"w:{warehouse}:{product}:onhand"
+        received = f"w:{warehouse}:{product}:received"
+
+        def body(_ctx: Any) -> Generator[Any, Any, Any]:
+            stock = yield Read(onhand)
+            total = yield Read(received)
+            yield Write(onhand, stock + qty)
+            yield Write(received, total + qty)
+            self.stats.shipments += 1
+            return ("received", qty)
+
+        return self.db.submit_update(
+            f"wh:{warehouse}",
+            body,
+            reads=[onhand, received],
+            writes=[onhand, received],
+            meta={"op": "shipment", "warehouse": warehouse, "product": product},
+        )
+
+    # -- central office scan -----------------------------------------------------
+
+    def scan_and_order(self) -> RequestTracker:
+        """The office's periodic purchasing decision over all warehouses."""
+        reads = [
+            f"w:{warehouse}:{product}:onhand"
+            for warehouse in self.warehouses
+            for product in self.products
+        ]
+        writes = [f"c:{product}:to_order" for product in self.products]
+
+        def body(_ctx: Any) -> Generator[Any, Any, Any]:
+            totals = {product: 0 for product in self.products}
+            for warehouse in self.warehouses:
+                for product in self.products:
+                    stock = yield Read(f"w:{warehouse}:{product}:onhand")
+                    totals[product] += stock
+            target = self.target_stock * len(self.warehouses)
+            for product in self.products:
+                yield Write(
+                    f"c:{product}:to_order", max(0, target - totals[product])
+                )
+            self.stats.scans += 1
+            return dict(totals)
+
+        return self.db.submit_update(
+            "office",
+            body,
+            reads=reads,
+            writes=writes,
+            meta={"op": "scan"},
+        )
+
+    def peek_other_warehouse(
+        self, from_warehouse: str, other_warehouse: str, product: str
+    ) -> RequestTracker:
+        """A read-only look at another warehouse's stock.
+
+        Violates the read-access graph — allowed because read-only
+        (Section 4.2's discussion); rejected if the strategy forbids
+        read-only violations.
+        """
+        obj = f"w:{other_warehouse}:{product}:onhand"
+
+        def body(_ctx: Any) -> Generator[Any, Any, Any]:
+            stock = yield Read(obj)
+            return stock
+
+        return self.db.submit_readonly(
+            f"wh:{from_warehouse}",
+            body,
+            at=self.warehouses[from_warehouse],
+            reads=[obj],
+        )
+
+    # -- invariants --------------------------------------------------------------
+
+    def _register_predicates(self) -> None:
+        for warehouse in self.warehouses:
+            for product in self.products:
+                onhand = f"w:{warehouse}:{product}:onhand"
+                sold = f"w:{warehouse}:{product}:sold"
+                received = f"w:{warehouse}:{product}:received"
+                self.db.predicates.add(
+                    ConsistencyPredicate(
+                        name=f"stock-conservation:{warehouse}:{product}",
+                        objects=[onhand, sold, received],
+                        check=lambda values, o=onhand, s=sold, r=received,
+                        init=self.initial_stock: (
+                            values[o] >= 0
+                            and values[o] == init + values[r] - values[s]
+                        ),
+                    )
+                )

@@ -1,0 +1,131 @@
+"""Tests for the analysis layer: reports, metrics, the spectrum driver."""
+
+from repro.analysis.metrics import correctness_summary
+from repro.analysis.report import format_series, format_table
+from repro.analysis.spectrum import (
+    SPECTRUM_HEADERS,
+    SpectrumConfig,
+    run_fragments_agents,
+    run_log_transform,
+    run_mutual_exclusion,
+    run_optimistic,
+    run_spectrum,
+    scenario_script,
+)
+from repro.core.control.unrestricted import UnrestrictedReadsStrategy
+
+
+class TestReport:
+    def test_table_alignment(self):
+        table = format_table(
+            ["name", "value"], [["a", 1], ["longer", 2.5]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len({len(line) for line in lines[1:3]}) >= 1
+
+    def test_bool_and_float_formatting(self):
+        table = format_table(["x"], [[True], [False], [1.23456]])
+        assert "yes" in table
+        assert "no" in table
+        assert "1.235" in table
+
+    def test_series(self):
+        block = format_series("S", [(1, 2), (3, 4)], "in", "out")
+        assert "in" in block and "out" in block
+
+
+class TestSpectrumPieces:
+    def small_config(self):
+        return SpectrumConfig(
+            nodes=("A", "B"),
+            n_accounts=2,
+            owners_per_account=2,
+            partition_start=20.0,
+            partition_end=60.0,
+            partition_groups=(("A",), ("B",)),
+            horizon=100.0,
+            mean_interarrival=6.0,
+            seed=3,
+        )
+
+    def test_script_shared_and_deterministic(self):
+        config = self.small_config()
+        assert scenario_script(config) == scenario_script(config)
+        assert len(scenario_script(config)) > 0
+
+    def test_fragments_agents_row(self):
+        config = self.small_config()
+        row = run_fragments_agents(
+            config, UnrestrictedReadsStrategy(), "fa", view_mode="own"
+        )
+        assert row.submitted == len(scenario_script(config))
+        assert row.availability == 1.0
+        assert row.mutually_consistent
+        assert row.fragmentwise_serializable
+
+    def test_mutual_exclusion_row(self):
+        config = self.small_config()
+        row = run_mutual_exclusion(config)
+        assert row.globally_serializable
+        assert 0.0 < row.availability <= 1.0
+        assert row.mutually_consistent
+
+    def test_log_transform_row(self):
+        config = self.small_config()
+        row = run_log_transform(config)
+        assert row.availability == 1.0
+        assert row.mutually_consistent
+
+    def test_optimistic_row(self):
+        config = self.small_config()
+        row = run_optimistic(config)
+        assert row.mutually_consistent
+        assert row.globally_serializable
+
+    def test_full_spectrum_shape(self):
+        """The Figure 1.1 claim, asserted."""
+        rows = {r.system: r for r in run_spectrum(self.small_config())}
+        assert len(rows) == 6
+        # Free-for-all end: full availability.
+        assert rows["fa-unrestricted"].availability == 1.0
+        assert rows["fa-acyclic"].availability == 1.0
+        assert rows["log-transform"].availability == 1.0
+        # Conservative end loses availability during the partition.
+        assert rows["mutual-exclusion"].availability < 1.0
+        # Correctness guarantees: conservative end keeps GS.
+        assert rows["mutual-exclusion"].globally_serializable
+        assert rows["fa-read-locks"].globally_serializable
+        assert rows["fa-acyclic"].globally_serializable
+        # Everyone preserves replica convergence.
+        assert all(r.mutually_consistent for r in rows.values())
+        # Table renders.
+        table = format_table(
+            SPECTRUM_HEADERS, [r.as_tuple() for r in rows.values()]
+        )
+        assert "fa-unrestricted" in table
+
+
+class TestCorrectnessSummary:
+    def test_summary_over_clean_run(self):
+        from repro import FragmentedDatabase
+        from repro.cc.ops import Write
+
+        db = FragmentedDatabase(["A", "B"])
+        db.add_agent("ag", home_node="A")
+        db.add_fragment("F", agent="ag", objects=["x"])
+        db.load({"x": 0})
+        db.finalize()
+
+        def body(_ctx):
+            yield Write("x", 1)
+
+        db.submit_update("ag", body, writes=["x"])
+        db.quiesce()
+        summary = correctness_summary(db)
+        assert summary.globally_serializable
+        assert summary.fragmentwise_serializable
+        assert summary.mutually_consistent
+        assert summary.multi_fragment_violations == 0
+        assert "GS=yes" in summary.as_flags()

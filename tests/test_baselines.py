@@ -1,0 +1,299 @@
+"""Tests for the Section 1 comparison baselines.
+
+Includes deterministic reproductions of the paper's two banking
+scenarios (two $100 withdrawals / two $200 withdrawals on a $300
+account, one per side of a severed link) and the "divergent fines"
+chaos discussion.
+"""
+
+from repro.baselines import (
+    LogTransformSystem,
+    MutualExclusionSystem,
+    Operation,
+    OptimisticSystem,
+)
+from repro.cc.ops import Read, Write
+
+
+def withdraw_body(account, amount):
+    def body(_ctx):
+        balance = yield Read(f"bal:{account}")
+        if balance >= amount:
+            yield Write(f"bal:{account}", balance - amount)
+            return ("granted", amount)
+        return ("refused", balance)
+
+    return body
+
+
+def banking_apply(state, op):
+    key = f"bal:{op.params['account']}"
+    if op.kind == "deposit":
+        state[key] = state.get(key, 0.0) + op.params["amount"]
+    elif op.kind == "withdraw":
+        if op.params.get("granted", True):
+            state[key] = state.get(key, 0.0) - op.params["amount"]
+    elif op.kind == "fine":
+        state[key] = state.get(key, 0.0) - op.params["amount"]
+
+
+class TestMutualExclusion:
+    def make(self):
+        system = MutualExclusionSystem(["A", "B"], token_node="A")
+        system.load({"bal:1": 300.0})
+        return system
+
+    def test_scenario_1_one_customer_goes_home_empty_handed(self):
+        """Two $100 withdrawals during a partition: only A's succeeds."""
+        system = self.make()
+        system.partitions.partition_now([["A"], ["B"]])
+        at_a = system.submit("A", withdraw_body("1", 100))
+        at_b = system.submit("B", withdraw_body("1", 100))
+        system.quiesce()
+        assert at_a.committed
+        assert at_a.result == ("granted", 100)
+        assert at_b.rejected  # "goes home empty-handed"
+        system.partitions.heal_now()
+        system.quiesce()
+        assert system.stores["B"].read("bal:1") == 200.0
+        assert system.mutual_consistency().consistent
+
+    def test_scenario_2_no_overdraft_possible(self):
+        """Two $200 withdrawals: consistency preserved, service lost."""
+        system = self.make()
+        system.partitions.partition_now([["A"], ["B"]])
+        at_a = system.submit("A", withdraw_body("1", 200))
+        at_b = system.submit("B", withdraw_body("1", 200))
+        system.partitions.heal_now()
+        system.quiesce()
+        assert at_a.committed and at_b.rejected
+        assert system.stores["A"].read("bal:1") == 100.0  # never negative
+
+    def test_availability_metric(self):
+        system = self.make()
+        system.partitions.partition_now([["A"], ["B"]])
+        system.submit("A", withdraw_body("1", 10))
+        system.submit("B", withdraw_body("1", 10))
+        assert system.availability == 0.5
+
+    def test_all_available_when_connected(self):
+        system = self.make()
+        for node in ("A", "B"):
+            system.submit(node, withdraw_body("1", 10))
+        system.quiesce()
+        assert system.availability == 1.0
+        assert system.mutual_consistency().consistent
+
+    def test_global_order_no_lost_updates(self):
+        system = self.make()
+        for _ in range(3):
+            system.submit("A", withdraw_body("1", 50))
+            system.quiesce()
+            system.submit("B", withdraw_body("1", 50))
+            system.quiesce()
+        assert system.stores["A"].read("bal:1") == 0.0
+        assert system.mutual_consistency().consistent
+
+
+class TestLogTransform:
+    def make(self, correct=True, divergent=False):
+        def correct_fn(state, _ops):
+            corrections = []
+            if state.get("bal:1", 0.0) < 0:
+                corrections.append(
+                    Operation(
+                        "fine:1", "fine",
+                        {"account": "1", "amount": 25.0},
+                        float("inf"), "reconciler",
+                    )
+                )
+            return corrections
+
+        system = LogTransformSystem(
+            ["A", "B"],
+            banking_apply,
+            correct_fn=correct_fn if correct else None,
+            divergent_fines=divergent,
+        )
+        system.load({"bal:1": 300.0})
+        return system
+
+    def submit_withdraw(self, system, node, amount):
+        granted = system.states[node]["bal:1"] >= amount
+        return system.submit(
+            node, "withdraw",
+            {"account": "1", "amount": amount, "granted": granted},
+        )
+
+    def test_scenario_1_consistent_execution_no_correction(self):
+        """Two $100 withdrawals happen to be consistent after merge."""
+        system = self.make()
+        system.partitions.partition_now([["A"], ["B"]])
+        self.submit_withdraw(system, "A", 100)
+        self.submit_withdraw(system, "B", 100)
+        system.partitions.heal_now()
+        system.quiesce()
+        report = system.reconcile()
+        assert report.corrective_ops == []
+        assert system.states["A"]["bal:1"] == 100.0
+        assert system.mutual_consistency().consistent
+
+    def test_scenario_2_overdraft_detected_and_fined(self):
+        """Two $200 withdrawals: both granted, merge goes negative."""
+        system = self.make()
+        system.partitions.partition_now([["A"], ["B"]])
+        at_a = self.submit_withdraw(system, "A", 200)
+        at_b = self.submit_withdraw(system, "B", 200)
+        assert at_a.params["granted"] and at_b.params["granted"]
+        system.partitions.heal_now()
+        system.quiesce()
+        report = system.reconcile()
+        assert len(report.corrective_ops) == 1  # the fine
+        assert system.states["A"]["bal:1"] == -125.0  # -100 - 25 fine
+        assert system.mutual_consistency().consistent
+
+    def test_full_availability(self):
+        system = self.make()
+        system.partitions.partition_now([["A"], ["B"]])
+        for _ in range(5):
+            self.submit_withdraw(system, "B", 10)
+        assert system.availability == 1.0
+
+    def test_overhead_counted(self):
+        system = self.make()
+        system.partitions.partition_now([["A"], ["B"]])
+        self.submit_withdraw(system, "A", 10)
+        self.submit_withdraw(system, "B", 10)
+        system.partitions.heal_now()
+        system.quiesce()
+        report = system.reconcile()
+        assert report.logs_exchanged == 4  # 2 ops known at 2 nodes
+        assert report.ops_replayed == 2
+        assert report.messages == 2  # n*(n-1) log exchanges
+
+    def test_divergent_fines_chaos(self):
+        """Section 1's chaos: overdraft-size-dependent fines diverge.
+
+        The fine depends on the overdraft at the moment a node first
+        saw the balance go negative — and the nodes experienced the
+        operations in different local orders, so they see different
+        overdraft depths and assess different fines.  "This, in turn,
+        can lead to another round of assessing different fines, and
+        chaos ensues."
+        """
+
+        def size_dependent_fine(state, ops):
+            balance = 300.0
+            first_negative = None
+            for op in ops:  # local arrival order
+                if op.kind == "deposit":
+                    balance += op.params["amount"]
+                elif op.kind == "withdraw" and op.params.get("granted", True):
+                    balance -= op.params["amount"]
+                if balance < 0 and first_negative is None:
+                    first_negative = balance
+            if first_negative is None:
+                return []
+            return [
+                Operation(
+                    f"fine:{abs(first_negative)}", "fine",
+                    {"account": "1", "amount": 0.1 * abs(first_negative)},
+                    float("inf"), "local",
+                )
+            ]
+
+        system = LogTransformSystem(
+            ["A", "B", "C"], banking_apply,
+            correct_fn=size_dependent_fine, divergent_fines=True,
+        )
+        system.load({"bal:1": 300.0})
+        system.partitions.partition_now([["A", "C"], ["B"]])
+        # A side spends 150 + 50; B side spends 250.
+        self.submit_withdraw(system, "A", 150)
+        system.quiesce()
+        self.submit_withdraw(system, "B", 250)
+        system.quiesce()
+        self.submit_withdraw(system, "C", 50)
+        system.quiesce()
+        system.partitions.heal_now()
+        system.quiesce()
+        system.reconcile()
+        # A first saw the balance dip by 150 (it had already applied its
+        # side's ops); B first saw a 100 dip.  Different fines, replicas
+        # permanently disagreeing — the paper's chaos.
+        assert not system.mutual_consistency().consistent
+
+    def test_propagation_within_partition_group(self):
+        system = LogTransformSystem(["A", "B", "C"], banking_apply)
+        system.load({"bal:1": 300.0})
+        system.partitions.partition_now([["A", "B"], ["C"]])
+        system.submit("A", "deposit", {"account": "1", "amount": 50.0})
+        system.quiesce()
+        assert system.states["B"]["bal:1"] == 350.0  # same side
+        assert system.states["C"]["bal:1"] == 300.0  # severed
+
+
+class TestOptimistic:
+    def make(self):
+        def read_write(op):
+            key = f"bal:{op.params['account']}"
+            return {key}, {key}
+
+        system = OptimisticSystem(["A", "B"], banking_apply, read_write)
+        system.load({"bal:1": 300.0})
+        return system
+
+    def submit_withdraw(self, system, node, amount):
+        granted = system.states[node]["bal:1"] >= amount
+        return system.submit(
+            node, "withdraw",
+            {"account": "1", "amount": amount, "granted": granted},
+        )
+
+    def test_cross_partition_conflict_backs_out(self):
+        system = self.make()
+        system.partitions.partition_now([["A"], ["B"]])
+        self.submit_withdraw(system, "A", 200)
+        self.submit_withdraw(system, "B", 200)
+        system.partitions.heal_now()
+        report = system.validate_and_merge()
+        assert report.backout_count == 1
+        assert system.effective_availability == 0.5
+        assert system.states["A"]["bal:1"] == 100.0  # one withdrawal stands
+        assert system.mutual_consistency().consistent
+
+    def test_no_conflicts_all_stand(self):
+        system = self.make()
+        self.submit_withdraw(system, "A", 100)
+        system.run()
+        self.submit_withdraw(system, "B", 100)
+        report = system.validate_and_merge()
+        assert report.backout_count == 0
+        assert system.states["A"]["bal:1"] == 100.0
+
+    def test_disjoint_accounts_no_backout_across_partition(self):
+        def read_write(op):
+            key = f"bal:{op.params['account']}"
+            return {key}, {key}
+
+        system = OptimisticSystem(["A", "B"], banking_apply, read_write)
+        system.load({"bal:1": 300.0, "bal:2": 300.0})
+        system.partitions.partition_now([["A"], ["B"]])
+        system.submit(
+            "A", "withdraw", {"account": "1", "amount": 100, "granted": True}
+        )
+        system.submit(
+            "B", "withdraw", {"account": "2", "amount": 100, "granted": True}
+        )
+        report = system.validate_and_merge()
+        assert report.backout_count == 0
+
+    def test_backout_is_youngest(self):
+        system = self.make()
+        system.partitions.partition_now([["A"], ["B"]])
+        first = self.submit_withdraw(system, "A", 200)
+        system.sim.run(until=10.0)
+        second = self.submit_withdraw(system, "B", 200)
+        report = system.validate_and_merge()
+        assert report.backed_out == [second.op_id]
+        assert first.op_id not in report.backed_out

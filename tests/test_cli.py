@@ -1,0 +1,39 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_scenario_prints_table(self, capsys):
+        assert main(["scenario", "--amount", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "withdrawal at A" in out
+        assert "granted" in out
+        assert "-125" in out
+
+    def test_scenario_consistent_amount(self, capsys):
+        assert main(["scenario", "--amount", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "overdraft letters    0" in out
+
+    def test_theorem_small_run(self, capsys):
+        assert main(["theorem", "--runs", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "forests" in out
+        assert "cyclic" in out
+
+    def test_spectrum_custom_duration(self, capsys):
+        assert main(["spectrum", "--seed", "3", "--duration", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "fa-unrestricted" in out
+        assert "mutual-exclusion" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_parser_help_structure(self):
+        parser = build_parser()
+        assert parser.prog == "repro"

@@ -1,0 +1,64 @@
+"""The shipped examples must keep running and telling the truth."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_cleanly(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def _run(name):
+    script = next(p for p in EXAMPLES if p.name == name)
+    return subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=120,
+    ).stdout
+
+
+class TestExampleClaims:
+    def test_quickstart_reports_consistency(self):
+        out = _run("quickstart.py")
+        assert "mutually consistent" in out
+        assert "availability: 2/2" in out
+
+    def test_banking_partition_tells_the_section2_story(self):
+        out = _run("banking_partition.py")
+        assert out.count("granted") >= 2
+        assert "fine $25" in out or "fine  $25" in out or "LETTER" in out
+        assert "['A']" in out  # centralized decisions
+
+    def test_warehouse_keeps_serializability(self):
+        out = _run("warehouse_inventory.py")
+        assert "elementarily acyclic: True" in out
+        assert "stock-conservation violations: 0" in out
+
+    def test_airline_never_overbooks(self):
+        out = _run("airline_reservations.py")
+        assert "violations: 0" in out
+
+    def test_moving_agents_shows_all_five_protocols(self):
+        out = _run("moving_agents.py")
+        for protocol in ("none", "majority", "with-data", "with-seqno",
+                        "corrective"):
+            assert protocol in out
+
+    def test_combined_strategies_mixes_tiers(self):
+        out = _run("combined_strategies.py")
+        assert "timed_out" in out  # the read-locks tier pays
+        assert "intake never stops" in out

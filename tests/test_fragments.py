@@ -1,0 +1,184 @@
+"""Tests for fragments, tokens, agents, and the read-access graph."""
+
+import pytest
+
+from repro.core import Agent, Fragment, FragmentCatalog, ReadAccessGraph, Token
+from repro.errors import DesignError, TokenError
+
+
+class TestFragment:
+    def test_explicit_membership(self):
+        fragment = Fragment("F", objects=["a", "b"])
+        assert fragment.contains("a")
+        assert not fragment.contains("c")
+
+    def test_prefix_membership(self):
+        fragment = Fragment("ACT", prefixes=["act:1:"])
+        assert fragment.contains("act:1:dep")
+        assert not fragment.contains("act:2:dep")
+
+    def test_requires_some_membership_rule(self):
+        with pytest.raises(DesignError):
+            Fragment("empty")
+
+    def test_requires_name(self):
+        with pytest.raises(DesignError):
+            Fragment("", objects=["a"])
+
+
+class TestFragmentCatalog:
+    def test_lookup_by_object_and_prefix(self):
+        catalog = FragmentCatalog()
+        catalog.add(Fragment("F1", objects=["a"]))
+        catalog.add(Fragment("F2", prefixes=["p:"]))
+        assert catalog.fragment_of("a") == "F1"
+        assert catalog.fragment_of("p:anything") == "F2"
+
+    def test_unassigned_object_strict_raises(self):
+        catalog = FragmentCatalog()
+        catalog.add(Fragment("F1", objects=["a"]))
+        with pytest.raises(DesignError):
+            catalog.fragment_of("mystery")
+        assert catalog.fragment_of("mystery", strict=False) is None
+
+    def test_overlapping_objects_rejected(self):
+        catalog = FragmentCatalog()
+        catalog.add(Fragment("F1", objects=["a"]))
+        with pytest.raises(DesignError):
+            catalog.add(Fragment("F2", objects=["a", "b"]))
+
+    def test_overlapping_prefixes_rejected(self):
+        catalog = FragmentCatalog()
+        catalog.add(Fragment("F1", prefixes=["act:"]))
+        with pytest.raises(DesignError):
+            catalog.add(Fragment("F2", prefixes=["act:1:"]))
+
+    def test_duplicate_name_rejected(self):
+        catalog = FragmentCatalog()
+        catalog.add(Fragment("F1", objects=["a"]))
+        with pytest.raises(DesignError):
+            catalog.add(Fragment("F1", objects=["b"]))
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(DesignError):
+            FragmentCatalog().get("nope")
+
+    def test_container_protocol(self):
+        catalog = FragmentCatalog()
+        catalog.add(Fragment("F1", objects=["a"]))
+        assert "F1" in catalog
+        assert len(catalog) == 1
+        assert [f.name for f in catalog] == ["F1"]
+
+
+class TestToken:
+    def test_usable_only_at_home(self):
+        token = Token("F", "A")
+        assert token.usable_at("A")
+        assert not token.usable_at("B")
+
+    def test_move_lifecycle(self):
+        token = Token("F", "A")
+        token.begin_move("B")
+        assert token.in_transit
+        assert not token.usable_at("A")
+        assert not token.usable_at("B")
+        assert token.complete_move() == "B"
+        assert token.usable_at("B")
+        assert token.moves_completed == 1
+
+    def test_double_begin_rejected(self):
+        token = Token("F", "A")
+        token.begin_move("B")
+        with pytest.raises(TokenError):
+            token.begin_move("C")
+
+    def test_complete_without_begin_rejected(self):
+        with pytest.raises(TokenError):
+            Token("F", "A").complete_move()
+
+
+class TestAgent:
+    def test_grant_and_controls(self):
+        agent = Agent("ag", "A")
+        token = Token("F", "somewhere-else")
+        agent.grant(token)
+        assert agent.controls("F")
+        assert token.home_node == "A"  # token follows the agent
+        assert agent.fragments == ["F"]
+
+    def test_double_grant_rejected(self):
+        agent = Agent("ag", "A")
+        agent.grant(Token("F", "A"))
+        with pytest.raises(TokenError):
+            agent.grant(Token("F", "A"))
+
+    def test_token_for_unknown_fragment(self):
+        with pytest.raises(TokenError):
+            Agent("ag", "A").token_for("F")
+
+    def test_kind_validated(self):
+        with pytest.raises(TokenError):
+            Agent("ag", "A", kind="robot")
+
+
+class TestReadAccessGraph:
+    def make_catalog(self):
+        catalog = FragmentCatalog()
+        for name, objs in [("F1", ["a"]), ("F2", ["b"]), ("F3", ["c"])]:
+            catalog.add(Fragment(name, objects=objs))
+        return catalog
+
+    def test_declare_transaction_resolves_objects(self):
+        catalog = self.make_catalog()
+        rag = ReadAccessGraph(catalog)
+        rag.declare_transaction("F1", ["b", "c"])
+        assert ("F1", "F2") in rag.edges
+        assert ("F1", "F3") in rag.edges
+
+    def test_intra_fragment_reads_add_no_edge(self):
+        catalog = self.make_catalog()
+        rag = ReadAccessGraph(catalog)
+        rag.declare_transaction("F1", ["a"])
+        assert rag.edges == []
+        assert rag.allows("F1", "F1")
+
+    def test_allows(self):
+        catalog = self.make_catalog()
+        rag = ReadAccessGraph(catalog)
+        rag.add_read_edge("F1", "F2")
+        assert rag.allows("F1", "F2")
+        assert not rag.allows("F2", "F1")
+
+    def test_unknown_fragment_rejected(self):
+        catalog = self.make_catalog()
+        rag = ReadAccessGraph(catalog)
+        with pytest.raises(DesignError):
+            rag.add_read_edge("F1", "NOPE")
+
+    def test_star_is_elementarily_acyclic(self):
+        catalog = self.make_catalog()
+        rag = ReadAccessGraph(catalog)
+        rag.add_read_edge("F1", "F2")
+        rag.add_read_edge("F1", "F3")
+        assert rag.is_elementarily_acyclic()
+        rag.assert_elementarily_acyclic()  # no raise
+
+    def test_figure_431_shape_rejected(self):
+        catalog = self.make_catalog()
+        rag = ReadAccessGraph(catalog)
+        rag.add_read_edge("F1", "F2")
+        rag.add_read_edge("F1", "F3")
+        rag.add_read_edge("F2", "F3")
+        assert not rag.is_elementarily_acyclic()
+        with pytest.raises(DesignError) as excinfo:
+            rag.assert_elementarily_acyclic()
+        assert "cycle" in str(excinfo.value)
+        assert rag.violation_cycle() is not None
+
+    def test_reads_from(self):
+        catalog = self.make_catalog()
+        rag = ReadAccessGraph(catalog)
+        rag.add_read_edge("F1", "F2")
+        assert rag.reads_from("F1") == ["F2"]
+        assert rag.reads_from("F2") == []

@@ -1,0 +1,224 @@
+"""Unit and property tests for the digraph utilities."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graphs import Digraph, digraph_from_edges
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Digraph()
+        assert len(graph) == 0
+        assert graph.nodes == []
+        assert graph.edges == []
+
+    def test_add_node_idempotent(self):
+        graph = Digraph()
+        graph.add_node("a")
+        graph.add_node("a")
+        assert graph.nodes == ["a"]
+
+    def test_add_edge_creates_nodes(self):
+        graph = Digraph()
+        graph.add_edge("a", "b")
+        assert set(graph.nodes) == {"a", "b"}
+        assert graph.has_edge("a", "b")
+        assert not graph.has_edge("b", "a")
+
+    def test_parallel_edges_collapse(self):
+        graph = Digraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("a", "b")
+        assert graph.edges == [("a", "b")]
+
+    def test_successors_predecessors(self):
+        graph = digraph_from_edges([("a", "b"), ("a", "c"), ("b", "c")])
+        assert graph.successors("a") == ["b", "c"]
+        assert graph.predecessors("c") == ["a", "b"]
+
+    def test_contains_and_iter(self):
+        graph = digraph_from_edges([("a", "b")])
+        assert "a" in graph
+        assert "z" not in graph
+        assert list(graph) == ["a", "b"]
+
+
+class TestCycles:
+    def test_acyclic_chain(self):
+        graph = digraph_from_edges([("a", "b"), ("b", "c")])
+        assert graph.is_acyclic()
+        assert graph.find_cycle() is None
+
+    def test_simple_cycle(self):
+        graph = digraph_from_edges([("a", "b"), ("b", "c"), ("c", "a")])
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        # Every consecutive pair is an edge.
+        for u, v in zip(cycle, cycle[1:]):
+            assert graph.has_edge(u, v)
+
+    def test_self_loop_is_cycle(self):
+        graph = digraph_from_edges([("a", "a")])
+        cycle = graph.find_cycle()
+        assert cycle == ["a", "a"]
+
+    def test_two_cycle(self):
+        graph = digraph_from_edges([("a", "b"), ("b", "a")])
+        assert not graph.is_acyclic()
+
+    def test_cycle_in_second_component(self):
+        graph = digraph_from_edges(
+            [("a", "b"), ("x", "y"), ("y", "z"), ("z", "x")]
+        )
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        assert set(cycle) <= {"x", "y", "z"}
+
+    def test_diamond_is_acyclic(self):
+        graph = digraph_from_edges(
+            [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+        )
+        assert graph.is_acyclic()
+
+    def test_deep_chain_no_recursion_error(self):
+        edges = [(i, i + 1) for i in range(50_000)]
+        graph = digraph_from_edges(edges)
+        assert graph.is_acyclic()
+
+    def test_deep_cycle_found(self):
+        n = 20_000
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        graph = digraph_from_edges(edges)
+        assert graph.find_cycle() is not None
+
+
+class TestTopologicalOrder:
+    def test_respects_edges(self):
+        graph = digraph_from_edges(
+            [("a", "b"), ("b", "c"), ("a", "c"), ("d", "c")]
+        )
+        order = graph.topological_order()
+        position = {node: i for i, node in enumerate(order)}
+        for u, v in graph.edges:
+            assert position[u] < position[v]
+
+    def test_cyclic_raises(self):
+        graph = digraph_from_edges([("a", "b"), ("b", "a")])
+        with pytest.raises(ValueError):
+            graph.topological_order()
+
+    def test_includes_isolated_nodes(self):
+        graph = Digraph()
+        graph.add_node("solo")
+        graph.add_edge("a", "b")
+        assert set(graph.topological_order()) == {"solo", "a", "b"}
+
+
+class TestElementaryAcyclicity:
+    """Section 4.2's definition: the undirected shadow must be a forest."""
+
+    def test_tree_is_elementarily_acyclic(self):
+        graph = digraph_from_edges([("r", "a"), ("r", "b"), ("a", "c")])
+        assert graph.is_elementarily_acyclic()
+        assert graph.undirected_cycle() is None
+
+    def test_directed_acyclic_but_elementarily_cyclic(self):
+        # Figure 4.3.1: F1->F2, F1->F3, F2->F3 is a DAG but its shadow
+        # is a triangle.
+        graph = digraph_from_edges(
+            [("F1", "F2"), ("F1", "F3"), ("F2", "F3")]
+        )
+        assert graph.is_acyclic()
+        assert not graph.is_elementarily_acyclic()
+        cycle = graph.undirected_cycle()
+        assert cycle is not None
+        assert set(cycle) <= {"F1", "F2", "F3"}
+
+    def test_antiparallel_pair_is_cyclic(self):
+        # Two agents reading each other's fragments admit the classic
+        # two-transaction non-serializable interleaving; the pair must
+        # count as a cycle.
+        graph = digraph_from_edges([("F1", "F2"), ("F2", "F1")])
+        assert not graph.is_elementarily_acyclic()
+        assert graph.undirected_cycle() is not None
+
+    def test_self_loop_is_elementarily_cyclic(self):
+        graph = digraph_from_edges([("a", "a")])
+        assert not graph.is_elementarily_acyclic()
+
+    def test_star_is_elementarily_acyclic(self):
+        # Figure 4.2.1: the central office reads every warehouse.
+        edges = [("C", f"W{i}") for i in range(10)]
+        graph = digraph_from_edges(edges)
+        assert graph.is_elementarily_acyclic()
+
+    def test_bipartite_complete_2x2_is_cyclic(self):
+        # Figure 4.3.3: flights x customers.
+        edges = [("F1", "C1"), ("F1", "C2"), ("F2", "C1"), ("F2", "C2")]
+        graph = digraph_from_edges(edges)
+        assert not graph.is_elementarily_acyclic()
+
+    def test_forest_of_two_trees(self):
+        graph = digraph_from_edges([("a", "b"), ("c", "d"), ("c", "e")])
+        assert graph.is_elementarily_acyclic()
+
+
+@st.composite
+def edge_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n),
+                st.integers(min_value=0, max_value=n),
+            ),
+            max_size=30,
+        )
+    )
+    return edges
+
+
+class TestAgainstNetworkx:
+    """Cross-check our algorithms against networkx on random graphs."""
+
+    @given(edge_lists())
+    def test_cycle_detection_matches(self, edges):
+        ours = digraph_from_edges(edges)
+        theirs = nx.DiGraph(edges)
+        assert ours.is_acyclic() == nx.is_directed_acyclic_graph(theirs)
+
+    @given(edge_lists())
+    def test_topological_order_valid_when_acyclic(self, edges):
+        ours = digraph_from_edges(edges)
+        if not ours.is_acyclic():
+            return
+        order = ours.topological_order()
+        position = {node: i for i, node in enumerate(order)}
+        for u, v in ours.edges:
+            assert position[u] < position[v]
+
+    @given(edge_lists())
+    def test_elementary_acyclicity_matches_multigraph_forest(self, edges):
+        ours = digraph_from_edges(edges)
+        shadow = nx.MultiGraph()
+        shadow.add_nodes_from(ours.nodes)
+        seen = set()
+        for u, v in ours.edges:
+            if (u, v) in seen:
+                continue
+            seen.add((u, v))
+            shadow.add_edge(u, v)
+        expected = nx.is_forest(shadow) if len(shadow) else True
+        assert ours.is_elementarily_acyclic() == expected
+
+    @given(edge_lists())
+    def test_undirected_cycle_reported_iff_cyclic(self, edges):
+        ours = digraph_from_edges(edges)
+        cycle = ours.undirected_cycle()
+        if ours.is_elementarily_acyclic():
+            assert cycle is None
+        else:
+            assert cycle is not None

@@ -1,0 +1,198 @@
+"""Tests for multi-fragment transaction groups (§3.2 footnote)."""
+
+import pytest
+
+from repro import FragmentedDatabase, RequestStatus, TransactionSpec
+from repro.cc.ops import Read, Write
+from repro.core.groups import MultiFragmentCoordinator, submit_group
+from repro.errors import DesignError
+
+
+def make_db(nodes=("A", "B", "C")):
+    db = FragmentedDatabase(list(nodes))
+    db.add_agent("a1", home_node=nodes[0])
+    db.add_agent("a2", home_node=nodes[1])
+    db.add_fragment("F1", agent="a1", objects=["x"])
+    db.add_fragment("F2", agent="a2", objects=["y"])
+    db.load({"x": 0, "y": 0})
+    db.finalize()
+    return db
+
+
+def write_spec(db, agent, obj, value, txn_id=None):
+    def body(_ctx):
+        yield Write(obj, value)
+
+    return TransactionSpec(
+        txn_id=txn_id or db.next_txn_id("G"),
+        agent=agent,
+        body=body,
+        update=True,
+        writes=[obj],
+    )
+
+
+def failing_spec(db, agent, obj, txn_id=None):
+    def body(_ctx):
+        from repro.errors import TransactionAborted
+
+        yield Write(obj, 999)
+        raise TransactionAborted("x", "business rule failed")
+
+    return TransactionSpec(
+        txn_id=txn_id or db.next_txn_id("G"),
+        agent=agent,
+        body=body,
+        update=True,
+        writes=[obj],
+    )
+
+
+class TestSubmitGroup:
+    def test_independent_members_all_commit(self):
+        db = make_db()
+        group = submit_group(
+            db,
+            [write_spec(db, "a1", "x", 1), write_spec(db, "a2", "y", 2)],
+        )
+        db.quiesce()
+        assert group.all_succeeded
+        assert db.nodes["C"].store.read("x") == 1
+        assert db.nodes["C"].store.read("y") == 2
+
+    def test_partial_failure_reported_not_rolled_back(self):
+        db = make_db()
+        group = submit_group(
+            db,
+            [write_spec(db, "a1", "x", 1), failing_spec(db, "a2", "y")],
+        )
+        db.quiesce()
+        assert not group.all_succeeded
+        assert group.finished
+        # The decomposition offers no atomicity: x landed, y did not.
+        assert db.nodes["A"].store.read("x") == 1
+        assert db.nodes["B"].store.read("y") == 0
+
+    def test_on_done_fires_once_when_finished(self):
+        db = make_db()
+        calls = []
+        submit_group(
+            db,
+            [write_spec(db, "a1", "x", 1), write_spec(db, "a2", "y", 2)],
+            on_done=lambda g: calls.append(g.all_succeeded),
+        )
+        db.quiesce()
+        assert calls == [True]
+
+
+class TestAtomicGroup:
+    def test_commit_all(self):
+        db = make_db()
+        coordinator = MultiFragmentCoordinator(db)
+        group = coordinator.submit_atomic(
+            [write_spec(db, "a1", "x", 7), write_spec(db, "a2", "y", 8)]
+        )
+        db.quiesce()
+        assert group.decided == "committed"
+        assert group.all_succeeded
+        for node in db.nodes.values():
+            assert node.store.read("x") == 7
+            assert node.store.read("y") == 8
+        assert db.fragmentwise_serializability().ok
+        assert db.mutual_consistency().consistent
+
+    def test_one_member_fails_all_roll_back(self):
+        db = make_db()
+        coordinator = MultiFragmentCoordinator(db)
+        group = coordinator.submit_atomic(
+            [write_spec(db, "a1", "x", 7), failing_spec(db, "a2", "y")]
+        )
+        db.quiesce()
+        assert group.decided == "aborted"
+        assert not group.all_succeeded
+        for node in db.nodes.values():
+            assert node.store.read("x") == 0  # rolled back
+            assert node.store.read("y") == 0
+
+    def test_prepared_member_holds_locks_until_decision(self):
+        db = make_db()
+        coordinator = MultiFragmentCoordinator(db)
+        # Put a2's home across a partition: its prepare happens locally
+        # (submission is at its own node), but the coordinator at A
+        # cannot deliver the commit decision until the heal.
+        db.partitions.partition_now([["A", "C"], ["B"]])
+        group = coordinator.submit_atomic(
+            [write_spec(db, "a1", "x", 1), write_spec(db, "a2", "y", 2)],
+            coordinator_node="A",
+            timeout=500.0,
+        )
+        db.run(until=20)
+        assert group.decided == "committed"  # both prepared locally
+        # B hasn't seen the decision: y is still prepared, locked, and
+        # unapplied there.
+        assert db.nodes["B"].store.read("y") == 0
+        db.partitions.heal_now()
+        db.quiesce()
+        assert db.nodes["B"].store.read("y") == 2
+        assert db.mutual_consistency().consistent
+
+    def test_timeout_aborts_everything(self):
+        db = make_db()
+        coordinator = MultiFragmentCoordinator(db)
+        # a2's member is submitted but rejected: its token is in transit.
+        from repro.core.movement import InstantMoveProtocol
+
+        db2 = FragmentedDatabase(["A", "B"], movement=InstantMoveProtocol())
+        db2.add_agent("a1", home_node="A")
+        db2.add_agent("a2", home_node="B")
+        db2.add_fragment("F1", agent="a1", objects=["x"])
+        db2.add_fragment("F2", agent="a2", objects=["y"])
+        db2.load({"x": 0, "y": 0})
+        db2.finalize()
+        coordinator2 = MultiFragmentCoordinator(db2)
+        db2.move_agent("a2", "A", transport_delay=50.0)
+        group = coordinator2.submit_atomic(
+            [write_spec(db2, "a1", "x", 1), write_spec(db2, "a2", "y", 2)],
+            timeout=10.0,
+        )
+        db2.quiesce()
+        assert group.decided == "aborted"
+        assert db2.nodes["A"].store.read("x") == 0
+
+    def test_same_fragment_twice_rejected(self):
+        db = make_db()
+        coordinator = MultiFragmentCoordinator(db)
+        with pytest.raises(DesignError):
+            coordinator.submit_atomic(
+                [write_spec(db, "a1", "x", 1), write_spec(db, "a1", "x", 2)]
+            )
+
+    def test_empty_group_rejected(self):
+        db = make_db()
+        coordinator = MultiFragmentCoordinator(db)
+        with pytest.raises(DesignError):
+            coordinator.submit_atomic([])
+
+    def test_prepared_state_blocks_local_readers(self):
+        db = make_db()
+        db.nodes["B"].scheduler.action_delay = 0.0
+        coordinator = MultiFragmentCoordinator(db)
+        db.partitions.partition_now([["A", "C"], ["B"]])
+        coordinator.submit_atomic(
+            [write_spec(db, "a1", "x", 1), write_spec(db, "a2", "y", 2)],
+            coordinator_node="A",
+            timeout=500.0,
+        )
+        db.run(until=5)
+        # y is X-locked by the prepared member at B: a local reader waits.
+        seen = []
+
+        def reader(_ctx):
+            seen.append((yield Read("y")))
+
+        db.submit_readonly("a2", reader, at="B", reads=["y"])
+        db.run(until=10)
+        assert seen == []  # blocked behind the prepared lock
+        db.partitions.heal_now()
+        db.quiesce()
+        assert seen == [2]  # released by the commit decision

@@ -1,0 +1,300 @@
+"""Tests for serialization graphs and the correctness properties.
+
+Includes the deterministic reproduction of the paper's Section 4.3
+counterexample (Figures 4.3.1 / 4.3.2): a read-access graph that is
+acyclic but not *elementarily* acyclic admits a cyclic global
+serialization graph while fragmentwise serializability and mutual
+consistency survive.
+"""
+
+from repro import FragmentedDatabase, Topology, scripted_body
+from repro.core.gsg import (
+    global_serialization_graph,
+    is_globally_serializable,
+    local_serialization_graph,
+    transaction_type,
+)
+from repro.core.properties import (
+    check_fragmentwise_serializability,
+    check_global_serializability,
+    check_mutual_consistency,
+    check_property1,
+    check_property2,
+)
+
+
+def three_fragment_db(action_delay=1.5):
+    topo = Topology.line(["N1", "N2", "N3"], latency=1.0)
+    db = FragmentedDatabase(
+        ["N1", "N2", "N3"], topology=topo, action_delay=action_delay
+    )
+    for i, node in [(1, "N1"), (2, "N2"), (3, "N3")]:
+        db.add_agent(f"A{i}", home_node=node)
+        db.add_fragment(f"F{i}", agent=f"A{i}", objects=["abc"[i - 1]])
+    db.load({"a": 0, "b": 0, "c": 0})
+    db.finalize()
+    return db
+
+
+def run_figure_43_schedule(db):
+    """The exact interleaving of Section 4.3's counterexample."""
+    db.nodes["N1"].scheduler.action_delay = 4.0
+    db.sim.schedule_at(
+        0,
+        lambda: db.submit_update(
+            "A3",
+            scripted_body([("r", "c"), ("w", "c", 1)]),
+            writes=["c"],
+            txn_id="T3",
+        ),
+    )
+    db.sim.schedule_at(
+        4.5,
+        lambda: db.submit_update(
+            "A2",
+            scripted_body([("r", "c"), ("w", "b", 1)]),
+            writes=["b"],
+            txn_id="T2",
+        ),
+    )
+    db.sim.schedule_at(
+        4.6,
+        lambda: db.submit_update(
+            "A1",
+            scripted_body([("r", "c"), ("r", "b"), ("w", "a", 1)]),
+            writes=["a"],
+            txn_id="T1",
+        ),
+    )
+    db.quiesce()
+
+
+class TestFigure43Counterexample:
+    def test_gsg_cycle_reproduced(self):
+        db = three_fragment_db()
+        run_figure_43_schedule(db)
+        ok, cycle = is_globally_serializable(db.recorder)
+        assert not ok
+        assert set(cycle) == {"T1", "T2", "T3"}
+
+    def test_exact_edges_of_figure_432(self):
+        db = three_fragment_db()
+        run_figure_43_schedule(db)
+        graph = global_serialization_graph(db.recorder)
+        assert graph.has_edge("T2", "T1")  # T2's w(b) installed before r(b)
+        assert graph.has_edge("T1", "T3")  # T1 read c before T3's install
+        assert graph.has_edge("T3", "T2")  # T3's w(c) installed before r(c)
+
+    def test_fragmentwise_serializability_survives(self):
+        db = three_fragment_db()
+        run_figure_43_schedule(db)
+        report = check_fragmentwise_serializability(db.recorder)
+        assert report.ok
+
+    def test_mutual_consistency_survives(self):
+        db = three_fragment_db()
+        run_figure_43_schedule(db)
+        assert check_mutual_consistency(db.nodes.values()).consistent
+
+    def test_rag_is_not_elementarily_acyclic(self):
+        # The counterexample's read pattern: F1 reads F2,F3; F2 reads F3.
+        db = three_fragment_db()
+        db.rag.add_read_edge("F1", "F2")
+        db.rag.add_read_edge("F1", "F3")
+        db.rag.add_read_edge("F2", "F3")
+        assert not db.rag.is_elementarily_acyclic()
+
+
+class TestSerialSchedulesAreClean:
+    def test_sequential_updates_serializable(self):
+        db = three_fragment_db(action_delay=0.0)
+        for i, (agent, obj) in enumerate(
+            [("A1", "a"), ("A2", "b"), ("A3", "c")]
+        ):
+            db.submit_update(
+                agent,
+                scripted_body([("r", obj), ("w", obj, i)]),
+                writes=[obj],
+                txn_id=f"S{i}",
+            )
+            db.quiesce()
+        assert check_global_serializability(db.recorder).ok
+        assert check_property1(db.recorder).ok
+        assert check_property2(db.recorder).ok
+
+
+class TestLocalSerializationGraph:
+    def test_contains_local_and_readable_nonlocal(self):
+        db = three_fragment_db(action_delay=0.0)
+        db.rag.add_read_edge("F1", "F3")
+        db.submit_update(
+            "A3",
+            scripted_body([("w", "c", 5)]),
+            writes=["c"],
+            txn_id="T3",
+        )
+        db.quiesce()
+        db.submit_update(
+            "A1",
+            scripted_body([("r", "c"), ("w", "a", 1)]),
+            writes=["a"],
+            txn_id="T1",
+        )
+        db.quiesce()
+        graph = local_serialization_graph(
+            db.recorder, db.rag, "F1", "N1", db.agent_fragments
+        )
+        assert graph.has_node("T1")
+        assert graph.has_node("T3")
+        assert graph.has_edge("T3", "T1")  # T1 read T3's version
+        assert graph.is_acyclic()
+
+    def test_excludes_unreadable_fragments(self):
+        db = three_fragment_db(action_delay=0.0)
+        db.rag.add_read_edge("F1", "F3")
+        db.submit_update(
+            "A2",
+            scripted_body([("w", "b", 5)]),
+            writes=["b"],
+            txn_id="T2",
+        )
+        db.quiesce()
+        graph = local_serialization_graph(
+            db.recorder, db.rag, "F1", "N1", db.agent_fragments
+        )
+        assert not graph.has_node("T2")  # F2 not readable from F1
+
+    def test_transaction_type(self):
+        db = three_fragment_db(action_delay=0.0)
+        db.submit_update(
+            "A1", scripted_body([("w", "a", 1)]), writes=["a"], txn_id="U1"
+        )
+        db.submit_readonly(
+            "A2", scripted_body([("r", "b")]), reads=["b"], txn_id="R1"
+        )
+        db.quiesce()
+        agent_fragments = db.agent_fragments
+        update = db.recorder.transaction("U1")
+        readonly = db.recorder.transaction("R1")
+        assert transaction_type(update, agent_fragments) == "F1"
+        assert transaction_type(readonly, agent_fragments) == "F2"
+
+
+class TestPropertyCheckers:
+    def test_property2_catches_torn_read(self):
+        """Ablation: split (non-atomic) installs break Property 2."""
+        db = FragmentedDatabase(["A", "B"], action_delay=0.5)
+        db.add_agent("ag", home_node="A")
+        db.add_agent("reader", home_node="B")
+        db.add_fragment("F", agent="ag", objects=["p", "q"])
+        db.add_fragment("RO", agent="reader", objects=["dummy"])
+        db.load({"p": 0, "q": 0, "dummy": 0})
+        db.finalize()
+        db.nodes["B"].atomic_installs = False  # the ablation switch
+
+        def write_pair(_ctx):
+            from repro.cc.ops import Write
+
+            yield Write("p", 1)
+            yield Write("q", 1)
+
+        db.submit_update("ag", write_pair, writes=["p", "q"], txn_id="W")
+        # A reader at B positioned to observe between the split installs.
+        for delay in [x * 0.4 for x in range(1, 20)]:
+            db.sim.schedule_at(
+                delay,
+                lambda d=delay: db.submit_readonly(
+                    "reader",
+                    scripted_body([("r", "p"), ("r", "q")]),
+                    at="B",
+                    reads=["p", "q"],
+                    txn_id=f"R{d}",
+                ),
+            )
+        db.quiesce()
+        report = check_property2(db.recorder)
+        assert not report.ok
+        assert any("partial effect" in v for v in report.violations)
+
+    def test_property2_holds_with_atomic_installs(self):
+        db = FragmentedDatabase(["A", "B"], action_delay=0.5)
+        db.add_agent("ag", home_node="A")
+        db.add_agent("reader", home_node="B")
+        db.add_fragment("F", agent="ag", objects=["p", "q"])
+        db.add_fragment("RO", agent="reader", objects=["dummy"])
+        db.load({"p": 0, "q": 0, "dummy": 0})
+        db.finalize()
+
+        def write_pair(_ctx):
+            from repro.cc.ops import Write
+
+            yield Write("p", 1)
+            yield Write("q", 1)
+
+        db.submit_update("ag", write_pair, writes=["p", "q"], txn_id="W")
+        for delay in [x * 0.4 for x in range(1, 20)]:
+            db.sim.schedule_at(
+                delay,
+                lambda d=delay: db.submit_readonly(
+                    "reader",
+                    scripted_body([("r", "p"), ("r", "q")]),
+                    at="B",
+                    reads=["p", "q"],
+                    txn_id=f"R{d}",
+                ),
+            )
+        db.quiesce()
+        assert check_property2(db.recorder).ok
+
+    def test_property1_catches_duplicate_stream_positions(self):
+        """The "none" movement protocol mints colliding sequence numbers."""
+        from repro.core.movement import InstantMoveProtocol
+        from repro.cc.ops import Write as W
+
+        db = FragmentedDatabase(["X", "Y"], movement=InstantMoveProtocol())
+        db.add_agent("ag", home_node="X")
+        db.add_fragment("F", agent="ag", objects=["v"])
+        db.load({"v": 0})
+        db.finalize()
+
+        def setv(value):
+            def body(_ctx):
+                yield W("v", value)
+
+            return body
+
+        db.partitions.partition_now([["X"], ["Y"]])
+        db.sim.schedule_at(
+            1, lambda: db.submit_update("ag", setv(1), writes=["v"], txn_id="T1")
+        )
+        db.sim.schedule_at(5, lambda: db.move_agent("ag", "Y"))
+        db.sim.schedule_at(
+            10,
+            lambda: db.submit_update("ag", setv(2), writes=["v"], txn_id="T2"),
+        )
+        db.sim.schedule_at(20, db.partitions.heal_now)
+        db.quiesce()
+        report = check_property1(db.recorder)
+        assert not report.ok
+        assert any("share stream position" in v for v in report.violations)
+
+    def test_mutual_consistency_report_details(self):
+        db = FragmentedDatabase(["A", "B"])
+        db.add_agent("ag", home_node="A")
+        db.add_fragment("F", agent="ag", objects=["x"])
+        db.load({"x": 0})
+        # Tamper with one replica directly.
+        from repro.storage.values import Version
+
+        db.nodes["B"].store.install("x", Version(99, "rogue", 1, 1.0))
+        report = check_mutual_consistency(db.nodes.values())
+        assert not report.consistent
+        assert report.diffs[("A", "B")] == ["x"]
+        assert "DIVERGED" in str(report)
+
+    def test_single_node_trivially_consistent(self):
+        db = FragmentedDatabase(["A"])
+        db.add_agent("ag", home_node="A")
+        db.add_fragment("F", agent="ag", objects=["x"])
+        db.load({"x": 0})
+        assert check_mutual_consistency(db.nodes.values()).consistent

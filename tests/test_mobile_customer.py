@@ -1,0 +1,81 @@
+"""The Section 2/4.4 mobile customer: the bank card is the token.
+
+"Consider the card that a bank customer uses to identify himself to an
+automatic teller.  Whoever owns the card is authorized to perform
+banking operations on the corresponding account" (§3.1) — and §4.4.2A's
+magnetic-strip discussion: "copier cards store the number of copies ...
+These cards fit our model exactly.  As the agent moves, it carries with
+it a copy of the fragment it controls."
+
+A customer banks at branch A, drives to branch B (their ACTIVITY
+fragment travelling on the card), and keeps banking — even while B is
+partitioned from the rest of the bank.  The central office folds
+everything once connectivity allows.
+"""
+
+from repro import FragmentedDatabase, MoveWithDataProtocol
+from repro.workloads import BankingWorkload
+
+
+class TestMobileCustomer:
+    def make(self):
+        db = FragmentedDatabase(
+            ["HQ", "BRANCH-A", "BRANCH-B"],
+            movement=MoveWithDataProtocol(),
+        )
+        bank = BankingWorkload(
+            db,
+            accounts={"00001": 500.0},
+            central_node="HQ",
+            owners={"00001": [("carla", "BRANCH-A")]},
+            view_mode="own",
+        )
+        db.finalize()
+        return db, bank
+
+    def test_banking_continues_across_branches(self):
+        db, bank = self.make()
+        w1 = bank.withdraw("00001", 100.0)
+        db.quiesce()
+        assert w1.result[0] == "granted"
+        # Carla drives to branch B; her card carries the ACTIVITY data.
+        db.move_agent("cust:carla", "BRANCH-B", transport_delay=5.0)
+        db.quiesce()
+        w2 = bank.withdraw("00001", 100.0)
+        db.quiesce()
+        assert w2.result[0] == "granted"
+        assert bank.balance_at("00001", "HQ") == 300.0
+        assert db.mutual_consistency().consistent
+        assert db.fragmentwise_serializability().ok
+
+    def test_card_view_correct_even_when_branch_is_partitioned(self):
+        db, bank = self.make()
+        bank.withdraw("00001", 400.0)
+        db.quiesce()
+        db.move_agent("cust:carla", "BRANCH-B", transport_delay=5.0)
+        db.quiesce()
+        # B severed from the rest — but the card carried the activity
+        # totals, so the local view knows only $100 remains...
+        db.partitions.partition_now([["BRANCH-B"], ["HQ", "BRANCH-A"]])
+        over = bank.withdraw("00001", 200.0)
+        db.run(until=db.sim.now + 10)
+        assert over.result[0] == "refused"  # no stale-view overdraft
+        ok = bank.withdraw("00001", 50.0)
+        db.run(until=db.sim.now + 10)
+        assert ok.result[0] == "granted"
+        db.partitions.heal_now()
+        db.quiesce()
+        assert bank.balance_at("00001", "HQ") == 50.0
+        assert not bank.stats.letters  # no overdraft, no fines
+        assert db.mutual_consistency().consistent
+
+    def test_requests_rejected_while_card_in_transit(self):
+        db, bank = self.make()
+        db.move_agent("cust:carla", "BRANCH-B", transport_delay=30.0)
+        tracker = bank.withdraw("00001", 10.0)
+        db.run(until=5)
+        assert tracker.status.value == "rejected"  # card is in the car
+        db.quiesce()
+        follow_up = bank.withdraw("00001", 10.0)
+        db.quiesce()
+        assert follow_up.succeeded

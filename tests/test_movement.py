@@ -1,0 +1,318 @@
+"""Tests for the Section 4.4 agent movement protocols.
+
+The guarantee matrix under scripted moves across a partition:
+
+=================  ====================  =========================
+protocol           mutual consistency    fragmentwise serializability
+=================  ====================  =========================
+none               can break             can break
+majority (4.4.1)   preserved             preserved (minority rejected)
+with-data (4.4.2A) preserved             preserved
+with-seqno (4.4.2B) preserved            preserved (waits)
+corrective (4.4.3) preserved (eventual)  sacrificed
+=================  ====================  =========================
+"""
+
+import pytest
+
+from repro import (
+    CorrectiveMoveProtocol,
+    FixedAgentsProtocol,
+    FragmentedDatabase,
+    InstantMoveProtocol,
+    MajorityCommitProtocol,
+    MoveWithDataProtocol,
+    MoveWithSeqnoProtocol,
+    RequestStatus,
+)
+from repro.cc.ops import Write
+from repro.errors import TokenError
+
+
+def moving_db(protocol, nodes=("X", "Y", "Z")):
+    db = FragmentedDatabase(list(nodes), movement=protocol)
+    db.add_agent("ag", home_node=nodes[0])
+    db.add_fragment("F", agent="ag", objects=["v", "w"])
+    db.load({"v": 0, "w": 0})
+    db.finalize()
+    return db
+
+
+def setv(obj, value):
+    def body(_ctx):
+        yield Write(obj, value)
+
+    return body
+
+
+def missing_transaction_scenario(db, same_object=True):
+    """T1 at X during a partition, move X->Y, T2 at Y, heal late.
+
+    With ``same_object`` both transactions write ``v`` — the paper's
+    missing-transaction hazard in its sharpest form.
+    """
+    results = {}
+    db.sim.schedule_at(
+        1, lambda: db.partitions.partition_now([["X"], ["Y", "Z"]])
+    )
+    db.sim.schedule_at(
+        5,
+        lambda: results.update(
+            t1=db.submit_update("ag", setv("v", 111), writes=["v"], txn_id="T1")
+        ),
+    )
+    db.sim.schedule_at(10, lambda: db.move_agent("ag", "Y", transport_delay=2))
+    obj2 = "v" if same_object else "w"
+    db.sim.schedule_at(
+        25,
+        lambda: results.update(
+            t2=db.submit_update(
+                "ag", setv(obj2, 222), writes=[obj2], txn_id="T2"
+            )
+        ),
+    )
+    db.sim.schedule_at(60, db.partitions.heal_now)
+    db.quiesce()
+    return results
+
+
+class TestFixedAgents:
+    def test_moves_disallowed(self):
+        db = moving_db(FixedAgentsProtocol())
+        with pytest.raises(TokenError):
+            db.move_agent("ag", "Y")
+
+    def test_ordered_admission_buffers_gaps(self):
+        db = moving_db(FixedAgentsProtocol(), nodes=("X", "Y"))
+        db.partitions.partition_now([["X"], ["Y"]])
+        for i in range(3):
+            db.submit_update("ag", setv("v", i), writes=["v"])
+        db.run(until=10)
+        db.partitions.heal_now()
+        db.quiesce()
+        assert db.nodes["Y"].store.read("v") == 2
+        assert db.fragmentwise_serializability().ok
+
+
+class TestNoProtection:
+    def test_mutual_consistency_breaks_on_same_object(self):
+        db = moving_db(InstantMoveProtocol())
+        results = missing_transaction_scenario(db, same_object=True)
+        assert results["t1"].succeeded
+        assert results["t2"].succeeded
+        # X installs T1 then late T2 -> 222; Y installed T2 then the
+        # late orphan T1 blindly overwrites -> 111.  Replicas diverge.
+        report = db.mutual_consistency()
+        assert not report.consistent
+
+    def test_fragmentwise_serializability_breaks(self):
+        db = moving_db(InstantMoveProtocol())
+        missing_transaction_scenario(db, same_object=True)
+        assert not db.fragmentwise_serializability().ok
+
+    def test_different_objects_converge_by_luck(self):
+        # The hazard is real but scenario-dependent: disjoint writes
+        # commute, so blind installation happens to converge.
+        db = moving_db(InstantMoveProtocol())
+        missing_transaction_scenario(db, same_object=False)
+        assert db.mutual_consistency().consistent
+
+
+class TestMoveWithData:
+    def test_preserves_both_properties(self):
+        db = moving_db(MoveWithDataProtocol())
+        results = missing_transaction_scenario(db, same_object=True)
+        assert results["t1"].succeeded
+        assert results["t2"].succeeded
+        assert db.mutual_consistency().consistent
+        assert db.fragmentwise_serializability().ok
+        # The final value everywhere is the later transaction's.
+        for node in db.nodes.values():
+            assert node.store.read("v") == 222
+
+    def test_new_home_reads_carried_data_immediately(self):
+        db = moving_db(MoveWithDataProtocol())
+        db.partitions.partition_now([["X"], ["Y", "Z"]])
+        db.submit_update("ag", setv("v", 7), writes=["v"])
+        db.run(until=5)
+        assert db.nodes["Y"].store.read("v") == 0  # partition blocks it
+        db.move_agent("ag", "Y", transport_delay=3)
+        db.run(until=20)
+        # The token carried the fragment: Y is current without the net.
+        assert db.nodes["Y"].store.read("v") == 7
+        db.partitions.heal_now()
+        db.quiesce()
+        assert db.mutual_consistency().consistent
+
+    def test_carried_snapshot_metrics(self):
+        protocol = MoveWithDataProtocol()
+        db = moving_db(protocol)
+        db.move_agent("ag", "Y", transport_delay=1)
+        db.quiesce()
+        assert protocol.snapshots_carried == 1
+        assert protocol.objects_carried == 2  # v and w
+
+
+class TestMoveWithSeqno:
+    def test_preserves_both_properties(self):
+        db = moving_db(MoveWithSeqnoProtocol())
+        results = missing_transaction_scenario(db, same_object=True)
+        assert results["t1"].succeeded
+        assert results["t2"].succeeded
+        assert db.mutual_consistency().consistent
+        assert db.fragmentwise_serializability().ok
+
+    def test_t2_waits_for_missing_t1(self):
+        protocol = MoveWithSeqnoProtocol()
+        db = moving_db(protocol)
+        results = missing_transaction_scenario(db, same_object=True)
+        # T2 could not run before T1 reached Y (after the heal at 60).
+        assert results["t2"].finish_time > 60
+        assert protocol.requests_queued == 1
+        assert protocol.total_wait_time > 0
+
+    def test_no_wait_when_already_caught_up(self):
+        db = moving_db(MoveWithSeqnoProtocol())
+        db.submit_update("ag", setv("v", 1), writes=["v"])
+        db.quiesce()  # everyone has T1
+        db.move_agent("ag", "Y", transport_delay=1)
+        db.quiesce()
+        tracker = db.submit_update("ag", setv("v", 2), writes=["v"])
+        db.quiesce()
+        assert tracker.succeeded
+        assert db.mutual_consistency().consistent
+
+    def test_wait_timeout_rejects(self):
+        db = moving_db(MoveWithSeqnoProtocol(wait_timeout=10.0))
+        results = missing_transaction_scenario(db, same_object=True)
+        assert results["t2"].status is RequestStatus.TIMED_OUT
+
+
+class TestMajorityCommit:
+    def test_minority_update_rejected(self):
+        db = moving_db(MajorityCommitProtocol())
+        results = missing_transaction_scenario(db, same_object=True)
+        # T1 ran at X while X was a 1-of-3 minority: rejected.
+        assert results["t1"].status is RequestStatus.REJECTED
+        assert results["t2"].succeeded
+        assert db.mutual_consistency().consistent
+        assert db.fragmentwise_serializability().ok
+
+    def test_majority_side_keeps_working(self):
+        db = moving_db(MajorityCommitProtocol())
+        db.partitions.partition_now([["X"], ["Y", "Z"]])
+        db.move_agent("ag", "Y", transport_delay=1)
+        db.run(until=30)
+        tracker = db.submit_update("ag", setv("v", 5), writes=["v"])
+        db.run(until=40)
+        assert tracker.succeeded
+        db.partitions.heal_now()
+        db.quiesce()
+        assert db.mutual_consistency().consistent
+
+    def test_move_resyncs_missed_transactions(self):
+        protocol = MajorityCommitProtocol()
+        db = moving_db(protocol)
+        db.submit_update("ag", setv("v", 1), writes=["v"], txn_id="T1")
+        db.quiesce()
+        # Y misses the next update: cut Y off, update, heal via move.
+        db.partitions.partition_now([["X", "Z"], ["Y"]])
+        db.submit_update("ag", setv("v", 2), writes=["v"], txn_id="T2")
+        db.run(until=10)
+        assert db.nodes["Y"].store.read("v") == 1
+        db.partitions.heal_now()
+        db.move_agent("ag", "Y", transport_delay=1)
+        db.quiesce()
+        tracker = db.submit_update("ag", setv("v", 3), writes=["v"], txn_id="T3")
+        db.quiesce()
+        assert tracker.succeeded
+        assert db.mutual_consistency().consistent
+        assert db.fragmentwise_serializability().ok
+        assert db.nodes["Y"].store.read("v") == 3
+
+    def test_prepare_ack_overhead_counted(self):
+        protocol = MajorityCommitProtocol()
+        db = moving_db(protocol)
+        db.submit_update("ag", setv("v", 1), writes=["v"])
+        db.quiesce()
+        assert protocol.prepare_rounds == 1
+        assert db.network.messages_by_kind["maj-prep"] == 2
+        assert db.network.messages_by_kind["maj-ack"] == 2
+
+
+class TestCorrectiveProtocol:
+    def test_mutual_consistency_preserved_same_object(self):
+        db = moving_db(CorrectiveMoveProtocol())
+        results = missing_transaction_scenario(db, same_object=True)
+        assert results["t1"].succeeded
+        assert results["t2"].succeeded
+        assert db.mutual_consistency().consistent
+        # T1's write of v was overwritten by T2 (newer timestamp): the
+        # orphan is stripped empty and dropped.
+        for node in db.nodes.values():
+            assert node.store.read("v") == 222
+
+    def test_fragmentwise_sacrificed(self):
+        db = moving_db(CorrectiveMoveProtocol())
+        missing_transaction_scenario(db, same_object=True)
+        assert not db.fragmentwise_serializability().ok
+
+    def test_orphan_with_surviving_update_repackaged(self):
+        protocol = CorrectiveMoveProtocol()
+        db = moving_db(protocol)
+        results = missing_transaction_scenario(db, same_object=False)
+        # T1 wrote v, T2 wrote w: nothing overwrote v at Y, so the
+        # orphan is repackaged into the new stream and applied.
+        db.quiesce()
+        assert protocol.orphans_handled >= 1
+        assert protocol.repackaged_count >= 1
+        assert db.mutual_consistency().consistent
+        for node in db.nodes.values():
+            assert node.store.read("v") == 111
+            assert node.store.read("w") == 222
+
+    def test_overwritten_orphan_dropped_empty(self):
+        protocol = CorrectiveMoveProtocol()
+        db = moving_db(protocol)
+        missing_transaction_scenario(db, same_object=True)
+        assert protocol.orphans_dropped_empty >= 1
+
+    def test_corrective_hook_fires(self):
+        protocol = CorrectiveMoveProtocol()
+        db = moving_db(protocol)
+        fired = []
+        db.on_corrective(
+            lambda node, quasi, kept: fired.append((quasi.source_txn, len(kept)))
+        )
+        missing_transaction_scenario(db, same_object=True)
+        assert fired == [("T1", 0)]
+
+    def test_m0_lets_stragglers_catch_up(self):
+        protocol = CorrectiveMoveProtocol()
+        db = moving_db(protocol)
+        # Z misses two pre-move transactions entirely; the M0 broadcast
+        # from the new home carries them.
+        db.partitions.partition_now([["X", "Y"], ["Z"]])
+        db.submit_update("ag", setv("v", 1), writes=["v"], txn_id="T1")
+        db.submit_update("ag", setv("w", 2), writes=["w"], txn_id="T2")
+        db.run(until=10)
+        assert db.nodes["Z"].store.read("v") == 0
+        db.partitions.heal_now()
+        db.run(until=11)
+        # Move immediately; Z may still be behind when M0 arrives.
+        db.move_agent("ag", "Y", transport_delay=0.1)
+        db.quiesce()
+        assert db.nodes["Z"].store.read("v") == 1
+        assert db.nodes["Z"].store.read("w") == 2
+        assert db.mutual_consistency().consistent
+
+    def test_epoch_bumped_per_move(self):
+        protocol = CorrectiveMoveProtocol()
+        db = moving_db(protocol)
+        db.move_agent("ag", "Y", transport_delay=1)
+        db.quiesce()
+        db.move_agent("ag", "Z", transport_delay=1)
+        db.quiesce()
+        token = db.agents["ag"].token_for("F")
+        assert token.payload["epoch"] == 2
+        assert protocol.m0_broadcasts == 2

@@ -1,0 +1,285 @@
+"""Tests for topology, network delivery, partitions, and broadcast."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import (
+    Network,
+    PartitionManager,
+    PartitionSpec,
+    ReliableBroadcast,
+    Topology,
+)
+from repro.sim import Simulator
+
+
+def make_net(nodes=("A", "B", "C"), latency=1.0, topology=None):
+    sim = Simulator()
+    topo = topology or Topology.full_mesh(nodes, latency)
+    return sim, topo, Network(sim, topo)
+
+
+class TestTopology:
+    def test_full_mesh_links(self):
+        topo = Topology.full_mesh(["a", "b", "c"])
+        assert len(topo.links) == 3
+
+    def test_star_links(self):
+        topo = Topology.star("hub", ["l1", "l2", "l3"])
+        assert len(topo.links) == 3
+        assert set(topo.neighbors("hub")) == {"l1", "l2", "l3"}
+
+    def test_line_links(self):
+        topo = Topology.line(["a", "b", "c", "d"])
+        assert len(topo.links) == 3
+        assert topo.neighbors("b") == ["a", "c"]
+
+    def test_path_latency_multi_hop(self):
+        topo = Topology.line(["a", "b", "c"], latency=2.0)
+        assert topo.path_latency("a", "c") == 4.0
+        assert topo.path_latency("a", "a") == 0.0
+
+    def test_path_latency_prefers_cheapest(self):
+        topo = Topology(["a", "b", "c"])
+        topo.add_link("a", "b", 10.0)
+        topo.add_link("a", "c", 1.0)
+        topo.add_link("c", "b", 1.0)
+        assert topo.path_latency("a", "b") == 2.0
+
+    def test_reachability_respects_down_links(self):
+        topo = Topology.line(["a", "b", "c"])
+        assert topo.reachable("a", "c")
+        topo.set_link_up("b", "c", False)
+        assert not topo.reachable("a", "c")
+        assert topo.reachable("a", "b")
+
+    def test_cut_and_heal(self):
+        topo = Topology.full_mesh(["a", "b", "c", "d"])
+        cut = topo.cut({"a", "b"}, {"c", "d"})
+        assert cut == 4
+        assert not topo.reachable("a", "c")
+        assert topo.reachable("a", "b")
+        healed = topo.heal()
+        assert healed == 4
+        assert topo.reachable("a", "c")
+
+    def test_components(self):
+        topo = Topology.full_mesh(["a", "b", "c", "d"])
+        topo.cut({"a"}, {"b", "c", "d"})
+        comps = sorted(topo.components(), key=len)
+        assert comps[0] == {"a"}
+        assert comps[1] == {"b", "c", "d"}
+
+    def test_errors(self):
+        topo = Topology(["a", "b"])
+        with pytest.raises(NetworkError):
+            topo.add_link("a", "zzz")
+        with pytest.raises(NetworkError):
+            topo.add_link("a", "a")
+        topo.add_link("a", "b")
+        with pytest.raises(NetworkError):
+            topo.add_link("a", "b")
+        with pytest.raises(NetworkError):
+            topo.link("a", "nope")
+        with pytest.raises(NetworkError):
+            Topology(["x"]).path_latency("x", "nope")
+
+
+class TestNetworkDelivery:
+    def test_basic_delivery_with_latency(self):
+        sim, topo, net = make_net(latency=3.0)
+        received = []
+        net.register("B", lambda m: received.append((sim.now, m.payload)))
+        net.register("A", lambda m: None)
+        net.send("A", "B", "test", {"x": 1})
+        sim.run()
+        assert received == [(3.0, {"x": 1})]
+
+    def test_channel_fifo_despite_route_change(self):
+        # A message sent over a slow route must not overtake an earlier
+        # one after the route gets faster.
+        sim = Simulator()
+        topo = Topology(["a", "b", "c"])
+        topo.add_link("a", "c", 10.0)
+        topo.add_link("a", "b", 1.0)
+        topo.add_link("b", "c", 1.0)
+        net = Network(sim, topo)
+        received = []
+        net.register("c", lambda m: received.append(m.payload))
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: None)
+        topo.set_link_up("a", "b", False)  # force the slow route
+        net.send("a", "c", "m", 1)
+        topo.set_link_up("a", "b", True)  # fast route back
+        net.send("a", "c", "m", 2)
+        sim.run()
+        assert received == [1, 2]
+
+    def test_held_across_partition_and_released(self):
+        sim, topo, net = make_net(["A", "B"])
+        received = []
+        net.register("B", lambda m: received.append(sim.now))
+        net.register("A", lambda m: None)
+        manager = PartitionManager(net)
+        manager.partition_now([["A"], ["B"]])
+        net.send("A", "B", "m", "hello")
+        sim.run()
+        assert received == []
+        assert net.held_count() == 1
+        manager.heal_now()
+        sim.run()
+        assert len(received) == 1
+        assert net.held_count() == 0
+
+    def test_message_in_flight_when_partition_forms_is_held(self):
+        sim, topo, net = make_net(["A", "B"], latency=5.0)
+        received = []
+        net.register("B", lambda m: received.append(sim.now))
+        net.register("A", lambda m: None)
+        manager = PartitionManager(net)
+        net.send("A", "B", "m", 1)  # would deliver at t=5
+        sim.schedule(2.0, lambda: manager.partition_now([["A"], ["B"]]))
+        sim.schedule(20.0, manager.heal_now)
+        sim.run()
+        assert len(received) == 1
+        assert received[0] >= 20.0  # not lost, delivered after the heal
+
+    def test_stats_and_errors(self):
+        sim, topo, net = make_net(["A", "B"])
+        net.register("A", lambda m: None)
+        net.register("B", lambda m: None)
+        with pytest.raises(NetworkError):
+            net.send("A", "A", "m", 1)
+        with pytest.raises(NetworkError):
+            net.register("A", lambda m: None)
+        net.send("A", "B", "kind1", 1)
+        net.send("A", "B", "kind1", 2)
+        sim.run()
+        assert net.messages_sent == 2
+        assert net.messages_delivered == 2
+        assert net.messages_by_kind["kind1"] == 2
+
+
+class TestPartitionSpec:
+    def test_duration_and_validation(self):
+        spec = PartitionSpec(10.0, 30.0, [["a"], ["b"]])
+        assert spec.duration == 20.0
+        with pytest.raises(NetworkError):
+            PartitionSpec(10.0, 10.0, [["a"], ["b"]])
+
+    def test_overlapping_groups_rejected(self):
+        sim, topo, net = make_net()
+        manager = PartitionManager(net)
+        with pytest.raises(NetworkError):
+            manager.partition_now([["A", "B"], ["B", "C"]])
+
+    def test_scheduled_episode(self):
+        sim, topo, net = make_net(["A", "B"])
+        net.register("A", lambda m: None)
+        net.register("B", lambda m: None)
+        manager = PartitionManager(net)
+        manager.install([PartitionSpec(5.0, 15.0, [["A"], ["B"]], "ep1")])
+        sim.run(until=6.0)
+        assert not topo.reachable("A", "B")
+        sim.run(until=16.0)
+        assert topo.reachable("A", "B")
+        assert manager.partitions_applied == 1
+        assert manager.heals_applied == 1
+
+
+class TestReliableBroadcast:
+    def make(self, nodes=("A", "B", "C"), fifo=True):
+        sim = Simulator()
+        topo = Topology.full_mesh(nodes)
+        net = Network(sim, topo)
+        bcast = ReliableBroadcast(net, fifo=fifo)
+        logs = {n: [] for n in nodes}
+        for n in nodes:
+            bcast.attach(n, lambda s, q, b, n=n: logs[n].append((s, q, b)))
+        return sim, net, bcast, logs
+
+    def test_sender_delivers_to_self_synchronously(self):
+        sim, net, bcast, logs = self.make()
+        bcast.broadcast("A", "hello")
+        assert logs["A"] == [("A", 0, "hello")]
+        assert logs["B"] == []
+        sim.run()
+        assert logs["B"] == [("A", 0, "hello")]
+
+    def test_per_sender_fifo_order(self):
+        sim, net, bcast, logs = self.make()
+        for i in range(5):
+            bcast.broadcast("A", i)
+        sim.run()
+        for node in logs:
+            assert [b for (_s, _q, b) in logs[node]] == [0, 1, 2, 3, 4]
+
+    def test_order_preserved_across_partition(self):
+        sim, net, bcast, logs = self.make(("A", "B"))
+        manager = PartitionManager(net)
+        bcast.broadcast("A", "before")
+        sim.run()  # "before" delivered while connected
+        assert [b for (_s, _q, b) in logs["B"]] == ["before"]
+        manager.partition_now([["A"], ["B"]])
+        bcast.broadcast("A", "during-1")
+        bcast.broadcast("A", "during-2")
+        sim.run()
+        assert [b for (_s, _q, b) in logs["B"]] == ["before"]
+        manager.heal_now()
+        sim.run()
+        assert [b for (_s, _q, b) in logs["B"]] == [
+            "before",
+            "during-1",
+            "during-2",
+        ]
+
+    def test_in_flight_broadcast_held_not_lost(self):
+        sim, net, bcast, logs = self.make(("A", "B"))
+        manager = PartitionManager(net)
+        bcast.broadcast("A", "in-flight")  # would deliver at t=1
+        manager.partition_now([["A"], ["B"]])  # forms at t=0
+        sim.run()
+        assert logs["B"] == []  # held, not delivered
+        manager.heal_now()
+        sim.run()
+        assert [b for (_s, _q, b) in logs["B"]] == ["in-flight"]
+
+    def test_out_of_order_buffering(self):
+        sim, net, bcast, logs = self.make(("A", "B"))
+        # Inject seq 1 before seq 0 manually via the wire format.
+        from repro.net.broadcast import SeqPayload
+
+        bcast._process("B", SeqPayload("A", 1, "k", "second"))
+        assert logs["B"] == []
+        assert bcast.out_of_order_buffered == 1
+        bcast._process("B", SeqPayload("A", 0, "k", "first"))
+        assert [b for (_s, _q, b) in logs["B"]] == ["first", "second"]
+
+    def test_duplicates_dropped(self):
+        from repro.net.broadcast import SeqPayload
+
+        sim, net, bcast, logs = self.make(("A", "B"))
+        bcast._process("B", SeqPayload("A", 0, "k", "x"))
+        bcast._process("B", SeqPayload("A", 0, "k", "x"))
+        assert len(logs["B"]) == 1
+
+    def test_non_fifo_mode_delivers_immediately(self):
+        from repro.net.broadcast import SeqPayload
+
+        sim, net, bcast, logs = self.make(("A", "B"), fifo=False)
+        bcast._process("B", SeqPayload("A", 5, "k", "later"))
+        bcast._process("B", SeqPayload("A", 0, "k", "earlier"))
+        assert [b for (_s, _q, b) in logs["B"]] == ["later", "earlier"]
+
+    def test_interleaved_senders_fifo_per_sender(self):
+        sim, net, bcast, logs = self.make()
+        bcast.broadcast("A", "a0")
+        bcast.broadcast("B", "b0")
+        bcast.broadcast("A", "a1")
+        bcast.broadcast("B", "b1")
+        sim.run()
+        for node in logs:
+            from_a = [b for (s, _q, b) in logs[node] if s == "A"]
+            from_b = [b for (s, _q, b) in logs[node] if s == "B"]
+            assert from_a == ["a0", "a1"]
+            assert from_b == ["b0", "b1"]

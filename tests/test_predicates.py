@@ -1,0 +1,92 @@
+"""Tests for consistency predicates (Section 4.3 classification)."""
+
+from repro.core.fragment import Fragment, FragmentCatalog
+from repro.core.predicates import ConsistencyPredicate, PredicateSuite
+from repro.storage.store import ObjectStore
+
+
+def make_catalog():
+    catalog = FragmentCatalog()
+    catalog.add(Fragment("F1", objects=["a", "b"]))
+    catalog.add(Fragment("F2", objects=["c"]))
+    return catalog
+
+
+def make_store(values):
+    store = ObjectStore("n")
+    store.load(values)
+    return store
+
+
+class TestClassification:
+    def test_single_fragment(self):
+        catalog = make_catalog()
+        store = make_store({"a": 1, "b": 2, "c": 3})
+        predicate = ConsistencyPredicate(
+            "p", ["a", "b"], lambda values: True
+        )
+        assert predicate.classify(catalog, store) == "single"
+
+    def test_multi_fragment(self):
+        catalog = make_catalog()
+        store = make_store({"a": 1, "c": 3})
+        predicate = ConsistencyPredicate("p", ["a", "c"], lambda values: True)
+        assert predicate.classify(catalog, store) == "multi"
+
+    def test_dynamic_object_list(self):
+        catalog = make_catalog()
+        store = make_store({"a": 1, "b": 2, "c": 3})
+        predicate = ConsistencyPredicate(
+            "p",
+            lambda s: [name for name in s.names if name != "c"],
+            lambda values: True,
+        )
+        assert predicate.resolve_objects(store) == ["a", "b"]
+        assert predicate.classify(catalog, store) == "single"
+
+
+class TestEvaluation:
+    def test_holds_and_violates(self):
+        store = make_store({"a": 5})
+        good = ConsistencyPredicate("ok", ["a"], lambda v: v["a"] >= 0)
+        bad = ConsistencyPredicate("neg", ["a"], lambda v: v["a"] < 0)
+        assert good.holds(store)
+        assert not bad.holds(store)
+
+    def test_suite_counts_by_class(self):
+        catalog = make_catalog()
+        suite = PredicateSuite(catalog)
+        suite.add(
+            ConsistencyPredicate("single-bad", ["a"], lambda v: False)
+        )
+        suite.add(
+            ConsistencyPredicate("multi-bad", ["a", "c"], lambda v: False)
+        )
+        suite.add(ConsistencyPredicate("fine", ["b"], lambda v: True))
+        store = make_store({"a": 1, "b": 2, "c": 3})
+        result = suite.evaluate(store)
+        assert result.single == 1
+        assert result.multi == 1
+        assert result.total == 2
+        assert len(result.details) == 2
+
+    def test_suite_aggregates_over_stores(self):
+        catalog = make_catalog()
+        suite = PredicateSuite(catalog)
+        suite.add(ConsistencyPredicate("bad", ["a"], lambda v: False))
+        stores = [make_store({"a": 1}), make_store({"a": 2})]
+        result = suite.evaluate_all(stores)
+        assert result.single == 2
+
+    def test_missing_objects_skipped(self):
+        store = make_store({"a": 1})
+        predicate = ConsistencyPredicate(
+            "p", ["a", "ghost"], lambda values: "ghost" not in values
+        )
+        assert predicate.holds(store)
+
+    def test_len(self):
+        suite = PredicateSuite(make_catalog())
+        assert len(suite) == 0
+        suite.add(ConsistencyPredicate("p", ["a"], lambda v: True))
+        assert len(suite) == 1

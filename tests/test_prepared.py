@@ -1,0 +1,128 @@
+"""Tests for the scheduler's prepared (2PC participant) state."""
+
+import pytest
+
+from repro.cc import LocalScheduler, Read, TxnOutcome, Write
+from repro.errors import SimulationError
+from repro.sim import Simulator
+from repro.storage import ObjectStore
+
+
+def make_scheduler():
+    sim = Simulator()
+    store = ObjectStore("n")
+    store.load({"x": 0, "y": 0})
+    return sim, store, LocalScheduler("n", store, sim=sim)
+
+
+def write_x(value):
+    def body(_ctx):
+        yield Write("x", value)
+
+    return body
+
+
+class TestPreparedState:
+    def test_prepare_then_commit(self):
+        sim, store, sched = make_scheduler()
+        prepared = []
+        outcomes = []
+        sched.submit(
+            "T1",
+            write_x(5),
+            meta={"hold": True, "on_prepared": lambda h: prepared.append(h)},
+            on_done=lambda h, o, e: outcomes.append(o),
+        )
+        sim.run()
+        assert len(prepared) == 1
+        assert outcomes == []  # not yet decided
+        assert store.read("x") == 0  # nothing applied
+        sched.commit_prepared("T1")
+        assert outcomes == [TxnOutcome.COMMITTED]
+        assert store.read("x") == 5
+
+    def test_prepare_then_abort(self):
+        sim, store, sched = make_scheduler()
+        outcomes = []
+        sched.submit(
+            "T1",
+            write_x(5),
+            meta={"hold": True},
+            on_done=lambda h, o, e: outcomes.append(o),
+        )
+        sim.run()
+        sched.abort_prepared("T1", "coordinator said no")
+        assert outcomes == [TxnOutcome.ABORTED]
+        assert store.read("x") == 0
+
+    def test_prepared_holds_locks(self):
+        sim, store, sched = make_scheduler()
+        sched.submit("T1", write_x(5), meta={"hold": True})
+        sim.run()
+        seen = []
+
+        def reader(_ctx):
+            seen.append((yield Read("x")))
+
+        sched.submit("R", reader)
+        sim.run()
+        assert seen == []  # blocked behind the prepared X lock
+        sched.commit_prepared("T1")
+        sim.run()
+        assert seen == [5]
+
+    def test_abort_releases_locks(self):
+        sim, store, sched = make_scheduler()
+        sched.submit("T1", write_x(5), meta={"hold": True})
+        sim.run()
+        seen = []
+
+        def reader(_ctx):
+            seen.append((yield Read("x")))
+
+        sched.submit("R", reader)
+        sched.abort_prepared("T1")
+        sim.run()
+        assert seen == [0]
+
+    def test_commit_unprepared_rejected(self):
+        sim, store, sched = make_scheduler()
+        with pytest.raises(SimulationError):
+            sched.commit_prepared("ghost")
+        sched.submit("T1", write_x(1))  # commits immediately (no hold)
+        with pytest.raises(SimulationError):
+            sched.commit_prepared("T1")
+
+    def test_abort_unprepared_rejected(self):
+        sim, store, sched = make_scheduler()
+        with pytest.raises(SimulationError):
+            sched.abort_prepared("ghost")
+
+    def test_prepared_can_lose_deadlock(self):
+        """A prepared participant can still be chosen as a deadlock
+        victim by a later cycle only through its held locks — it is
+        waiting on nothing, so it can never be *in* a cycle.  Verify it
+        survives a deadlock around it."""
+        sim = Simulator()
+        store = ObjectStore("n")
+        store.load({"x": 0, "y": 0, "z": 0})
+        sched = LocalScheduler("n", store, sim=sim, action_delay=1.0)
+        sched.submit("P", write_x(9), meta={"hold": True})
+        sim.run()
+
+        def t_a(_ctx):
+            yield Write("y", 1)
+            yield Write("z", 1)
+
+        def t_b(_ctx):
+            yield Write("z", 2)
+            yield Write("y", 2)
+
+        outcomes = {}
+        sched.submit("A", t_a, on_done=lambda h, o, e: outcomes.update(A=o))
+        sched.submit("B", t_b, on_done=lambda h, o, e: outcomes.update(B=o))
+        sim.run()
+        assert sched.active["P"].state == "prepared"  # untouched
+        assert TxnOutcome.ABORTED in outcomes.values()
+        sched.commit_prepared("P")
+        assert store.read("x") == 9

@@ -1,0 +1,157 @@
+"""Property-based invariant tests for the substrate layers."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cc.locks import LockMode, LockTable
+from repro.net import Network, ReliableBroadcast, Topology
+from repro.net.broadcast import SeqPayload
+from repro.sim import SeededRng, Simulator
+
+OBJECTS = ["x", "y", "z"]
+TXNS = ["T0", "T1", "T2", "T3"]
+
+
+@st.composite
+def lock_scripts(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    script = []
+    for _ in range(n):
+        if draw(st.booleans()):
+            script.append(
+                (
+                    "acquire",
+                    draw(st.sampled_from(TXNS)),
+                    draw(st.sampled_from(OBJECTS)),
+                    draw(st.sampled_from([LockMode.S, LockMode.X])),
+                )
+            )
+        else:
+            script.append(("release", draw(st.sampled_from(TXNS))))
+    return script
+
+
+class TestLockTableInvariants:
+    @given(lock_scripts())
+    @settings(max_examples=200)
+    def test_no_conflicting_holders_ever(self, script):
+        table = LockTable()
+        for step in script:
+            if step[0] == "acquire":
+                _op, txn, obj, mode = step
+                table.acquire(txn, obj, mode)
+            else:
+                table.release_all(step[1])
+            for obj in OBJECTS:
+                holders = table.holders_of(obj)
+                x_holders = [
+                    t for t, m in holders.items() if m is LockMode.X
+                ]
+                assert len(x_holders) <= 1
+                if x_holders:
+                    assert len(holders) == 1  # X excludes everything
+
+    @given(lock_scripts())
+    @settings(max_examples=100)
+    def test_releasing_everyone_empties_the_table(self, script):
+        table = LockTable()
+        for step in script:
+            if step[0] == "acquire":
+                _op, txn, obj, mode = step
+                table.acquire(txn, obj, mode)
+            else:
+                table.release_all(step[1])
+        for txn in TXNS:
+            table.release_all(txn)
+        for obj in OBJECTS:
+            assert table.holders_of(obj) == {}
+            assert table.queued_for(obj) == []
+
+    @given(lock_scripts())
+    @settings(max_examples=100)
+    def test_granted_waiters_actually_hold(self, script):
+        table = LockTable()
+        for step in script:
+            if step[0] == "acquire":
+                _op, txn, obj, mode = step
+                table.acquire(txn, obj, mode)
+            else:
+                granted = table.release_all(step[1])
+                for txn, obj, mode in granted:
+                    held = table.holders_of(obj).get(txn)
+                    assert held is mode or held is LockMode.X
+
+
+class TestBroadcastInvariants:
+    @given(
+        order=st.permutations(list(range(8))),
+        dup=st.lists(st.integers(min_value=0, max_value=7), max_size=4),
+    )
+    @settings(max_examples=150)
+    def test_any_arrival_order_delivers_in_sequence_exactly_once(
+        self, order, dup
+    ):
+        sim = Simulator()
+        topo = Topology.full_mesh(["A", "B"])
+        net = Network(sim, topo)
+        bcast = ReliableBroadcast(net)
+        delivered = []
+        bcast.attach("A", lambda s, q, b: None)
+        bcast.attach("B", lambda s, q, b: delivered.append(q))
+        for seq in list(order) + list(dup):
+            bcast._process("B", SeqPayload("A", seq, "k", f"m{seq}"))
+        assert delivered == list(range(8))
+
+    @given(
+        seqs_a=st.permutations(list(range(5))),
+        seqs_b=st.permutations(list(range(5))),
+    )
+    @settings(max_examples=50)
+    def test_per_sender_streams_are_independent(self, seqs_a, seqs_b):
+        sim = Simulator()
+        topo = Topology.full_mesh(["A", "B", "C"])
+        net = Network(sim, topo)
+        bcast = ReliableBroadcast(net)
+        delivered = []
+        for name in ("A", "B", "C"):
+            bcast.attach(
+                name,
+                (lambda s, q, b: delivered.append((s, q)))
+                if name == "C"
+                else (lambda s, q, b: None),
+            )
+        for seq in seqs_a:
+            bcast._process("C", SeqPayload("A", seq, "k", None))
+        for seq in seqs_b:
+            bcast._process("C", SeqPayload("B", seq, "k", None))
+        from_a = [q for s, q in delivered if s == "A"]
+        from_b = [q for s, q in delivered if s == "B"]
+        assert from_a == list(range(5))
+        assert from_b == list(range(5))
+
+
+class TestSimulatorInvariants:
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=100)
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(seed=st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=50)
+    def test_rng_fork_stability(self, seed):
+        a = SeededRng(seed).fork("label")
+        b = SeededRng(seed).fork("label")
+        assert [a.randint(0, 100) for _ in range(5)] == [
+            b.randint(0, 100) for _ in range(5)
+        ]

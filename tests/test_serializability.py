@@ -1,0 +1,108 @@
+"""Tests for single-site conflict-serializability checking."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cc.serializability import (
+    ActionRecord,
+    conflict_graph,
+    equivalent_serial_order,
+    is_conflict_serializable,
+)
+
+
+def history(*triples):
+    return [
+        ActionRecord(txn, kind, obj, seq)
+        for seq, (txn, kind, obj) in enumerate(triples)
+    ]
+
+
+class TestConflictGraph:
+    def test_serial_history_serializable(self):
+        actions = history(
+            ("T1", "r", "x"), ("T1", "w", "x"),
+            ("T2", "r", "x"), ("T2", "w", "x"),
+        )
+        assert is_conflict_serializable(actions)
+        assert equivalent_serial_order(actions) == ["T1", "T2"]
+
+    def test_classic_nonserializable_interleaving(self):
+        # T1: r(x) ... w(y); T2: r(y) ... w(x) interleaved both ways.
+        actions = history(
+            ("T1", "r", "x"),
+            ("T2", "r", "y"),
+            ("T2", "w", "x"),
+            ("T1", "w", "y"),
+        )
+        assert not is_conflict_serializable(actions)
+        with pytest.raises(ValueError):
+            equivalent_serial_order(actions)
+
+    def test_read_read_no_conflict(self):
+        actions = history(
+            ("T1", "r", "x"), ("T2", "r", "x"), ("T1", "r", "x")
+        )
+        graph = conflict_graph(actions)
+        assert graph.edges == []
+
+    def test_write_write_conflict_ordered(self):
+        actions = history(("T1", "w", "x"), ("T2", "w", "x"))
+        graph = conflict_graph(actions)
+        assert graph.has_edge("T1", "T2")
+        assert not graph.has_edge("T2", "T1")
+
+    def test_same_txn_no_self_edge(self):
+        actions = history(("T1", "w", "x"), ("T1", "r", "x"))
+        graph = conflict_graph(actions)
+        assert not graph.has_edge("T1", "T1")
+
+    def test_disjoint_objects_any_order(self):
+        actions = history(
+            ("T1", "w", "x"), ("T2", "w", "y"), ("T1", "w", "x")
+        )
+        order = equivalent_serial_order(actions)
+        assert set(order) == {"T1", "T2"}
+
+
+@st.composite
+def random_histories(draw):
+    n_txns = draw(st.integers(min_value=1, max_value=4))
+    actions = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n_txns - 1),
+                st.sampled_from(["r", "w"]),
+                st.sampled_from(["x", "y", "z"]),
+            ),
+            max_size=16,
+        )
+    )
+    return [
+        ActionRecord(f"T{t}", kind, obj, seq)
+        for seq, (t, kind, obj) in enumerate(actions)
+    ]
+
+
+class TestProperties:
+    @given(random_histories())
+    def test_serial_order_respects_all_conflicts(self, actions):
+        if not is_conflict_serializable(actions):
+            return
+        order = equivalent_serial_order(actions)
+        position = {txn: i for i, txn in enumerate(order)}
+        by_obj = {}
+        for action in actions:
+            by_obj.setdefault(action.obj, []).append(action)
+        for series in by_obj.values():
+            for i, first in enumerate(series):
+                for second in series[i + 1 :]:
+                    if first.txn == second.txn:
+                        continue
+                    if first.kind == "w" or second.kind == "w":
+                        assert position[first.txn] < position[second.txn]
+
+    @given(random_histories())
+    def test_single_transaction_always_serializable(self, actions):
+        solo = [a for a in actions if a.txn == "T0"]
+        assert is_conflict_serializable(solo)

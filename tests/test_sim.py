@@ -1,0 +1,220 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import SeededRng, Simulator
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("late"))
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(3.0, lambda i=i: fired.append(i))
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(7.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [7.5]
+        assert sim.now == 7.5
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.0, lambda: fired.append(1))
+        sim.run()
+        assert fired == [1]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(12.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [12.0]
+
+    def test_callback_can_schedule_more(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(1.0, lambda: fired.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now == 2.0
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_event_exactly_at_until_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(1))
+        sim.run(until=5.0)
+        assert fired == [1]
+
+    def test_advance_to_backwards_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.advance_to(1.0)
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def nested():
+            sim.run()
+
+        sim.schedule(1.0, nested)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_fired == 5
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending == 1
+
+    def test_handle_exposes_time_and_label(self):
+        sim = Simulator()
+        handle = sim.schedule(3.0, lambda: None, label="hello")
+        assert handle.time == 3.0
+        assert handle.label == "hello"
+
+
+class TestTrace:
+    def test_trace_hook_sees_labels(self):
+        sim = Simulator()
+        seen = []
+        sim.set_trace(lambda t, label: seen.append((t, label)))
+        sim.schedule(1.0, lambda: None, label="one")
+        sim.schedule(2.0, lambda: None, label="two")
+        sim.run()
+        assert seen == [(1.0, "one"), (2.0, "two")]
+        sim.set_trace(None)
+
+
+class TestSeededRng:
+    def test_same_seed_same_stream(self):
+        a, b = SeededRng(42), SeededRng(42)
+        assert [a.random() for _ in range(20)] == [
+            b.random() for _ in range(20)
+        ]
+
+    def test_different_seeds_differ(self):
+        a, b = SeededRng(1), SeededRng(2)
+        assert [a.random() for _ in range(20)] != [
+            b.random() for _ in range(20)
+        ]
+
+    def test_fork_is_deterministic(self):
+        a, b = SeededRng(42), SeededRng(42)
+        fa, fb = a.fork("x"), b.fork("x")
+        assert [fa.random() for _ in range(10)] == [
+            fb.random() for _ in range(10)
+        ]
+
+    def test_forks_are_distinct(self):
+        rng = SeededRng(42)
+        f1, f2 = rng.fork("x"), rng.fork("x")
+        assert [f1.random() for _ in range(10)] != [
+            f2.random() for _ in range(10)
+        ]
+
+    def test_zipf_index_in_range(self):
+        rng = SeededRng(1)
+        for _ in range(200):
+            assert 0 <= rng.zipf_index(7, 1.2) < 7
+
+    def test_zipf_skew_prefers_low_indices(self):
+        rng = SeededRng(1)
+        draws = [rng.zipf_index(10, 1.5) for _ in range(2000)]
+        assert draws.count(0) > draws.count(9)
+
+    def test_zipf_zero_skew_uniformish(self):
+        rng = SeededRng(1)
+        draws = [rng.zipf_index(4, 0.0) for _ in range(4000)]
+        for value in range(4):
+            assert 800 < draws.count(value) < 1200
+
+    def test_zipf_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).zipf_index(0)
+
+    def test_exponential_positive_with_roughly_right_mean(self):
+        rng = SeededRng(3)
+        draws = [rng.exponential(10.0) for _ in range(5000)]
+        assert all(d >= 0 for d in draws)
+        assert 9.0 < sum(draws) / len(draws) < 11.0
+
+    def test_bernoulli_extremes(self):
+        rng = SeededRng(4)
+        assert not any(rng.bernoulli(0.0) for _ in range(50))
+        assert all(rng.bernoulli(1.0) for _ in range(50))

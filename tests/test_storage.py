@@ -1,0 +1,125 @@
+"""Tests for versioned values, object stores, and update logs."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.storage import LogRecord, ObjectStore, UpdateLog, Version
+
+
+class TestVersion:
+    def test_defaults_are_initial(self):
+        version = Version(42)
+        assert version.writer == "@init"
+        assert version.version_no == 0
+
+    def test_newer_than_by_version_no(self):
+        older = Version(1, "T1", 1, 5.0)
+        newer = Version(2, "T2", 2, 3.0)
+        assert newer.newer_than(older)
+        assert not older.newer_than(newer)
+
+    def test_newer_than_ties_break_by_timestamp(self):
+        a = Version(1, "T1", 3, 5.0)
+        b = Version(2, "T2", 3, 7.0)
+        assert b.newer_than(a)
+        assert not a.newer_than(b)
+
+    def test_frozen(self):
+        version = Version(1)
+        with pytest.raises(AttributeError):
+            version.value = 2
+
+
+class TestObjectStore:
+    def test_load_and_read(self):
+        store = ObjectStore("n")
+        store.load({"x": 10, "y": "hello"})
+        assert store.read("x") == 10
+        assert store.read_version("y").writer == "@init"
+
+    def test_unknown_object_raises(self):
+        store = ObjectStore("n")
+        with pytest.raises(ReproError):
+            store.read("missing")
+
+    def test_install_returns_previous(self):
+        store = ObjectStore("n")
+        store.load({"x": 1})
+        previous = store.install("x", Version(2, "T1", 1, 1.0))
+        assert previous.value == 1
+        assert store.read("x") == 2
+
+    def test_install_creates_new_object(self):
+        store = ObjectStore("n")
+        assert store.install("fresh", Version(9, "T1", 1, 1.0)) is None
+        assert store.exists("fresh")
+
+    def test_snapshot_subset(self):
+        store = ObjectStore("n")
+        store.load({"x": 1, "y": 2, "z": 3})
+        assert store.snapshot(["x", "z"]) == {"x": 1, "z": 3}
+        assert store.snapshot() == {"x": 1, "y": 2, "z": 3}
+
+    def test_diff_values(self):
+        a, b = ObjectStore("a"), ObjectStore("b")
+        a.load({"x": 1, "y": 2})
+        b.load({"x": 1, "y": 99})
+        assert a.diff(b) == ["y"]
+
+    def test_diff_missing_objects(self):
+        a, b = ObjectStore("a"), ObjectStore("b")
+        a.load({"x": 1, "extra": 5})
+        b.load({"x": 1})
+        assert a.diff(b) == ["extra"]
+
+    def test_diff_identical(self):
+        a, b = ObjectStore("a"), ObjectStore("b")
+        a.load({"x": 1})
+        b.load({"x": 1})
+        assert a.diff(b) == []
+
+    def test_counters(self):
+        store = ObjectStore("n")
+        store.load({"x": 1})
+        store.read("x")
+        store.read("x")
+        store.install("x", Version(2, "T", 1, 0.0))
+        assert store.reads == 2
+        assert store.writes == 1
+
+    def test_diff_ignores_version_metadata(self):
+        # Mutual consistency is about values; two replicas that applied
+        # the same value via different repackaged transactions agree.
+        a, b = ObjectStore("a"), ObjectStore("b")
+        a.install("x", Version(7, "T1", 1, 1.0))
+        b.install("x", Version(7, "rp:T1", 2, 9.0))
+        assert a.diff(b) == []
+
+
+class TestUpdateLog:
+    def test_append_and_iterate(self):
+        log = UpdateLog("n")
+        log.append(LogRecord("T1", "n", 1.0, {"x": 1}))
+        log.append(LogRecord("T2", "n", 2.0, {"y": 2}))
+        assert len(log) == 2
+        assert [r.txn_id for r in log] == ["T1", "T2"]
+
+    def test_since_filters_strictly(self):
+        log = UpdateLog("n")
+        for t in (1.0, 2.0, 3.0):
+            log.append(LogRecord(f"T{t}", "n", t, {}))
+        assert [r.timestamp for r in log.since(1.5)] == [2.0, 3.0]
+        assert [r.timestamp for r in log.since(2.0)] == [3.0]
+
+    def test_records_returns_copy(self):
+        log = UpdateLog("n")
+        log.append(LogRecord("T1", "n", 1.0, {}))
+        records = log.records()
+        records.clear()
+        assert len(log) == 1
+
+    def test_truncate(self):
+        log = UpdateLog("n")
+        log.append(LogRecord("T1", "n", 1.0, {}))
+        assert log.truncate() == 1
+        assert len(log) == 0

@@ -1,0 +1,177 @@
+"""End-to-end workload invariants under randomized traffic and partitions.
+
+Banking: money is conserved — after quiescence every account's balance
+equals initial + recorded deposits − recorded withdrawals − fines, and
+the local view equals the balance everywhere (everything folded).
+
+Airline: overbooking is structurally impossible no matter how requests,
+scans, and partitions interleave.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import FragmentedDatabase
+from repro.sim.rng import SeededRng
+from repro.workloads import AirlineWorkload, BankingWorkload
+from repro.workloads.generator import BankingDriver, generate_script
+
+
+def run_random_banking(seed):
+    rng = SeededRng(seed)
+    nodes = ["HQ", "B1", "B2"]
+    db = FragmentedDatabase(nodes, seed=seed)
+    accounts = {f"a{i}": 200.0 for i in range(3)}
+    bank = BankingWorkload(
+        db,
+        accounts,
+        central_node="HQ",
+        owners={
+            account: [
+                (f"{account}-o{j}", nodes[(i + j) % 3]) for j in range(2)
+            ]
+            for i, account in enumerate(accounts)
+        },
+        view_mode="balance",
+        overdraft_fine=25.0,
+    )
+    db.finalize()
+    driver = BankingDriver(db, bank)
+    script = generate_script(
+        rng.fork("script"),
+        list(accounts),
+        horizon=120.0,
+        mean_interarrival=4.0,
+        withdraw_fraction=0.6,
+        owners_per_account=2,
+    )
+    driver.schedule(script)
+    # A random partition episode.
+    shuffled = list(nodes)
+    rng.shuffle(shuffled)
+    cut = rng.randint(1, 2)
+    start = rng.uniform(0, 60.0)
+    end = rng.uniform(start + 5, 150.0)
+    db.sim.schedule_at(
+        start,
+        lambda: db.partitions.partition_now(
+            [shuffled[:cut], shuffled[cut:]]
+        ),
+    )
+    db.sim.schedule_at(end, db.partitions.heal_now)
+    db.quiesce()
+    return db, bank, accounts
+
+
+class TestBankingInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=3000))
+    def test_money_conserved_and_fully_folded(self, seed):
+        db, bank, accounts = run_random_banking(seed)
+        store = db.nodes["HQ"].store
+        fines = {}
+        for letter in bank.stats.letters:
+            fines[letter.account] = fines.get(letter.account, 0.0) + letter.fine
+        for account in accounts:
+            total_dep = sum(
+                store.read(f"act:{account}:{owner}:dep")
+                for owner, _ in bank.owners[account]
+            )
+            total_wd = sum(
+                store.read(f"act:{account}:{owner}:wd")
+                for owner, _ in bank.owners[account]
+            )
+            expected = (
+                accounts[account]
+                + total_dep
+                - total_wd
+                - fines.get(account, 0.0)
+            )
+            assert abs(bank.balance_at(account, "HQ") - expected) < 1e-6
+            # Everything folded: the local view equals the raw balance.
+            assert abs(
+                bank.local_view(account, "HQ")
+                - bank.balance_at(account, "HQ")
+            ) < 1e-6
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=3000))
+    def test_replicas_converge_and_fragmentwise_holds(self, seed):
+        db, bank, accounts = run_random_banking(seed)
+        assert db.mutual_consistency().consistent
+        assert db.fragmentwise_serializability().ok
+        violations = db.predicates.evaluate(db.nodes["HQ"].store)
+        assert violations.single == 0  # never single-fragment
+
+    def test_some_seed_produces_an_overdraft(self):
+        """The scenario has teeth: fines actually occur somewhere."""
+        assert any(
+            run_random_banking(seed)[1].stats.letters for seed in range(12)
+        )
+
+
+def run_random_airline(seed):
+    rng = SeededRng(seed)
+    nodes = ["N1", "N2", "N3", "N4"]
+    db = FragmentedDatabase(nodes, seed=seed)
+    airline = AirlineWorkload(
+        db,
+        customer_homes={"c1": "N1", "c2": "N2", "c3": "N1"},
+        flight_homes={"f1": "N3", "f2": "N4"},
+        capacity=4,
+    )
+    db.finalize()
+    for _ in range(10):
+        customer = rng.choice(["c1", "c2", "c3"])
+        flight = rng.choice(["f1", "f2"])
+        seats = rng.randint(1, 3)
+        db.sim.schedule_at(
+            rng.uniform(0, 60.0),
+            lambda c=customer, f=flight, s=seats: airline.request(c, f, s),
+        )
+    for tick in range(10, 120, 15):
+        db.sim.schedule_at(
+            float(tick),
+            lambda: (airline.scan_flight("f1"), airline.scan_flight("f2")),
+        )
+    shuffled = list(nodes)
+    rng.shuffle(shuffled)
+    cut = rng.randint(1, 3)
+    db.sim.schedule_at(
+        rng.uniform(0, 40.0),
+        lambda: db.partitions.partition_now([shuffled[:cut], shuffled[cut:]]),
+    )
+    db.sim.schedule_at(rng.uniform(60.0, 110.0), db.partitions.heal_now)
+    db.quiesce()
+    return db, airline
+
+
+class TestAirlineInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=3000))
+    def test_never_overbooked_anywhere(self, seed):
+        db, airline = run_random_airline(seed)
+        for flight in ("f1", "f2"):
+            for node in db.nodes:
+                assert airline.seats_reserved(flight, node) <= 4, (
+                    seed, flight, node
+                )
+        violations = db.predicates.evaluate(db.nodes["N3"].store)
+        assert violations.single == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=3000))
+    def test_grants_never_exceed_requests(self, seed):
+        db, airline = run_random_airline(seed)
+        store = db.nodes["N3"].store
+        for flight in ("f1", "f2"):
+            for customer in ("c1", "c2", "c3"):
+                granted = store.read(f"f:{flight}:{customer}")
+                requested = store.read(f"c:{customer}:{flight}")
+                assert granted == 0 or granted == requested
+
+    def test_capacity_pressure_actually_denies_someone(self):
+        denied = sum(
+            run_random_airline(seed)[1].stats.denied_overbooking
+            for seed in range(10)
+        )
+        assert denied > 0

@@ -1,0 +1,345 @@
+"""Tests for the banking, warehouse, and airline workloads.
+
+These include executable renditions of the paper's worked scenarios:
+
+* Section 2's banking flow — both $200 withdrawals granted during a
+  partition, the overdraft discovered and penalized *only* at the
+  central office after the heal (E3's core assertion);
+* Section 4.2's warehouse — global serializability without read locks
+  under the star-shaped read-access graph (E4);
+* Section 4.3's airline — full request availability with overbooking
+  structurally impossible (E6).
+"""
+
+import pytest
+
+from repro import (
+    AcyclicReadsStrategy,
+    FragmentedDatabase,
+    UnrestrictedReadsStrategy,
+)
+from repro.workloads import AirlineWorkload, BankingWorkload, WarehouseWorkload
+from repro.workloads.generator import BankingDriver, generate_script
+from repro.sim.rng import SeededRng
+
+
+def banking_db(view_mode="own", owners=None, nodes=("A", "B")):
+    db = FragmentedDatabase(list(nodes), strategy=UnrestrictedReadsStrategy())
+    workload = BankingWorkload(
+        db,
+        {"00001": 300.0},
+        central_node=nodes[0],
+        owners=owners,
+        view_mode=view_mode,
+    )
+    db.finalize()
+    return db, workload
+
+
+class TestBankingBasics:
+    def test_deposit_flows_into_balance(self):
+        db, workload = banking_db()
+        tracker = workload.deposit("00001", 150.0)
+        db.quiesce()
+        assert tracker.succeeded
+        assert workload.balance_at("00001", "A") == 450.0
+        assert workload.balance_at("00001", "B") == 450.0
+
+    def test_withdraw_checks_view(self):
+        db, workload = banking_db()
+        tracker = workload.withdraw("00001", 200.0)
+        db.quiesce()
+        assert tracker.result[0] == "granted"
+        refused = workload.withdraw("00001", 500.0)
+        db.quiesce()
+        assert refused.result[0] == "refused"
+        assert workload.stats.withdrawals_refused == 1
+
+    def test_local_view_includes_unrecorded_activity(self):
+        db, workload = banking_db()
+        db.partitions.partition_now([["A"], ["B"]])
+        # The owner lives at A in this setup (central default), so the
+        # deposit lands at A; its fold also happens at A immediately.
+        workload.deposit("00001", 100.0)
+        db.run(until=5)
+        assert workload.local_view("00001", "A") == 400.0
+        assert workload.local_view("00001", "B") == 300.0  # stale replica
+        db.partitions.heal_now()
+        db.quiesce()
+        assert workload.local_view("00001", "B") == 400.0
+
+    def test_recorded_marks_catch_up(self):
+        db, workload = banking_db()
+        workload.deposit("00001", 100.0)
+        db.quiesce()
+        store = db.nodes["A"].store
+        owner = workload.owner_of("00001")
+        assert store.read(f"rec:00001:{owner}:dep") == 100.0
+
+    def test_validation_of_amounts(self):
+        db, workload = banking_db()
+        with pytest.raises(ValueError):
+            workload.deposit("00001", -5.0)
+        with pytest.raises(ValueError):
+            workload.withdraw("00001", 0.0)
+
+    def test_invalid_view_mode_rejected(self):
+        from repro.errors import DesignError
+
+        db = FragmentedDatabase(["A"])
+        with pytest.raises(DesignError):
+            BankingWorkload(db, {"x": 1.0}, "A", view_mode="psychic")
+
+
+class TestSection2Scenario:
+    """The paper's Section 2 walkthrough, measured."""
+
+    def make(self):
+        # Joint account: one owner at each node; central office at A.
+        return banking_db(
+            view_mode="balance",
+            owners={"00001": [("alice", "A"), ("bob", "B")]},
+        )
+
+    def test_both_200_withdrawals_granted_then_penalized(self):
+        db, workload = self.make()
+        db.partitions.partition_now([["A"], ["B"]])
+        at_a = workload.withdraw("00001", 200.0, owner=0)
+        at_b = workload.withdraw("00001", 200.0, owner=1)
+        db.run(until=20)
+        # Availability: both granted — nobody goes home empty-handed.
+        assert at_a.result[0] == "granted"
+        assert at_b.result[0] == "granted"
+        # A's withdrawal is already folded at the central office.
+        assert workload.balance_at("00001", "A") == 100.0
+        assert not workload.stats.letters
+        db.partitions.heal_now()
+        db.quiesce()
+        # B's withdrawal arrives; the overdraft is discovered and
+        # penalized exactly once, at the central office.
+        assert len(workload.stats.letters) == 1
+        letter = workload.stats.letters[0]
+        assert letter.account == "00001"
+        assert letter.balance_before_fine == -100.0
+        assert workload.balance_at("00001", "A") == -125.0
+        assert db.mutual_consistency().consistent
+        assert db.fragmentwise_serializability().ok
+
+    def test_scenario_1_no_penalty_when_consistent(self):
+        db, workload = self.make()
+        db.partitions.partition_now([["A"], ["B"]])
+        workload.withdraw("00001", 100.0, owner=0)
+        workload.withdraw("00001", 100.0, owner=1)
+        db.run(until=20)
+        db.partitions.heal_now()
+        db.quiesce()
+        assert workload.stats.letters == []
+        assert workload.balance_at("00001", "A") == 100.0
+        assert db.mutual_consistency().consistent
+
+    def test_decision_process_is_centralized(self):
+        """Only the central office's node writes BALANCES."""
+        db, workload = self.make()
+        db.partitions.partition_now([["A"], ["B"]])
+        workload.withdraw("00001", 200.0, owner=0)
+        workload.withdraw("00001", 200.0, owner=1)
+        db.run(until=20)
+        db.partitions.heal_now()
+        db.quiesce()
+        balance_writers = {
+            txn.node
+            for txn in db.recorder.committed
+            if any(w.obj.startswith("bal:") for w in txn.writes)
+        }
+        assert balance_writers == {"A"}
+
+    def test_view_nonneg_predicate_flags_overdraft(self):
+        db, workload = self.make()
+        db.partitions.partition_now([["A"], ["B"]])
+        workload.withdraw("00001", 200.0, owner=0)
+        workload.withdraw("00001", 200.0, owner=1)
+        db.run(until=20)
+        db.partitions.heal_now()
+        db.quiesce()
+        violations = db.predicates.evaluate(db.nodes["A"].store)
+        assert violations.multi >= 1  # the view went negative
+        assert violations.single == 0  # single-fragment never violated
+
+
+class TestBankingDriver:
+    def test_script_replay_is_deterministic(self):
+        rng1 = SeededRng(5)
+        rng2 = SeededRng(5)
+        s1 = generate_script(rng1, ["a", "b"], 100.0, owners_per_account=2)
+        s2 = generate_script(rng2, ["a", "b"], 100.0, owners_per_account=2)
+        assert s1 == s2
+        assert any(e.owner == 1 for e in s1)
+
+    def test_driver_submits_everything(self):
+        db, workload = banking_db()
+        driver = BankingDriver(db, workload)
+        rng = SeededRng(5)
+        script = generate_script(rng, ["00001"], 50.0, mean_interarrival=5.0)
+        driver.schedule(script)
+        db.quiesce()
+        assert len(driver.stats.trackers) == len(script)
+        assert driver.stats.deposits + driver.stats.withdrawals == len(script)
+
+
+class TestWarehouse:
+    def make(self, strategy=None):
+        db = FragmentedDatabase(
+            ["W1", "W2", "HQ"], strategy=strategy or AcyclicReadsStrategy()
+        )
+        workload = WarehouseWorkload(
+            db,
+            {"w1": "W1", "w2": "W2"},
+            central_node="HQ",
+            products=["widgets"],
+            initial_stock=100,
+            target_stock=100,
+        )
+        db.finalize()
+        return db, workload
+
+    def test_design_is_elementarily_acyclic(self):
+        db, workload = self.make()
+        assert db.rag.is_elementarily_acyclic()
+
+    def test_sales_and_shipments(self):
+        db, workload = self.make()
+        workload.sale("w1", "widgets", 30)
+        workload.shipment("w1", "widgets", 10)
+        db.quiesce()
+        store = db.nodes["HQ"].store
+        assert store.read("w:w1:widgets:onhand") == 80
+        assert store.read("w:w1:widgets:sold") == 30
+        assert store.read("w:w1:widgets:received") == 10
+
+    def test_oversell_refused(self):
+        db, workload = self.make()
+        tracker = workload.sale("w1", "widgets", 500)
+        db.quiesce()
+        assert tracker.result[0] == "refused"
+        assert workload.stats.sales_refused == 1
+
+    def test_scan_computes_orders(self):
+        db, workload = self.make()
+        workload.sale("w1", "widgets", 40)
+        workload.sale("w2", "widgets", 10)
+        db.quiesce()
+        tracker = workload.scan_and_order()
+        db.quiesce()
+        assert tracker.succeeded
+        assert db.nodes["HQ"].store.read("c:widgets:to_order") == 50
+
+    def test_warehouses_available_during_partition_and_gs_holds(self):
+        """The Figure 4.2.1 promise: availability + serializability."""
+        db, workload = self.make()
+        db.partitions.partition_now([["W1"], ["W2", "HQ"]])
+        t1 = workload.sale("w1", "widgets", 5)
+        t2 = workload.sale("w2", "widgets", 7)
+        scan = workload.scan_and_order()
+        db.run(until=20)
+        assert t1.succeeded and t2.succeeded and scan.succeeded
+        db.partitions.heal_now()
+        db.quiesce()
+        assert db.global_serializability().ok
+        assert db.mutual_consistency().consistent
+        violations = db.predicates.evaluate(db.nodes["HQ"].store)
+        assert violations.total == 0
+
+    def test_cross_warehouse_peek_allowed_readonly(self):
+        db, workload = self.make()
+        tracker = workload.peek_other_warehouse("w1", "w2", "widgets")
+        db.quiesce()
+        assert tracker.succeeded
+        assert tracker.result == 100
+
+    def test_stock_conservation_predicate(self):
+        db, workload = self.make()
+        workload.sale("w1", "widgets", 20)
+        workload.shipment("w1", "widgets", 5)
+        db.quiesce()
+        assert db.predicates.evaluate(db.nodes["HQ"].store).total == 0
+
+
+class TestAirline:
+    def make(self, capacity=100):
+        db = FragmentedDatabase(
+            ["N1", "N2", "N3", "N4"], strategy=UnrestrictedReadsStrategy()
+        )
+        workload = AirlineWorkload(
+            db,
+            customer_homes={"c1": "N1", "c2": "N2"},
+            flight_homes={"f1": "N3", "f2": "N4"},
+            capacity=capacity,
+        )
+        db.finalize()
+        return db, workload
+
+    def test_request_and_grant(self):
+        db, workload = self.make()
+        workload.request("c1", "f1", 2)
+        db.quiesce()
+        scan = workload.scan_flight("f1")
+        db.quiesce()
+        assert scan.result == [("c1", 2)]
+        assert workload.seats_reserved("f1", "N3") == 2
+
+    def test_requests_immutable(self):
+        db, workload = self.make()
+        workload.request("c1", "f1", 2)
+        db.quiesce()
+        tracker = workload.request("c1", "f1", 5)
+        db.quiesce()
+        assert tracker.result[0] == "already-requested"
+
+    def test_requests_available_during_partition(self):
+        db, workload = self.make()
+        db.partitions.partition_now(
+            [["N1"], ["N2"], ["N3"], ["N4"]]
+        )  # total partition
+        t1 = workload.request("c1", "f1", 1)
+        t2 = workload.request("c2", "f2", 3)
+        db.run(until=10)
+        assert t1.succeeded and t2.succeeded
+
+    def test_overbooking_structurally_impossible(self):
+        db, workload = self.make(capacity=3)
+        db.partitions.partition_now([["N1", "N3"], ["N2", "N4"]])
+        workload.request("c1", "f1", 2)
+        workload.request("c2", "f1", 2)
+        db.run(until=10)
+        workload.scan_flight("f1")
+        db.run(until=20)
+        db.partitions.heal_now()
+        db.quiesce()
+        workload.scan_flight("f1")
+        db.quiesce()
+        # 2 + 2 > 3: one request must have been denied, never overbooked.
+        assert workload.seats_reserved("f1", "N3") == 2
+        assert workload.stats.denied_overbooking >= 1
+        violations = db.predicates.evaluate(db.nodes["N3"].store)
+        assert violations.single == 0  # no-overbooking is single-fragment
+
+    def test_fragmentwise_but_not_necessarily_globally_serializable(self):
+        db, workload = self.make()
+        workload.request("c1", "f1", 1)
+        workload.request("c2", "f2", 1)
+        db.run(until=3)
+        workload.scan_flight("f1")
+        workload.scan_flight("f2")
+        db.quiesce()
+        assert db.fragmentwise_serializability().ok
+        assert db.mutual_consistency().consistent
+
+    def test_rag_is_figure_433(self):
+        db, workload = self.make()
+        edges = set(db.rag.edges)
+        expected = {
+            ("F:f1", "C:c1"), ("F:f1", "C:c2"),
+            ("F:f2", "C:c1"), ("F:f2", "C:c2"),
+        }
+        assert expected <= edges
+        assert not db.rag.is_elementarily_acyclic()
