@@ -70,6 +70,7 @@ from repro.errors import (
 )
 from repro.net.partition import PartitionSpec
 from repro.net.topology import Topology
+from repro.obs import MetricsRegistry, TraceEvent, Tracer
 
 __version__ = "1.0.0"
 
@@ -87,6 +88,7 @@ __all__ = [
     "InitiationError",
     "InstantMoveProtocol",
     "MajorityCommitProtocol",
+    "MetricsRegistry",
     "MovementProtocol",
     "MoveWithDataProtocol",
     "MoveWithSeqnoProtocol",
@@ -103,6 +105,8 @@ __all__ = [
     "SimulationError",
     "TokenError",
     "Topology",
+    "TraceEvent",
+    "Tracer",
     "TransactionAborted",
     "TransactionSpec",
     "Unavailable",

@@ -42,6 +42,86 @@ def format_series(
     return format_table([x_label, y_label], pairs, title=title)
 
 
+def format_metrics_snapshot(
+    snapshot: dict[str, dict[str, Any]], title: str = "metrics snapshot"
+) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as aligned tables.
+
+    Counters and gauges share one table; each histogram gets a row of
+    its percentile summary.  Input is the plain-dict snapshot so this
+    also formats snapshots loaded back from JSON.
+    """
+    blocks = []
+    scalar_rows = [
+        [name, "counter", value]
+        for name, value in snapshot.get("counters", {}).items()
+    ] + [
+        [name, "gauge", value]
+        for name, value in snapshot.get("gauges", {}).items()
+    ]
+    if scalar_rows:
+        blocks.append(
+            format_table(["metric", "kind", "value"], scalar_rows, title=title)
+        )
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        hist_rows = [
+            [
+                name,
+                summary.get("count", 0),
+                summary.get("mean"),
+                summary.get("p50"),
+                summary.get("p90"),
+                summary.get("p99"),
+                summary.get("max"),
+            ]
+            for name, summary in histograms.items()
+        ]
+        blocks.append(
+            format_table(
+                ["histogram", "count", "mean", "p50", "p90", "p99", "max"],
+                hist_rows,
+                title="" if not blocks else "histograms",
+            )
+        )
+    return "\n\n".join(blocks) if blocks else "(no metrics recorded)"
+
+
+def format_trace_summary(summary: Any, title: str = "trace summary") -> str:
+    """Render a :class:`~repro.obs.summary.TraceSummary`."""
+    lines = [title]
+    if summary.time_span is None:
+        lines.append(f"events={summary.total}")
+    else:
+        start, end = summary.time_span
+        lines.append(f"events={summary.total}  span={start}..{end}")
+    if summary.by_type:
+        lines.append(
+            format_table(
+                ["event type", "count"],
+                sorted(summary.by_type.items()),
+            )
+        )
+    if summary.by_run:
+        lines.append(
+            format_table(
+                ["run", "events"],
+                [
+                    (run, sum(tally.values()))
+                    for run, tally in sorted(summary.by_run.items())
+                ],
+            )
+        )
+    if summary.message_kinds:
+        lines.append(
+            format_table(
+                ["message kind", "count"],
+                sorted(summary.message_kinds.items()),
+            )
+        )
+    return "\n".join(lines)
+
+
 def _cell(value: Any) -> str:
     if isinstance(value, float):
         return f"{value:.3f}"

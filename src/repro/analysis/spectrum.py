@@ -159,11 +159,25 @@ def run_fragments_agents(
     strategy: ControlStrategy,
     label: str,
     view_mode: str = "own",
+    trace_path: str | None = None,
+    db_sink: list | None = None,
 ) -> SpectrumRow:
-    """Run the scripted scenario on a fragments-and-agents system."""
+    """Run the scripted scenario on a fragments-and-agents system.
+
+    With ``trace_path``, structured trace events are appended to that
+    JSONL file with a ``run`` context field set to ``label`` — several
+    spectrum runs can share one trace file and still be told apart by
+    :func:`repro.obs.summary.summarize_trace`.  ``db_sink`` (a list the
+    database is appended to) lets callers inspect the finished system —
+    e.g. the ``repro metrics`` subcommand printing ``db.snapshot()``.
+    """
     db = FragmentedDatabase(
         list(config.nodes), strategy=strategy, seed=config.seed
     )
+    if db_sink is not None:
+        db_sink.append(db)
+    if trace_path is not None:
+        db.enable_tracing(trace_path, append=True, context={"run": label})
     workload = BankingWorkload(
         db,
         {account: config.initial_balance for account in config.accounts},
@@ -188,6 +202,8 @@ def run_fragments_agents(
         config.partition_end, db.partitions.heal_now, label="heal"
     )
     db.quiesce()
+    if trace_path is not None:
+        db.tracer.close()
 
     outcomes = driver.stats.trackers
     committed = sum(1 for t in outcomes if t.succeeded)
@@ -211,7 +227,9 @@ def run_fragments_agents(
         mutually_consistent=mutual.consistent,
         multi_violations=violations.multi,
         corrective_actions=len(workload.stats.letters),
-        messages=db.network.messages_sent,
+        # Sourced from the metrics registry; identical to the network's
+        # plain attribute by the message-reconciliation invariant.
+        messages=int(db.metrics.value("net.messages_sent")),
     )
 
 
@@ -411,9 +429,18 @@ def _drive_semantic(system, config: SpectrumConfig) -> None:
 # -- the full spectrum ------------------------------------------------------------
 
 
-def run_spectrum(config: SpectrumConfig | None = None) -> list[SpectrumRow]:
-    """All six systems, conservative to free-for-all (Figure 1.1 order)."""
+def run_spectrum(
+    config: SpectrumConfig | None = None, trace_path: str | None = None
+) -> list[SpectrumRow]:
+    """All six systems, conservative to free-for-all (Figure 1.1 order).
+
+    ``trace_path`` streams the fragments-and-agents runs' trace events
+    to one shared JSONL file (the baselines predate the observability
+    layer and contribute no events); the file is truncated first.
+    """
     config = config or SpectrumConfig()
+    if trace_path is not None:
+        open(trace_path, "w", encoding="utf-8").close()  # truncate
     rows = [
         run_mutual_exclusion(config),
         run_fragments_agents(
@@ -423,18 +450,21 @@ def run_spectrum(config: SpectrumConfig | None = None) -> list[SpectrumRow]:
             ),
             "fa-read-locks",
             view_mode="own",
+            trace_path=trace_path,
         ),
         run_fragments_agents(
             config,
             AcyclicReadsStrategy(),
             "fa-acyclic",
             view_mode="none",
+            trace_path=trace_path,
         ),
         run_fragments_agents(
             config,
             UnrestrictedReadsStrategy(),
             "fa-unrestricted",
             view_mode="own",
+            trace_path=trace_path,
         ),
         run_optimistic(config),
         run_log_transform(config),

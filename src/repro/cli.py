@@ -4,9 +4,12 @@
 
     python -m repro spectrum            # E1: the Figure 1.1 table
     python -m repro spectrum --seed 42 --duration 200
+    python -m repro spectrum --trace out.jsonl
     python -m repro sweep               # E9: availability vs duration
     python -m repro theorem --runs 50   # E8: randomized theorem check
     python -m repro scenario            # E2/E3: the Section 1-2 banking story
+    python -m repro metrics             # metrics snapshot of an E1-style run
+    python -m repro metrics --summarize out.jsonl
 """
 
 from __future__ import annotations
@@ -14,7 +17,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis.report import format_table
+from repro.analysis.report import (
+    format_metrics_snapshot,
+    format_table,
+    format_trace_summary,
+)
 from repro.analysis.spectrum import (
     SPECTRUM_HEADERS,
     SpectrumConfig,
@@ -40,7 +47,7 @@ def _config_from_args(args: argparse.Namespace) -> SpectrumConfig:
 
 def cmd_spectrum(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
-    rows = run_spectrum(config)
+    rows = run_spectrum(config, trace_path=args.trace)
     print(
         format_table(
             SPECTRUM_HEADERS,
@@ -51,11 +58,15 @@ def cmd_spectrum(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if args.trace:
+        print(f"\ntrace written to {args.trace}")
     return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     durations = [0.0, 100.0, 200.0, 300.0, 400.0, 480.0]
+    if args.trace:
+        open(args.trace, "w", encoding="utf-8").close()  # truncate
     rows = []
     for duration in durations:
         config = SpectrumConfig(
@@ -70,18 +81,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 run_fragments_agents(
                     config,
                     ReadLocksStrategy(lock_timeout=60.0, retry_interval=2.0),
-                    "fa-read-locks",
+                    f"fa-read-locks@{duration:g}",
                     view_mode="own",
+                    trace_path=args.trace,
                 ).availability,
                 run_fragments_agents(
-                    config, AcyclicReadsStrategy(), "fa-acyclic",
+                    config, AcyclicReadsStrategy(), f"fa-acyclic@{duration:g}",
                     view_mode="none",
+                    trace_path=args.trace,
                 ).availability,
                 run_fragments_agents(
                     config,
                     UnrestrictedReadsStrategy(),
-                    "fa-unrestricted",
+                    f"fa-unrestricted@{duration:g}",
                     view_mode="own",
+                    trace_path=args.trace,
                 ).availability,
                 run_optimistic(config).availability,
             ]
@@ -94,6 +108,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             title="availability vs partition duration (E9)",
         )
     )
+    if args.trace:
+        print(f"\ntrace written to {args.trace}")
     return 0
 
 
@@ -120,6 +136,8 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     from repro.workloads import BankingWorkload
 
     db = FragmentedDatabase(["A", "B"])
+    if args.trace:
+        db.enable_tracing(args.trace, context={"run": "scenario"})
     bank = BankingWorkload(
         db,
         accounts={"00001": 300.0},
@@ -151,6 +169,51 @@ def cmd_scenario(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if args.trace:
+        db.tracer.close()
+        print(f"\ntrace written to {args.trace}")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.summary import summarize_trace
+
+    if args.summarize:
+        try:
+            summary = summarize_trace(args.summarize)
+        except OSError as exc:
+            print(f"error: cannot read trace {args.summarize}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(format_trace_summary(summary))
+        return 0
+
+    config = _config_from_args(args)
+    if args.trace:
+        open(args.trace, "w", encoding="utf-8").close()  # truncate
+    db_box: list = []
+    row = run_fragments_agents(
+        config,
+        UnrestrictedReadsStrategy(),
+        "fa-unrestricted",
+        view_mode="own",
+        trace_path=args.trace,
+        db_sink=db_box,
+    )
+    db = db_box[0]
+    print(
+        format_metrics_snapshot(
+            db.snapshot(),
+            title=(
+                f"metrics snapshot: fa-unrestricted E1 run "
+                f"(seed {config.seed}, availability "
+                f"{row.availability:.3f})"
+            ),
+        )
+    )
+    if args.trace:
+        print()
+        print(format_trace_summary(summarize_trace(args.trace)))
     return 0
 
 
@@ -164,16 +227,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    trace_help = "write structured trace events to this JSONL file"
+
     spectrum = sub.add_parser("spectrum", help="the Figure 1.1 table (E1)")
     spectrum.add_argument("--seed", type=int, default=7)
     spectrum.add_argument(
         "--duration", type=float, default=None,
         help="partition duration in ticks (default: the E1 scenario's 300)",
     )
+    spectrum.add_argument("--trace", default=None, help=trace_help)
     spectrum.set_defaults(func=cmd_spectrum)
 
     sweep = sub.add_parser("sweep", help="availability vs duration (E9)")
     sweep.add_argument("--seed", type=int, default=7)
+    sweep.add_argument("--trace", default=None, help=trace_help)
     sweep.set_defaults(func=cmd_sweep)
 
     theorem = sub.add_parser("theorem", help="randomized §4.2 theorem (E8)")
@@ -184,7 +251,24 @@ def build_parser() -> argparse.ArgumentParser:
         "scenario", help="the Section 1/2 banking walkthrough"
     )
     scenario.add_argument("--amount", type=float, default=200.0)
+    scenario.add_argument("--trace", default=None, help=trace_help)
     scenario.set_defaults(func=cmd_scenario)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="metrics snapshot of an E1-style run (or summarize a trace)",
+    )
+    metrics.add_argument("--seed", type=int, default=7)
+    metrics.add_argument(
+        "--duration", type=float, default=None,
+        help="partition duration in ticks (default: the E1 scenario's 300)",
+    )
+    metrics.add_argument("--trace", default=None, help=trace_help)
+    metrics.add_argument(
+        "--summarize", default=None, metavar="TRACE",
+        help="summarize an existing JSONL trace file and exit",
+    )
+    metrics.set_defaults(func=cmd_metrics)
     return parser
 
 

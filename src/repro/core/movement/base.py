@@ -11,6 +11,7 @@ from repro.core.transaction import (
     TransactionSpec,
 )
 from repro.errors import TokenError
+from repro.obs import taxonomy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.node import DatabaseNode
@@ -131,13 +132,30 @@ class MovementProtocol:
         ``FragmentedDatabase.submit``).
         """
         agent = system.agents[agent_name]
+        from_node = agent.home_node
         for fragment in agent.fragments:
             agent.token_for(fragment).begin_move(to_node)
+        if system.tracer.enabled:
+            system.tracer.emit(
+                taxonomy.TOKEN_MOVE_DEPART,
+                agent=agent_name,
+                src=from_node,
+                dst=to_node,
+                fragments=sorted(agent.fragments),
+            )
 
         def complete() -> None:
             for fragment in agent.fragments:
                 agent.token_for(fragment).complete_move()
             agent.home_node = to_node
+            system.metrics.inc("token.moves_completed")
+            if system.tracer.enabled:
+                system.tracer.emit(
+                    taxonomy.TOKEN_MOVE_ARRIVE,
+                    agent=agent_name,
+                    src=from_node,
+                    dst=to_node,
+                )
             arrive()
 
         system.sim.schedule(

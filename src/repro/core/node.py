@@ -38,6 +38,7 @@ from repro.core.transaction import (
 )
 from repro.errors import ReproError, TransactionAborted
 from repro.net.broadcast import SeqPayload
+from repro.obs import taxonomy
 from repro.net.message import Message
 from repro.storage.store import ObjectStore
 from repro.storage.values import INITIAL_WRITER, Version
@@ -88,6 +89,11 @@ class DatabaseNode:
         self.wal = WriteAheadLog(name)
         self.down = False
         self.crashes = 0
+        # Shared observability handles (system-wide registry/tracer).
+        self.metrics = system.metrics
+        self.tracer = system.tracer
+        self._c_qt_installed = self.metrics.counter("qt.installed")
+        self._c_qt_skipped = self.metrics.counter("qt.skipped")
         self.register_unicast("recovery-req", self._on_recovery_req)
         self.register_unicast("recovery-rep", self._on_recovery_rep)
 
@@ -118,6 +124,7 @@ class DatabaseNode:
             quasi = body["qt"]
             if not self.system.replicates(self.name, quasi.fragment):
                 self.quasi_skipped += 1
+                self._c_qt_skipped.inc()
                 return
             self.system.movement.admit(self, quasi)
             return
@@ -416,6 +423,16 @@ class DatabaseNode:
     def _finish_install(self, quasi: QuasiTransaction) -> None:
         now = self.system.sim.now
         self.quasi_installed += 1
+        self._c_qt_installed.inc()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                taxonomy.QT_INSTALL,
+                node=self.name,
+                fragment=quasi.fragment,
+                source_txn=quasi.source_txn,
+                stream_seq=quasi.stream_seq,
+                epoch=quasi.epoch,
+            )
         self.wal.append_install(quasi)
         self.system.recorder.record_install(
             InstallRecord(

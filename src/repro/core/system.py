@@ -55,6 +55,9 @@ from repro.net.network import Network
 from repro.net.partition import PartitionManager
 from repro.net.topology import Topology
 from repro.net.broadcast import ReliableBroadcast
+from repro.obs import taxonomy
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.sim.rng import SeededRng
 from repro.sim.simulator import Simulator
 from repro.storage.store import ObjectStore
@@ -100,12 +103,18 @@ class FragmentedDatabase:
         if len(node_names) < 1:
             raise DesignError("at least one node required")
         self.sim = Simulator()
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(clock=lambda: self.sim.now)
+        self.sim.tracer = self.tracer
         self.topology = topology or Topology.full_mesh(
             node_names, default_latency
         )
-        self.network = Network(self.sim, self.topology)
+        self.network = Network(
+            self.sim, self.topology, tracer=self.tracer, metrics=self.metrics
+        )
         self.broadcast = ReliableBroadcast(self.network, fifo=fifo_broadcast)
         self.partitions = PartitionManager(self.network)
+        self.partitions.crashed_guard = self._node_is_down
         self.recorder = HistoryRecorder()
         self.catalog = FragmentCatalog()
         self.rag = ReadAccessGraph(self.catalog)
@@ -129,11 +138,81 @@ class FragmentedDatabase:
         # not fully replicated"): fragment -> replicating nodes.  Absent
         # entries mean full replication of that fragment.
         self.replication: dict[str, set[str]] = {}
-        self._downed_links: dict[str, list[tuple[str, str, bool]]] = {}
         self._install_hooks: list[tuple[str, InstallHook]] = []
         self.corrective_hooks: list[CorrectiveHook] = []
         self._txn_counter = 0
         self._finalized = False
+        self._warned_multi_fragment: set[str] = set()
+        # Transaction lifecycle metrics (one counter handle per status).
+        self._c_submitted = self.metrics.counter("txn.submitted")
+        self._c_by_status = {
+            RequestStatus.COMMITTED: self.metrics.counter("txn.committed"),
+            RequestStatus.REJECTED: self.metrics.counter("txn.rejected"),
+            RequestStatus.ABORTED: self.metrics.counter("txn.aborted"),
+            RequestStatus.TIMED_OUT: self.metrics.counter("txn.timed_out"),
+        }
+        self._trace_by_status = {
+            RequestStatus.COMMITTED: taxonomy.TXN_COMMIT,
+            RequestStatus.REJECTED: taxonomy.TXN_REJECT,
+            RequestStatus.ABORTED: taxonomy.TXN_ABORT,
+            RequestStatus.TIMED_OUT: taxonomy.TXN_TIMEOUT,
+        }
+        self._h_commit_latency = self.metrics.histogram("txn.commit_latency")
+        self.metrics.gauge("sim.now", lambda: self.sim.now)
+        self.metrics.gauge("sim.pending", lambda: self.sim.pending)
+        self.metrics.gauge("sim.events_fired", lambda: self.sim.events_fired)
+
+    # -- observability ----------------------------------------------------------
+
+    def enable_tracing(
+        self,
+        path: str | None = None,
+        append: bool = False,
+        context: Mapping[str, Any] | None = None,
+    ) -> Tracer:
+        """Turn on structured tracing, optionally streaming to JSONL.
+
+        Returns the tracer so callers can tweak ``exclude`` or read the
+        ring buffer.  Call ``db.tracer.close()`` (or use the tracer as a
+        context manager) to flush a JSONL sink when done.
+        """
+        if path is not None:
+            self.tracer.open_jsonl(path, append=append, context=context)
+        self.tracer.enable()
+        return self.tracer
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """The metrics registry's snapshot — the experiment-facing view.
+
+        Counters and histograms accumulate from construction; gauges
+        (held messages, pending events, …) are polled at call time.
+        """
+        return self.metrics.snapshot()
+
+    def _node_is_down(self, name: str) -> bool:
+        node = self.nodes.get(name)
+        return node is not None and node.down
+
+    def _observe_finish(self, tracker: RequestTracker) -> None:
+        """Tracker observer: count + trace every terminal transition."""
+        counter = self._c_by_status.get(tracker.status)
+        if counter is not None:
+            counter.inc()
+        if tracker.status is RequestStatus.COMMITTED:
+            latency = tracker.latency
+            if latency is not None:
+                self._h_commit_latency.observe(latency)
+        if self.tracer.enabled:
+            event_type = self._trace_by_status.get(tracker.status)
+            if event_type is not None:
+                self.tracer.emit(
+                    event_type,
+                    txn=tracker.spec.txn_id,
+                    agent=tracker.spec.agent,
+                    node=tracker.node,
+                    latency=tracker.latency,
+                    reason=tracker.reason or None,
+                )
 
     # -- schema definition -----------------------------------------------------
 
@@ -266,15 +345,13 @@ class FragmentedDatabase:
             raise DesignError(f"unknown agent {spec.agent!r}")
         if not spec.update:
             node = self.nodes[at or agent.home_node]
-            tracker = RequestTracker(spec, self.sim.now, node.name, on_done=on_done)
-            self.trackers.append(tracker)
+            tracker = self._new_tracker(spec, node.name, on_done)
             self.strategy.begin_readonly(self, node, spec, tracker)
             return tracker
 
         fragment = self._update_fragment(spec, agent)
         node = self.nodes[agent.home_node]
-        tracker = RequestTracker(spec, self.sim.now, node.name, on_done=on_done)
-        self.trackers.append(tracker)
+        tracker = self._new_tracker(spec, node.name, on_done)
         token = agent.token_for(fragment)
         if token.in_transit:
             self.recorder.record_rejection(spec.txn_id, "token in transit")
@@ -334,6 +411,32 @@ class FragmentedDatabase:
         )
         return self.submit(spec, at=at, on_done=on_done)
 
+    def _new_tracker(
+        self,
+        spec: TransactionSpec,
+        node_name: str,
+        on_done: Callable[[RequestTracker], None] | None,
+    ) -> RequestTracker:
+        """Create, register, and instrument one request tracker."""
+        tracker = RequestTracker(
+            spec,
+            self.sim.now,
+            node_name,
+            on_done=on_done,
+            observer=self._observe_finish,
+        )
+        self.trackers.append(tracker)
+        self._c_submitted.inc()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                taxonomy.TXN_SUBMIT,
+                txn=spec.txn_id,
+                agent=spec.agent,
+                node=node_name,
+                update=spec.update,
+            )
+        return tracker
+
     def _update_fragment(self, spec: TransactionSpec, agent: Agent) -> str:
         """Resolve which fragment an update transaction targets."""
         if spec.writes:
@@ -373,24 +476,43 @@ class FragmentedDatabase:
         node = self.nodes[name]
         if node.down:
             return
-        saved: list[tuple[str, str, bool]] = []
         for link in self.topology.links:
             if name in link.endpoints():
-                saved.append((link.a, link.b, link.up))
                 link.up = False
-        self._downed_links[name] = saved
         node.crash()
+        self.metrics.inc("node.crashes")
+        if self.tracer.enabled:
+            self.tracer.emit(taxonomy.NODE_CRASH, node=name)
         self.network.topology_changed()
 
     def recover_node(self, name: str) -> None:
-        """Bring a crashed node back: WAL replay + anti-entropy."""
+        """Bring a crashed node back: WAL replay + anti-entropy.
+
+        Link state is *recomputed*, not replayed from a pre-crash
+        snapshot: a link comes back up only if no currently-active
+        partition episode severs it and its other endpoint is alive.  A
+        link a partition formed while this node was down keeps severed
+        (the partition manager adopts it and restores it at heal time).
+        """
         if name not in self.nodes:
             raise DesignError(f"unknown node {name!r}")
         node = self.nodes[name]
         if not node.down:
             return
-        for a, b, was_up in self._downed_links.pop(name, []):
-            self.topology.link(a, b).up = was_up
+        for link in self.topology.links:
+            if name not in link.endpoints():
+                continue
+            other = link.b if link.a == name else link.a
+            if self.nodes[other].down:
+                continue  # stays down until the peer recovers too
+            if self.partitions.severs(link.a, link.b):
+                link.up = False
+                self.partitions.adopt(link.a, link.b)
+            else:
+                link.up = True
+        self.metrics.inc("node.recoveries")
+        if self.tracer.enabled:
+            self.tracer.emit(taxonomy.NODE_RECOVER, node=name)
         node.recover()
         self.network.topology_changed()
 
@@ -414,6 +536,14 @@ class FragmentedDatabase:
                     f"agent {agent_name!r} cannot move to {to_node!r}: it "
                     f"does not replicate fragment {fragment!r}"
                 )
+        self.metrics.inc("token.moves_requested")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                taxonomy.TOKEN_MOVE_REQUESTED,
+                agent=agent_name,
+                to=to_node,
+                transport_delay=transport_delay,
+            )
         self.movement.request_move(
             self, agent_name, to_node, transport_delay, on_done
         )
@@ -495,10 +625,46 @@ class FragmentedDatabase:
     def agent_fragments(self) -> dict[str, str]:
         """Agent name -> fragment, for agents controlling exactly one.
 
-        The typing map consumed by the l.s.g. builder.
+        The typing map consumed by the l.s.g. builder.  An agent that
+        controls two or more fragments cannot be typed by this map (the
+        paper's appendix conceptually splits such agents); rather than
+        *silently* omitting it — which under-reports any
+        serializability analysis built on the map — the omission is
+        counted (``lsg.untyped_agents``) and trace-warned once per
+        agent.  Use :meth:`agent_fragment_map` with ``strict=True`` to
+        turn the omission into a :class:`DesignError`.
         """
-        return {
-            agent.name: agent.fragments[0]
-            for agent in self.agents.values()
-            if len(agent.fragments) == 1
-        }
+        return self.agent_fragment_map(strict=False)
+
+    def agent_fragment_map(self, strict: bool = False) -> dict[str, str]:
+        """The l.s.g. typing map, with explicit multi-fragment handling.
+
+        ``strict=True`` raises :class:`DesignError` if any agent
+        controls two or more fragments (its transactions would be left
+        untyped); ``strict=False`` emits a traced warning and a metric
+        instead, once per agent.
+        """
+        mapping: dict[str, str] = {}
+        ambiguous: list[str] = []
+        for agent in self.agents.values():
+            if len(agent.fragments) == 1:
+                mapping[agent.name] = agent.fragments[0]
+            elif len(agent.fragments) >= 2:
+                ambiguous.append(agent.name)
+        if ambiguous and strict:
+            raise DesignError(
+                f"agents {sorted(ambiguous)} control two or more fragments; "
+                f"their transactions cannot be typed by the l.s.g. map"
+            )
+        for name in ambiguous:
+            if name in self._warned_multi_fragment:
+                continue
+            self._warned_multi_fragment.add(name)
+            self.metrics.inc("lsg.untyped_agents")
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    taxonomy.WARN_MULTI_FRAGMENT_AGENT,
+                    agent=name,
+                    fragments=sorted(self.agents[name].fragments),
+                )
+        return mapping

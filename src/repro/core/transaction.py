@@ -73,6 +73,10 @@ class RequestTracker:
     reason: str = ""
     result: Any = None
     on_done: Callable[["RequestTracker"], None] | None = None
+    #: System-installed hook fired on the terminal transition, before
+    #: ``on_done`` — the observability layer counts and traces every
+    #: outcome here regardless of which subsystem finished the request.
+    observer: Callable[["RequestTracker"], None] | None = None
 
     def finish(
         self,
@@ -88,6 +92,8 @@ class RequestTracker:
         self.finish_time = time
         self.reason = reason
         self.result = result
+        if self.observer is not None:
+            self.observer(self)
         if self.on_done is not None:
             self.on_done(self)
 

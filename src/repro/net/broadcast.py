@@ -26,6 +26,7 @@ from typing import Any
 
 from repro.net.message import Message
 from repro.net.network import Network
+from repro.obs import taxonomy
 
 DeliverFn = Callable[[str, int, Any], None]
 
@@ -54,13 +55,23 @@ class ReliableBroadcast:
     def __init__(self, network: Network, fifo: bool = True) -> None:
         self.network = network
         self.fifo = fifo
+        self.tracer = network.tracer
+        self.metrics = network.metrics
         self._deliver: dict[str, DeliverFn] = {}
         self._next_send_seq: dict[str, int] = defaultdict(int)
         # Per (receiver, sender): next expected sequence number.
         self._next_expected: dict[tuple[str, str], int] = defaultdict(int)
         # Per (receiver, sender): out-of-order buffer seq -> payload.
-        self._buffer: dict[tuple[str, str], dict[int, SeqPayload]] = defaultdict(dict)
+        # Channel dicts are created on first buffering and popped once
+        # drained empty, so the dict does not grow with channel count.
+        self._buffer: dict[tuple[str, str], dict[int, SeqPayload]] = {}
         self.out_of_order_buffered = 0
+        self.duplicates_dropped = 0
+        self._c_sent = self.metrics.counter("bcast.sent")
+        self._c_buffered = self.metrics.counter("bcast.out_of_order_buffered")
+        self._c_drained = self.metrics.counter("bcast.drained")
+        self._c_duplicates = self.metrics.counter("bcast.duplicates_dropped")
+        self.metrics.gauge("bcast.buffered_now", self.buffered_count)
 
     def attach(self, node: str, deliver: DeliverFn, register: bool = True) -> None:
         """Register ``node`` with its application-level delivery callback.
@@ -83,6 +94,7 @@ class ReliableBroadcast:
         """
         seq = self._next_send_seq[sender]
         self._next_send_seq[sender] += 1
+        self._c_sent.inc()
         payload = SeqPayload(sender, seq, kind, body)
         for dst in self._deliver:
             if dst != sender:
@@ -111,6 +123,10 @@ class ReliableBroadcast:
         payload: SeqPayload = message.payload
         self._process(message.dst, payload)
 
+    def buffered_count(self) -> int:
+        """Payloads currently parked in out-of-order buffers."""
+        return sum(len(channel) for channel in self._buffer.values())
+
     def _process(self, receiver: str, payload: SeqPayload) -> None:
         if not self.fifo:
             self._deliver[receiver](payload.sender, payload.seq, payload.body)
@@ -118,18 +134,58 @@ class ReliableBroadcast:
         key = (receiver, payload.sender)
         expected = self._next_expected[key]
         if payload.seq < expected:
+            self._note_duplicate(receiver, payload)
             return  # duplicate (e.g. replay + held original)
         if payload.seq > expected:
-            self._buffer[key][payload.seq] = payload
+            channel = self._buffer.setdefault(key, {})
+            if payload.seq in channel:
+                # A replay and the held original can carry the same seq;
+                # only the first sighting counts as buffered.
+                self._note_duplicate(receiver, payload)
+                return
+            channel[payload.seq] = payload
             self.out_of_order_buffered += 1
+            self._c_buffered.inc()
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    taxonomy.BROADCAST_BUFFER,
+                    receiver=receiver,
+                    sender=payload.sender,
+                    seq=payload.seq,
+                    expected=expected,
+                )
             return
         self._deliver[receiver](payload.sender, payload.seq, payload.body)
         self._next_expected[key] = expected + 1
-        # Drain any buffered successors.
-        buffered = self._buffer[key]
+        # Drain any buffered successors, then drop the emptied channel
+        # dict so per-channel state does not accumulate forever.
+        buffered = self._buffer.get(key)
+        if buffered is None:
+            return
         nxt = expected + 1
         while nxt in buffered:
             queued = buffered.pop(nxt)
+            self._c_drained.inc()
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    taxonomy.BROADCAST_DRAIN,
+                    receiver=receiver,
+                    sender=queued.sender,
+                    seq=queued.seq,
+                )
             self._deliver[receiver](queued.sender, queued.seq, queued.body)
             nxt += 1
             self._next_expected[key] = nxt
+        if not buffered:
+            self._buffer.pop(key, None)
+
+    def _note_duplicate(self, receiver: str, payload: SeqPayload) -> None:
+        self.duplicates_dropped += 1
+        self._c_duplicates.inc()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                taxonomy.BROADCAST_DUPLICATE,
+                receiver=receiver,
+                sender=payload.sender,
+                seq=payload.seq,
+            )

@@ -13,6 +13,17 @@ Semantics
   reliable broadcast layer additionally enforces per-sender order
   across its own sequence numbers, but FIFO channels keep unicast
   protocol messages (lock requests/grants, move handshakes) sane too.
+
+Observability
+-------------
+Every send/deliver/hold/release bumps a counter in the shared
+:class:`~repro.obs.metrics.MetricsRegistry` and, when the shared
+:class:`~repro.obs.trace.Tracer` is enabled, emits a ``message.*``
+trace event.  The invariants the reconciliation tests rely on:
+
+* ``message.send`` events  == ``messages_sent``
+* ``message.deliver`` events == ``messages_delivered``
+* ``message.hold`` - ``message.release`` events == ``held_count()``
 """
 
 from __future__ import annotations
@@ -24,6 +35,9 @@ from typing import Any
 from repro.errors import NetworkError
 from repro.net.message import Message
 from repro.net.topology import Topology
+from repro.obs import taxonomy
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.sim.simulator import Simulator
 
 Handler = Callable[[Message], None]
@@ -36,12 +50,22 @@ class Network:
     sends are asynchronous; delivery happens via simulator events.
 
     Statistics (message counts by kind, bytes approximated by payload
-    update counts) are tracked for the overhead experiments.
+    update counts) are tracked for the overhead experiments, both as
+    plain attributes (``messages_sent`` …) and in the shared metrics
+    registry (``net.*`` counters).
     """
 
-    def __init__(self, sim: Simulator, topology: Topology) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.sim = sim
         self.topology = topology
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._handlers: dict[str, Handler] = {}
         # Held messages per (src, dst) channel, in send order.
         self._held: dict[tuple[str, str], list[Message]] = defaultdict(list)
@@ -50,6 +74,14 @@ class Network:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_by_kind: dict[str, int] = defaultdict(int)
+        # Hot-path counter handles (one attribute add per event).
+        self._c_sent = self.metrics.counter("net.messages_sent")
+        self._c_delivered = self.metrics.counter("net.messages_delivered")
+        self._c_held = self.metrics.counter("net.messages_held")
+        self._c_released = self.metrics.counter("net.messages_released")
+        self._kind_counters: dict[str, Any] = {}
+        self._h_delay = self.metrics.histogram("net.delivery_delay")
+        self.metrics.gauge("net.held_now", self.held_count)
         # Optional realism knobs (used by ablation experiments):
         # per-message latency jitter drawn from jitter_rng, and the
         # per-channel FIFO floor (on by default; switching it off lets
@@ -82,9 +114,20 @@ class Network:
         message = Message(src, dst, kind, payload, sent_at=self.sim.now)
         self.messages_sent += 1
         self.messages_by_kind[kind] += 1
+        self._c_sent.inc()
+        counter = self._kind_counters.get(kind)
+        if counter is None:
+            counter = self._kind_counters[kind] = self.metrics.counter(
+                f"net.kind.{kind}"
+            )
+        counter.inc()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                taxonomy.MESSAGE_SEND, src=src, dst=dst, kind=kind
+            )
         latency = self.topology.path_latency(src, dst)
         if latency is None:
-            self._held[(src, dst)].append(message)
+            self._hold(message)
         else:
             self._schedule_delivery(message, latency)
         return message
@@ -118,6 +161,14 @@ class Network:
             if latency is None:
                 continue
             for message in queue:
+                self._c_released.inc()
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        taxonomy.MESSAGE_RELEASE,
+                        src=src,
+                        dst=dst,
+                        kind=message.kind,
+                    )
                 self._schedule_delivery(message, latency)
             queue.clear()
 
@@ -126,6 +177,17 @@ class Network:
         return sum(len(queue) for queue in self._held.values())
 
     # -- internals --------------------------------------------------------
+
+    def _hold(self, message: Message) -> None:
+        self._held[(message.src, message.dst)].append(message)
+        self._c_held.inc()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                taxonomy.MESSAGE_HOLD,
+                src=message.src,
+                dst=message.dst,
+                kind=message.kind,
+            )
 
     def _schedule_delivery(self, message: Message, latency: float) -> None:
         channel = (message.src, message.dst)
@@ -150,7 +212,17 @@ class Network:
         # queue (it is not lost — requirement (1) of the paper).
         if self.topology.path_latency(message.src, message.dst) is None:
             message.delivered_at = None
-            self._held[(message.src, message.dst)].append(message)
+            self._hold(message)
             return
         self.messages_delivered += 1
+        self._c_delivered.inc()
+        self._h_delay.observe(self.sim.now - message.sent_at)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                taxonomy.MESSAGE_DELIVER,
+                src=message.src,
+                dst=message.dst,
+                kind=message.kind,
+                delay=self.sim.now - message.sent_at,
+            )
         self._handlers[message.dst](message)

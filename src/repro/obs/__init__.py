@@ -1,0 +1,31 @@
+"""Observability: the metrics registry and structured tracer.
+
+Every :class:`~repro.core.system.FragmentedDatabase` owns one
+:class:`MetricsRegistry` (``db.metrics``) and one :class:`Tracer`
+(``db.tracer``), shared by the simulator, network, broadcast,
+partition manager, nodes, and movement protocols.  Metrics are always
+on (counter increments are a single attribute add); tracing starts
+disabled and costs one boolean check per event site until
+``db.enable_tracing()`` turns it on.
+
+See ``docs/observability.md`` for the event taxonomy and metric names.
+"""
+
+from repro.obs import taxonomy
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.summary import TraceSummary, read_trace, summarize_trace
+from repro.obs.trace import DEFAULT_RING_SIZE, TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_RING_SIZE",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceEvent",
+    "TraceSummary",
+    "Tracer",
+    "read_trace",
+    "summarize_trace",
+    "taxonomy",
+]

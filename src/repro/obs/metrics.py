@@ -1,0 +1,206 @@
+"""The metrics registry: counters, gauges, and timing histograms.
+
+One :class:`MetricsRegistry` per :class:`~repro.core.system.FragmentedDatabase`
+is shared by every layer (network, broadcast, partitions, nodes,
+movement).  Hot paths hold on to their :class:`Counter` objects at
+wiring time, so an increment is one attribute add — cheap enough to
+stay on even when tracing is off.
+
+``snapshot()`` is the experiment-facing view: a plain nested dict of
+counter values, polled gauge values, and histogram percentile
+summaries, suitable for table rendering or JSON serialization.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from typing import Any
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1)."""
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value, read through a callable at snapshot time."""
+
+    __slots__ = ("name", "read")
+
+    def __init__(self, name: str, read: Callable[[], Any]) -> None:
+        self.name = name
+        self.read = read
+
+    @property
+    def value(self) -> Any:
+        """The current value (polls the callable)."""
+        return self.read()
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name})"
+
+
+class Histogram:
+    """A value distribution with percentile summaries.
+
+    Values are kept verbatim (simulation runs are bounded); the summary
+    computes nearest-rank percentiles over a sorted copy on demand.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self.values)
+
+    def percentile(self, p: float) -> float | None:
+        """Nearest-rank percentile, ``p`` in [0, 100]; None when empty."""
+        if not self.values:
+            return None
+        ordered = sorted(self.values)
+        n = len(ordered)
+        return ordered[min(n - 1, max(0, round(p / 100.0 * n) - 1))]
+
+    def summary(self) -> dict[str, float | int | None]:
+        """count / mean / min / p50 / p90 / p99 / max."""
+        if not self.values:
+            return {
+                "count": 0,
+                "mean": None,
+                "min": None,
+                "p50": None,
+                "p90": None,
+                "p99": None,
+                "max": None,
+            }
+        ordered = sorted(self.values)
+        n = len(ordered)
+
+        def rank(p: float) -> float:
+            return ordered[min(n - 1, max(0, round(p / 100.0 * n) - 1))]
+
+        return {
+            "count": n,
+            "mean": sum(ordered) / n,
+            "min": ordered[0],
+            "p50": rank(50),
+            "p90": rank(90),
+            "p99": rank(99),
+            "max": ordered[-1],
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={len(self.values)})"
+
+
+class MetricsRegistry:
+    """A named registry of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- registration (get-or-create) ----------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str, read: Callable[[], Any]) -> Gauge:
+        """Register (or replace) a polled gauge."""
+        gauge = Gauge(name, read)
+        self._gauges[name] = gauge
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    # -- convenience ----------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Increment a counter by name (hot paths should cache instead)."""
+        self.counter(name).inc(n)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one histogram sample by name."""
+        self.histogram(name).observe(value)
+
+    def value(self, name: str) -> Any:
+        """Current value of a counter or gauge called ``name``."""
+        if name in self._counters:
+            return self._counters[name].value
+        if name in self._gauges:
+            return self._gauges[name].value
+        raise KeyError(name)
+
+    # -- views -----------------------------------------------------------
+
+    @property
+    def counters(self) -> Mapping[str, Counter]:
+        """All registered counters."""
+        return dict(self._counters)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """A plain-dict view of everything, suitable for experiments.
+
+        ``{"counters": {name: int}, "gauges": {name: value},
+        "histograms": {name: summary-dict}}``, each sorted by name.
+        """
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value
+                for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def counters_with_prefix(self, prefix: str) -> dict[str, int]:
+        """Counter values whose names start with ``prefix``."""
+        return {
+            name: counter.value
+            for name, counter in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, "
+            f"histograms={len(self._histograms)})"
+        )

@@ -1,0 +1,75 @@
+"""Trace-file analysis: read a JSONL trace back into summaries.
+
+The counterpart of :meth:`repro.obs.trace.Tracer.open_jsonl`: load the
+records, tally event types (per run when a ``run`` context field is
+present), and break ``message.*`` traffic down by kind — the numbers
+the ``repro metrics`` CLI subcommand prints and the reconciliation
+tests compare against :class:`~repro.net.network.Network` counters.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+
+def read_trace(path: str) -> Iterator[dict[str, Any]]:
+    """Yield each JSONL record as a dict (blank lines skipped)."""
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+@dataclass
+class TraceSummary:
+    """Aggregates over one JSONL trace file."""
+
+    total: int = 0
+    by_type: dict[str, int] = field(default_factory=dict)
+    by_run: dict[str, dict[str, int]] = field(default_factory=dict)
+    message_kinds: dict[str, int] = field(default_factory=dict)
+    time_span: tuple[float, float] | None = None
+
+    def count(self, event_type: str, run: str | None = None) -> int:
+        """Events of ``event_type`` (within ``run`` when given)."""
+        if run is None:
+            return self.by_type.get(event_type, 0)
+        return self.by_run.get(run, {}).get(event_type, 0)
+
+
+def summarize_trace(path: str) -> TraceSummary:
+    """Tally a JSONL trace file into a :class:`TraceSummary`."""
+    by_type: Counter[str] = Counter()
+    by_run: dict[str, Counter[str]] = {}
+    kinds: Counter[str] = Counter()
+    total = 0
+    t_min: float | None = None
+    t_max: float | None = None
+    for record in read_trace(path):
+        total += 1
+        event_type = record.get("type", "?")
+        by_type[event_type] += 1
+        run = record.get("run")
+        if run is not None:
+            by_run.setdefault(str(run), Counter())[event_type] += 1
+        if event_type.startswith("message.") and "kind" in record:
+            kinds[f"{event_type}:{record['kind']}"] += 1
+        t = record.get("t")
+        if isinstance(t, (int, float)):
+            t_min = t if t_min is None else min(t_min, t)
+            t_max = t if t_max is None else max(t_max, t)
+    return TraceSummary(
+        total=total,
+        by_type=dict(sorted(by_type.items())),
+        by_run={
+            run: dict(sorted(tally.items()))
+            for run, tally in sorted(by_run.items())
+        },
+        message_kinds=dict(sorted(kinds.items())),
+        time_span=None if t_min is None else (t_min, t_max),
+    )

@@ -1,0 +1,60 @@
+"""The trace-event taxonomy: every typed event the library emits.
+
+One module-level constant per event type keeps emit sites, tests, and
+the documentation (``docs/observability.md``) in agreement.  Event
+types are dotted names grouped by subsystem; consumers filter with
+simple prefix matching (``tracer.counts("message.")``).
+"""
+
+from __future__ import annotations
+
+# -- network (repro.net.network) --------------------------------------
+MESSAGE_SEND = "message.send"  # every Network.send, held or not
+MESSAGE_DELIVER = "message.deliver"  # handler actually invoked
+MESSAGE_HOLD = "message.hold"  # held at send, or re-held in flight
+MESSAGE_RELEASE = "message.release"  # released by a topology change
+
+# -- reliable broadcast (repro.net.broadcast) -------------------------
+BROADCAST_BUFFER = "broadcast.buffer"  # out-of-order, first sighting
+BROADCAST_DRAIN = "broadcast.drain"  # buffered payload delivered
+BROADCAST_DUPLICATE = "broadcast.duplicate"  # replay/held-original dup
+
+# -- transactions (repro.core.system) ---------------------------------
+TXN_SUBMIT = "txn.submit"
+TXN_COMMIT = "txn.commit"
+TXN_REJECT = "txn.reject"
+TXN_ABORT = "txn.abort"
+TXN_TIMEOUT = "txn.timeout"
+
+# -- quasi-transaction installs (repro.core.node) ---------------------
+QT_INSTALL = "qt.install"  # remote quasi-transaction installed
+
+# -- agent movement (repro.core.movement) -----------------------------
+TOKEN_MOVE_REQUESTED = "token.move.requested"
+TOKEN_MOVE_DEPART = "token.move.depart"
+TOKEN_MOVE_ARRIVE = "token.move.arrive"
+
+# -- node failure model (repro.core.system) ---------------------------
+NODE_CRASH = "node.crash"
+NODE_RECOVER = "node.recover"
+
+# -- partitions (repro.net.partition) ---------------------------------
+PARTITION_CUT = "partition.cut"
+PARTITION_HEAL = "partition.heal"
+
+# -- warnings ---------------------------------------------------------
+WARN_MULTI_FRAGMENT_AGENT = "warn.multi_fragment_agent"
+
+# -- simulator (repro.sim.simulator); excluded by default, see Tracer --
+SIM_FIRE = "sim.fire"
+
+ALL_EVENT_TYPES = tuple(
+    value
+    for name, value in sorted(globals().items())
+    if name.isupper() and isinstance(value, str)
+)
+
+#: Event types a fresh :class:`~repro.obs.trace.Tracer` suppresses.
+#: ``sim.fire`` is one event per simulator callback — megabytes per
+#: run — so it is opt-in (``tracer.exclude.discard(SIM_FIRE)``).
+DEFAULT_EXCLUDE = frozenset({SIM_FIRE})

@@ -1,0 +1,160 @@
+"""Structured tracing: typed events with simulation timestamps.
+
+A :class:`Tracer` collects :class:`TraceEvent` records into a bounded
+ring buffer and, optionally, streams them to a JSONL sink.  It starts
+*disabled*; every emit site guards with ``tracer.enabled`` (or relies
+on :meth:`Tracer.emit` returning immediately), so a quiescent tracer
+costs one attribute check per event site and allocates nothing.
+
+Event types are dotted names from :mod:`repro.obs.taxonomy`; fields are
+free-form keyword arguments (keep them JSON-serializable — the sink
+falls back to ``str()`` otherwise).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as _TallyCounter
+from collections import deque
+from collections.abc import Callable, Iterator, Mapping
+from dataclasses import dataclass, field
+from typing import Any, TextIO
+
+from repro.obs.taxonomy import DEFAULT_EXCLUDE
+
+DEFAULT_RING_SIZE = 65536
+
+
+@dataclass
+class TraceEvent:
+    """One structured trace record."""
+
+    time: float
+    type: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat dict form (``t``/``type`` plus the event fields)."""
+        return {"t": self.time, "type": self.type, **self.fields}
+
+
+class Tracer:
+    """Typed event collector with a ring buffer and optional JSONL sink.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current (simulation) time;
+        installed by the owning system (``lambda: sim.now``).  Defaults
+        to a constant 0.0 clock so a bare tracer still works in tests.
+    enabled:
+        Start enabled.  Disabled tracers drop events without recording.
+    ring_size:
+        Ring-buffer capacity; oldest events fall off first.
+    exclude:
+        Event types to suppress even while enabled.  Defaults to
+        :data:`~repro.obs.taxonomy.DEFAULT_EXCLUDE` (the per-callback
+        ``sim.fire`` firehose).
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        enabled: bool = False,
+        ring_size: int = DEFAULT_RING_SIZE,
+        exclude: frozenset[str] | set[str] | tuple[str, ...] | None = None,
+    ) -> None:
+        self.clock = clock
+        self.enabled = enabled
+        self.exclude: set[str] = set(
+            DEFAULT_EXCLUDE if exclude is None else exclude
+        )
+        self._ring: deque[TraceEvent] = deque(maxlen=ring_size)
+        self._sink: TextIO | None = None
+        self._sink_context: dict[str, Any] = {}
+        self.emitted = 0  # events recorded (post-filter), lifetime
+
+    # -- lifecycle -------------------------------------------------------
+
+    def enable(self) -> None:
+        """Start recording events."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording events (the ring buffer is kept)."""
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop all buffered events."""
+        self._ring.clear()
+
+    # -- emission --------------------------------------------------------
+
+    def emit(self, type: str, **fields: Any) -> None:
+        """Record one event (no-op while disabled or excluded)."""
+        if not self.enabled or type in self.exclude:
+            return
+        time = self.clock() if self.clock is not None else 0.0
+        event = TraceEvent(time, type, fields)
+        self._ring.append(event)
+        self.emitted += 1
+        if self._sink is not None:
+            record = {"t": time, "type": type, **self._sink_context, **fields}
+            self._sink.write(json.dumps(record, default=str) + "\n")
+
+    # -- JSONL sink ------------------------------------------------------
+
+    def open_jsonl(
+        self,
+        path: str,
+        append: bool = False,
+        context: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Stream subsequent events to ``path`` as JSON lines.
+
+        ``context`` key/values are merged into every record (e.g.
+        ``{"run": "fa-unrestricted"}`` to distinguish multiple runs
+        appended to one file).  Re-opening closes the previous sink.
+        """
+        self.close()
+        self._sink = open(path, "a" if append else "w", encoding="utf-8")
+        self._sink_context = dict(context or {})
+
+    def close(self) -> None:
+        """Flush and close the JSONL sink, if open."""
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+            self._sink_context = {}
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- queries ---------------------------------------------------------
+
+    def events(self, prefix: str | None = None) -> list[TraceEvent]:
+        """Buffered events, optionally filtered by type prefix."""
+        if prefix is None:
+            return list(self._ring)
+        return [event for event in self._ring if event.type.startswith(prefix)]
+
+    def counts(self, prefix: str | None = None) -> dict[str, int]:
+        """Buffered event tallies by type, optionally prefix-filtered."""
+        tally: _TallyCounter[str] = _TallyCounter()
+        for event in self._ring:
+            if prefix is None or event.type.startswith(prefix):
+                tally[event.type] += 1
+        return dict(sorted(tally.items()))
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(list(self._ring))
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Tracer({state}, buffered={len(self._ring)})"

@@ -21,6 +21,7 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    fired: bool = field(compare=False, default=False)
 
 
 class EventHandle:
@@ -28,10 +29,17 @@ class EventHandle:
 
     Cancellation is lazy: the event stays in the heap but is skipped by
     the run loop.  This keeps scheduling O(log n) with no heap surgery.
+    The optional ``on_cancel`` callback lets the simulator keep its
+    pending-event count exact without scanning the heap.
     """
 
-    def __init__(self, event: Event) -> None:
+    def __init__(
+        self,
+        event: Event,
+        on_cancel: Callable[[], None] | None = None,
+    ) -> None:
         self._event = event
+        self._on_cancel = on_cancel
 
     @property
     def time(self) -> float:
@@ -49,5 +57,10 @@ class EventHandle:
         return self._event.cancelled
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent."""
+        """Prevent the event from firing.  Idempotent; a no-op after
+        the event has already fired."""
+        if self._event.cancelled or self._event.fired:
+            return
         self._event.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel()

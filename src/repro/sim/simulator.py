@@ -6,6 +6,8 @@ import heapq
 from collections.abc import Callable
 
 from repro.errors import SimulationError
+from repro.obs.taxonomy import SIM_FIRE
+from repro.obs.trace import Tracer
 from repro.sim.events import Event, EventHandle
 
 
@@ -17,6 +19,12 @@ class Simulator:
     in abstract "ticks" — experiments interpret a tick as roughly one
     millisecond, but nothing in the library depends on the unit.
 
+    A structured :class:`~repro.obs.trace.Tracer` can be attached
+    (:attr:`tracer`); while it is enabled, every fired event emits a
+    ``sim.fire`` trace record carrying the event's label.  ``sim.fire``
+    is in the tracer's default exclude set — opt in with
+    ``tracer.exclude.discard(taxonomy.SIM_FIRE)``.
+
     Example
     -------
     >>> sim = Simulator()
@@ -27,13 +35,16 @@ class Simulator:
     [5.0]
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: Tracer | None = None) -> None:
         self._now = 0.0
         self._seq = 0
         self._queue: list[Event] = []
         self._running = False
         self._fired = 0
-        self._trace: Callable[[float, str], None] | None = None
+        self._pending = 0
+        self._tracer: Tracer | None = None
+        if tracer is not None:
+            self.tracer = tracer
 
     @property
     def now(self) -> float:
@@ -47,16 +58,23 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired, not-cancelled events in the queue."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-fired, not-cancelled events in the queue.
 
-    def set_trace(self, hook: Callable[[float, str], None] | None) -> None:
-        """Install a tracing hook called as ``hook(time, label)``.
-
-        Pass None to disable tracing.  Used by tests and by verbose
-        example runs; the hook must not schedule events.
+        Maintained incrementally (O(1)) — scheduling increments it,
+        firing and cancellation decrement it.
         """
-        self._trace = hook
+        return self._pending
+
+    @property
+    def tracer(self) -> Tracer | None:
+        """The attached structured tracer, if any."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer: Tracer | None) -> None:
+        if tracer is not None and tracer.clock is None:
+            tracer.clock = lambda: self._now
+        self._tracer = tracer
 
     def schedule(
         self,
@@ -74,7 +92,8 @@ class Simulator:
         event = Event(self._now + delay, self._seq, callback, label)
         self._seq += 1
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        self._pending += 1
+        return EventHandle(event, on_cancel=self._on_cancel)
 
     def schedule_at(
         self,
@@ -107,8 +126,11 @@ class Simulator:
                     break
                 heapq.heappop(self._queue)
                 self._now = event.time
-                if self._trace is not None:
-                    self._trace(self._now, event.label)
+                event.fired = True
+                self._pending -= 1
+                tracer = self._tracer
+                if tracer is not None and tracer.enabled:
+                    tracer.emit(SIM_FIRE, label=event.label)
                 event.callback()
                 self._fired += 1
                 budget -= 1
@@ -132,3 +154,8 @@ class Simulator:
                 f"cannot advance backwards (now={self._now}, target={time})"
             )
         self.run(until=time)
+
+    # -- internals --------------------------------------------------------
+
+    def _on_cancel(self) -> None:
+        self._pending -= 1

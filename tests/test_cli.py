@@ -37,3 +37,30 @@ class TestCli:
     def test_parser_help_structure(self):
         parser = build_parser()
         assert parser.prog == "repro"
+
+    def test_scenario_trace_writes_jsonl(self, capsys, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        assert main(["scenario", "--trace", path]) == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        from repro.obs import summarize_trace
+
+        summary = summarize_trace(path)
+        assert summary.count("txn.commit") > 0
+        assert summary.count("partition.cut") == 1
+
+    def test_metrics_snapshot_run(self, capsys):
+        assert main(["metrics", "--seed", "3", "--duration", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "net.messages_sent" in out
+        assert "txn.committed" in out
+        assert "net.delivery_delay" in out
+
+    def test_metrics_summarize_trace(self, capsys, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        assert main(["scenario", "--trace", path]) == 0
+        capsys.readouterr()
+        assert main(["metrics", "--summarize", path]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert "message.send" in out

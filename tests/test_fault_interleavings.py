@@ -1,0 +1,186 @@
+"""Regression tests for partition/crash interleaving bugs.
+
+Each scenario interleaves node crashes with partition episodes in a way
+the seed implementation got wrong:
+
+* ``heal_now``/scripted heals restored *every* link — including links
+  cut by a different still-active episode and links taken down by a
+  node crash.
+* ``recover_node`` replayed the pre-crash link-state snapshot — links a
+  partition severed *while the node was down* came back up mid-episode.
+
+The fixed behaviour: a heal restores only the links partitions are
+responsible for and whose every claim has been released, never links
+touching a crashed node; recovery recomputes link state against the
+currently-active episodes.
+"""
+
+from repro import FragmentedDatabase, PartitionSpec
+from repro.cc.ops import Read, Write
+
+
+def make_db(nodes=("A", "B", "C"), **kwargs):
+    db = FragmentedDatabase(list(nodes), **kwargs)
+    db.add_agent("ag", home_node=nodes[0])
+    db.add_fragment("F", agent="ag", objects=["x"])
+    db.load({"x": 0})
+    db.finalize()
+    return db
+
+
+def bump(obj="x"):
+    def body(_ctx):
+        value = yield Read(obj)
+        yield Write(obj, value + 1)
+
+    return body
+
+
+def up(db, a, b):
+    return db.topology.link(a, b).up
+
+
+class TestCrashDuringPartition:
+    def test_heal_keeps_crashed_node_links_down(self):
+        """A heal must not resurrect links owned by a crashed node."""
+        db = make_db()
+        db.fail_node("C")
+        db.partitions.partition_now([["A"], ["B", "C"]])
+        db.partitions.heal_now()
+        assert up(db, "A", "B")  # partition-cut, restored
+        assert not up(db, "A", "C")  # crash-downed, heal must not touch
+        assert not up(db, "B", "C")
+        db.recover_node("C")
+        assert up(db, "A", "C")
+        assert up(db, "B", "C")
+
+    def test_crash_after_cut_then_heal_then_recover(self):
+        """Partition owns a link, the endpoint crashes, heal happens
+        during the downtime: the link stays down until recovery."""
+        db = make_db()
+        db.partitions.partition_now([["A"], ["B", "C"]])
+        db.fail_node("C")
+        db.partitions.heal_now()
+        assert up(db, "A", "B")
+        assert not up(db, "A", "C")  # endpoint still crashed
+        assert not up(db, "B", "C")
+        db.recover_node("C")
+        db.quiesce()
+        assert up(db, "A", "C")
+        assert up(db, "B", "C")
+
+    def test_traffic_converges_after_crash_partition_heal_recover(self):
+        db = make_db()
+        db.submit_update("ag", bump(), writes=["x"])
+        db.quiesce()
+        db.fail_node("C")
+        db.partitions.partition_now([["A"], ["B", "C"]])
+        db.submit_update("ag", bump(), writes=["x"])
+        db.run(until=db.sim.now + 5)
+        db.partitions.heal_now()
+        db.run(until=db.sim.now + 5)
+        # C is still down: nothing may have been delivered to it.
+        assert not db.nodes["C"].store.exists("x")
+        db.recover_node("C")
+        db.quiesce()
+        assert db.nodes["C"].store.read("x") == 2
+        assert db.mutual_consistency().consistent
+
+
+class TestOverlappingEpisodes:
+    def test_first_heal_keeps_shared_links_down(self):
+        """Two overlapping episodes share the A-C link; the first heal
+        must only restore links no active episode still claims."""
+        db = make_db()
+        db.partitions.install(
+            [
+                PartitionSpec(10.0, 50.0, [["A"], ["B", "C"]], label="p1"),
+                PartitionSpec(30.0, 80.0, [["A", "B"], ["C"]], label="p2"),
+            ]
+        )
+        db.run(until=60.0)  # p1 healed, p2 still active
+        assert up(db, "A", "B")  # only p1 claimed it
+        assert not up(db, "A", "C")  # p2 still claims it
+        assert not up(db, "B", "C")  # cut by p2, untouched by p1's heal
+        db.run(until=90.0)  # p2 healed too
+        assert up(db, "A", "C")
+        assert up(db, "B", "C")
+
+    def test_heal_now_clears_all_active_episodes(self):
+        db = make_db()
+        db.partitions.partition_now([["A"], ["B", "C"]])
+        db.partitions.partition_now([["A", "B"], ["C"]])
+        db.partitions.heal_now()
+        for a, b in (("A", "B"), ("A", "C"), ("B", "C")):
+            assert up(db, a, b)
+
+    def test_messages_held_until_last_claim_released(self):
+        db = make_db()
+        db.partitions.install(
+            [
+                PartitionSpec(1.0, 10.0, [["A"], ["B", "C"]], label="p1"),
+                PartitionSpec(5.0, 20.0, [["A", "B"], ["C"]], label="p2"),
+            ]
+        )
+        db.sim.schedule_at(
+            6.0,
+            lambda: db.submit_update("ag", bump(), writes=["x"]),
+            label="update mid-overlap",
+        )
+        db.run(until=12.0)  # p1 healed; A-C still severed by p2
+        assert db.nodes["C"].store.read("x") == 0
+        db.quiesce()
+        assert db.nodes["C"].store.read("x") == 1
+        assert db.mutual_consistency().consistent
+
+
+class TestRecoverDuringPartition:
+    def test_recovery_respects_active_partition(self):
+        """A partition formed while the node was down keeps its links
+        severed after recovery (no stale pre-crash snapshot replay)."""
+        db = make_db()
+        db.fail_node("C")
+        db.partitions.partition_now([["A", "B"], ["C"]])
+        db.recover_node("C")
+        assert not db.nodes["C"].down
+        assert up(db, "A", "B")
+        assert not up(db, "A", "C")  # still severed by the episode
+        assert not up(db, "B", "C")
+        db.partitions.heal_now()
+        assert up(db, "A", "C")  # partition adopted + restored them
+        assert up(db, "B", "C")
+
+    def test_recovered_node_isolated_until_heal(self):
+        db = make_db()
+        db.submit_update("ag", bump(), writes=["x"])
+        db.quiesce()
+        db.fail_node("C")
+        db.partitions.partition_now([["A", "B"], ["C"]])
+        db.recover_node("C")
+        db.submit_update("ag", bump(), writes=["x"])
+        db.run(until=db.sim.now + 10)
+        # The update committed on the majority side but must not have
+        # crossed into C's group while the episode is active (C's WAL
+        # replay restored only the pre-crash value).
+        assert db.nodes["A"].store.read("x") == 2
+        assert db.nodes["C"].store.read("x") == 1
+        db.partitions.heal_now()
+        db.quiesce()
+        assert db.nodes["C"].store.read("x") == 2
+        assert db.mutual_consistency().consistent
+
+    def test_scripted_heal_restores_adopted_links(self):
+        db = make_db()
+        db.partitions.install(
+            [PartitionSpec(5.0, 30.0, [["A", "B"], ["C"]], label="p")]
+        )
+        db.sim.schedule_at(2.0, lambda: db.fail_node("C"), label="crash C")
+        db.sim.schedule_at(10.0, lambda: db.recover_node("C"), label="recover C")
+        db.run(until=20.0)
+        assert not up(db, "A", "C")
+        assert not up(db, "B", "C")
+        db.run(until=40.0)  # scripted heal at 30 restores adopted links
+        assert up(db, "A", "C")
+        assert up(db, "B", "C")
+        db.quiesce()
+        assert db.mutual_consistency().consistent

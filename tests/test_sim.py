@@ -3,6 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
+from repro.obs import Tracer, taxonomy
 from repro.sim import SeededRng, Simulator
 
 
@@ -150,15 +151,43 @@ class TestCancellation:
 
 
 class TestTrace:
-    def test_trace_hook_sees_labels(self):
+    def test_tracer_sees_fired_events(self):
         sim = Simulator()
-        seen = []
-        sim.set_trace(lambda t, label: seen.append((t, label)))
+        tracer = Tracer(enabled=True, exclude=frozenset())
+        sim.tracer = tracer
         sim.schedule(1.0, lambda: None, label="one")
         sim.schedule(2.0, lambda: None, label="two")
         sim.run()
-        assert seen == [(1.0, "one"), (2.0, "two")]
-        sim.set_trace(None)
+        fired = [
+            (event.time, event.fields["label"])
+            for event in tracer.events(taxonomy.SIM_FIRE)
+        ]
+        assert fired == [(1.0, "one"), (2.0, "two")]
+
+    def test_sim_fire_excluded_by_default(self):
+        sim = Simulator()
+        tracer = Tracer(enabled=True)
+        sim.tracer = tracer
+        sim.schedule(1.0, lambda: None, label="one")
+        sim.run()
+        assert len(tracer) == 0
+
+    def test_disabled_tracer_records_nothing(self):
+        sim = Simulator()
+        tracer = Tracer(exclude=frozenset())
+        sim.tracer = tracer
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert len(tracer) == 0
+
+    def test_tracer_clock_follows_sim(self):
+        sim = Simulator()
+        tracer = Tracer()
+        sim.tracer = tracer
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert tracer.clock is not None
+        assert tracer.clock() == 5.0
 
 
 class TestSeededRng:
