@@ -20,8 +20,11 @@ from conftest import run_once
 
 from repro.analysis.report import format_table
 from repro.analysis.torture import PROTOCOLS, run_movement_torture
+from repro.replication import PipelineConfig
 
 RUNS = 60
+BATCHED_RUNS = 20
+BATCHED = PipelineConfig(batch_size=4, batch_window=3.0)
 
 
 def sweep():
@@ -78,3 +81,36 @@ def test_e13_movement_torture(benchmark, report):
         by_name["majority"]["availability"]
         < by_name["with-data"]["availability"]
     )
+
+
+def test_e13b_torture_with_batching(benchmark, report):
+    """The guarantee matrix is batching-invariant: group commit is a
+    transport envelope, not a semantics change."""
+
+    def sweep_batched():
+        rows = []
+        for protocol in ("majority", "with-data", "with-seqno", "corrective"):
+            mc_breaks = 0
+            for seed in range(BATCHED_RUNS):
+                result = run_movement_torture(
+                    seed, protocol, pipeline=BATCHED
+                )
+                mc_breaks += not result.mutually_consistent
+            rows.append({"protocol": protocol, "MC broken": mc_breaks})
+        return rows
+
+    rows = run_once(benchmark, sweep_batched)
+    headers = list(rows[0])
+    report(
+        format_table(
+            headers,
+            [[row[h] for h in headers] for row in rows],
+            title=(
+                f"E13b — movement torture under group commit "
+                f"(batch_size={BATCHED.batch_size}, "
+                f"window={BATCHED.batch_window}; {BATCHED_RUNS} runs each)"
+            ),
+        )
+    )
+    for row in rows:
+        assert row["MC broken"] == 0, row["protocol"]

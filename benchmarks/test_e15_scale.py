@@ -11,9 +11,11 @@ number of nodes?  The paper's propagation design predicts:
   every scale (it never depended on reaching anyone).
 """
 
+import hashlib
+
 from conftest import run_once
 
-from repro import FragmentedDatabase
+from repro import FragmentedDatabase, PipelineConfig
 from repro.analysis.report import format_table
 from repro.cc.ops import Read, Write
 from repro.core.properties import check_mutual_consistency
@@ -22,9 +24,23 @@ SCALES = [4, 8, 12, 16]
 UPDATES = 60
 
 
-def run_at_scale(n_nodes):
+def state_hash(db):
+    """Digest of every replica's store: (node, obj, value, writer, vno)."""
+    digest = hashlib.sha256()
+    for name in sorted(db.nodes):
+        store = db.nodes[name].store
+        for obj in sorted(store.names):
+            version = store.read_version(obj)
+            digest.update(
+                f"{name}|{obj}|{version.value!r}|{version.writer}|"
+                f"{version.version_no}\n".encode()
+            )
+    return digest.hexdigest()
+
+
+def run_at_scale(n_nodes, pipeline=None):
     nodes = [f"N{i}" for i in range(n_nodes)]
-    db = FragmentedDatabase(nodes)
+    db = FragmentedDatabase(nodes, pipeline=pipeline)
     db.add_agent("ag", home_node="N0")
     db.add_fragment("F", agent="ag", objects=["x"])
     db.load({"x": 0})
@@ -69,14 +85,16 @@ def run_at_scale(n_nodes):
         "committed": sum(1 for t in trackers if t.succeeded),
         "messages": db.network.messages_sent,
         "msgs/update": round(db.network.messages_sent / UPDATES, 1),
+        "qt msgs": db.network.messages_by_kind["qt"],
         "delta-t after heal": round(converged_at["t"] - heal_at, 2),
         "MC": db.mutual_consistency().consistent,
+        "state": state_hash(db),
     }
 
 
 def test_e15_scale(benchmark, report):
     rows = run_once(benchmark, lambda: [run_at_scale(n) for n in SCALES])
-    headers = list(rows[0])
+    headers = [h for h in rows[0] if h != "state"]
     report(
         format_table(
             headers,
@@ -96,3 +114,48 @@ def test_e15_scale(benchmark, report):
     # ...while post-heal convergence stays flat.
     deltas = [row["delta-t after heal"] for row in rows]
     assert max(deltas) <= min(deltas) + 2.0
+
+
+def test_e15_batched_pipeline(benchmark, report):
+    """Group commit at batch-size 16: >= 2x fewer qt broadcast messages,
+    byte-identical final replica state."""
+    batched_config = PipelineConfig(batch_size=16, batch_window=8.0)
+
+    def compare():
+        return [
+            (n, run_at_scale(n), run_at_scale(n, batched_config))
+            for n in SCALES
+        ]
+
+    results = run_once(benchmark, compare)
+    headers = ["nodes", "qt msgs", "qt msgs (batched)", "reduction",
+               "same state", "MC (batched)"]
+    rows = []
+    for n, plain, batched in results:
+        rows.append(
+            [
+                n,
+                plain["qt msgs"],
+                batched["qt msgs"],
+                f"{plain['qt msgs'] / batched['qt msgs']:.1f}x",
+                plain["state"] == batched["state"],
+                batched["MC"],
+            ]
+        )
+    report(
+        format_table(
+            headers,
+            rows,
+            title=(
+                "E15 — batched vs unbatched propagation "
+                "(batch_size=16, batch_window=8.0)"
+            ),
+        )
+    )
+    for n, plain, batched in results:
+        assert batched["committed"] == UPDATES
+        assert batched["MC"]
+        # The batch is a transport envelope: same installs, same state.
+        assert plain["state"] == batched["state"]
+        # Group commit collapses the qt fan-out by >= 2x.
+        assert plain["qt msgs"] >= 2 * batched["qt msgs"]

@@ -32,8 +32,9 @@ from repro.cc.ops import Write
 HEAL_AT = 60.0
 
 
-def run_protocol(protocol):
-    db = FragmentedDatabase(["X", "Y", "Z"], movement=protocol)
+def run_protocol(protocol, pipeline=None):
+    db = FragmentedDatabase(["X", "Y", "Z"], movement=protocol,
+                            pipeline=pipeline)
     db.add_agent("ag", home_node="X")
     db.add_fragment("F", agent="ag", objects=["v"])
     db.load({"v": 0})
@@ -122,3 +123,37 @@ def test_e7_moving_agents(benchmark, report):
     # Every consistency-preserving protocol converges on T2's value.
     for name in ("majority", "with-data", "with-seqno", "corrective"):
         assert by_name[name]["final v"] == 222
+
+
+def test_e7b_moving_agents_batched(benchmark, report):
+    """The Figure 4.4.1 guarantee matrix is unchanged under group
+    commit: batches ride the same pipeline the move protocols gate."""
+    from repro import PipelineConfig
+
+    config = PipelineConfig(batch_size=4, batch_window=2.0)
+
+    def run_all_batched():
+        return [
+            run_protocol(InstantMoveProtocol(), pipeline=config),
+            run_protocol(MajorityCommitProtocol(), pipeline=config),
+            run_protocol(MoveWithDataProtocol(), pipeline=config),
+            run_protocol(MoveWithSeqnoProtocol(), pipeline=config),
+            run_protocol(CorrectiveMoveProtocol(), pipeline=config),
+        ]
+
+    rows = run_once(benchmark, run_all_batched)
+    headers = list(rows[0])
+    report(
+        format_table(
+            headers,
+            [[row[h] for h in headers] for row in rows],
+            title="E7b — the same hazard under group commit (batch 4 / 2.0)",
+        )
+    )
+    by_name = {row["protocol"]: row for row in rows}
+    assert not by_name["none"]["MC"]
+    for name in ("majority", "with-data", "with-seqno", "corrective"):
+        assert by_name[name]["MC"], name
+        assert by_name[name]["final v"] == 222, name
+    for name in ("majority", "with-data", "with-seqno"):
+        assert by_name[name]["FW"], name

@@ -7,11 +7,20 @@ transaction fan-out, serialization-graph construction, and a full
 system-scale end-to-end run.
 """
 
-from repro import FragmentedDatabase
+import json
+import time
+from pathlib import Path
+
+from conftest import run_once
+
+from repro import FragmentedDatabase, PipelineConfig, QtBatch
 from repro.cc import LocalScheduler, Read, Write
 from repro.core.gsg import global_serialization_graph
+from repro.net.broadcast import SeqPayload
+from repro.net.message import Message
 from repro.sim import Simulator
 from repro.storage import ObjectStore
+from repro.storage.values import Version
 
 
 def test_perf_local_scheduler_throughput(benchmark):
@@ -130,3 +139,81 @@ def test_perf_end_to_end_partitioned_run(benchmark):
 
     committed = benchmark(run)
     assert committed == 300
+
+
+def test_hot_path_dataclasses_are_slotted():
+    """The per-message/per-version envelopes are the allocation hot
+    path; slots keep them dict-free (and frozen where shared)."""
+    instances = [
+        Message("A", "B", "qt", None),
+        SeqPayload("A", 0, "qt", None),
+        Version(0),
+        QtBatch(origin="A", qts=(), created_at=0.0),
+    ]
+    for obj in instances:
+        assert not hasattr(obj, "__dict__"), type(obj).__name__
+        assert "__slots__" in type(obj).__dict__, type(obj).__name__
+
+
+def _fanout(pipeline=None):
+    """200 updates across an 8-node full mesh (the fan-out hot path)."""
+    db = FragmentedDatabase([f"N{i}" for i in range(8)], pipeline=pipeline)
+    db.add_agent("ag", home_node="N0")
+    db.add_fragment("F", agent="ag", objects=["x"])
+    db.load({"x": 0})
+    db.finalize()
+
+    def bump(_ctx):
+        value = yield Read("x")
+        yield Write("x", value + 1)
+
+    for _ in range(200):
+        db.submit_update("ag", bump, writes=["x"])
+    db.quiesce()
+    assert db.nodes["N7"].store.read("x") == 200
+    return db
+
+
+def test_perf_pipeline_batched_fanout(benchmark, report):
+    """Batched vs unbatched propagation of the same 200-update fan-out.
+
+    Emits ``BENCH_pipeline.json`` at the repo root: the replication
+    pipeline's perf baseline (message counts are deterministic; wall
+    times are informational).
+    """
+    config = PipelineConfig(batch_size=16, batch_window=1.0)
+
+    def compare():
+        timings, dbs = {}, {}
+        for label, cfg in (("unbatched", None), ("batched", config)):
+            start = time.perf_counter()
+            dbs[label] = _fanout(cfg)
+            timings[label] = time.perf_counter() - start
+        return timings, dbs
+
+    timings, dbs = run_once(benchmark, compare)
+    qt_plain = dbs["unbatched"].network.messages_by_kind["qt"]
+    qt_batched = dbs["batched"].network.messages_by_kind["qt"]
+    assert qt_plain >= 2 * qt_batched
+    baseline = {
+        "bench": "pipeline_fanout",
+        "nodes": 8,
+        "updates": 200,
+        "batch_size": config.batch_size,
+        "batch_window": config.batch_window,
+        "qt_messages": {"unbatched": qt_plain, "batched": qt_batched},
+        "total_messages": {
+            label: db.network.messages_sent for label, db in dbs.items()
+        },
+        "qt_reduction": round(qt_plain / qt_batched, 2),
+        "wall_seconds": {
+            label: round(seconds, 4) for label, seconds in timings.items()
+        },
+    }
+    path = Path(__file__).resolve().parents[1] / "BENCH_pipeline.json"
+    path.write_text(json.dumps(baseline, indent=2) + "\n")
+    report(
+        f"pipeline fan-out baseline -> {path.name}: "
+        f"{qt_plain} -> {qt_batched} qt messages "
+        f"({baseline['qt_reduction']}x reduction)"
+    )

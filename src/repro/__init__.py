@@ -71,6 +71,7 @@ from repro.errors import (
 from repro.net.partition import PartitionSpec
 from repro.net.topology import Topology
 from repro.obs import MetricsRegistry, TraceEvent, Tracer
+from repro.replication import PipelineConfig, QtBatch, ReplicationPipeline
 
 __version__ = "1.0.0"
 
@@ -94,8 +95,11 @@ __all__ = [
     "MoveWithSeqnoProtocol",
     "NetworkError",
     "PartitionSpec",
+    "PipelineConfig",
     "PredicateSuite",
+    "QtBatch",
     "QuasiTransaction",
+    "ReplicationPipeline",
     "Read",
     "ReadAccessGraph",
     "ReadLocksStrategy",

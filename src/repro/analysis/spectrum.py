@@ -37,6 +37,7 @@ from repro.core.control.base import ControlStrategy
 from repro.core.control.read_locks import ReadLocksStrategy
 from repro.core.control.unrestricted import UnrestrictedReadsStrategy
 from repro.core.system import FragmentedDatabase
+from repro.replication import PipelineConfig
 from repro.sim.rng import SeededRng
 from repro.workloads.banking import BankingWorkload
 from repro.workloads.generator import BankingDriver, OpEvent, generate_script
@@ -61,6 +62,18 @@ class SpectrumConfig:
     seed: int = 7
     overdraft_fine: float = 25.0
     lock_timeout: float = 60.0
+    #: Replication-pipeline group commit (1 / 0.0 = one message per
+    #: quasi-transaction, the paper's baseline propagation).
+    batch_size: int = 1
+    batch_window: float = 0.0
+
+    def pipeline_config(self) -> PipelineConfig | None:
+        """Pipeline settings for the fragments-and-agents runs."""
+        if self.batch_size == 1 and self.batch_window == 0.0:
+            return None
+        return PipelineConfig(
+            batch_size=self.batch_size, batch_window=self.batch_window
+        )
 
     @property
     def accounts(self) -> list[str]:
@@ -172,7 +185,10 @@ def run_fragments_agents(
     e.g. the ``repro metrics`` subcommand printing ``db.snapshot()``.
     """
     db = FragmentedDatabase(
-        list(config.nodes), strategy=strategy, seed=config.seed
+        list(config.nodes),
+        strategy=strategy,
+        seed=config.seed,
+        pipeline=config.pipeline_config(),
     )
     if db_sink is not None:
         db_sink.append(db)

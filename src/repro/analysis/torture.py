@@ -31,6 +31,7 @@ from repro.core.movement.none_protocol import InstantMoveProtocol
 from repro.core.movement.with_data import MoveWithDataProtocol
 from repro.core.movement.with_seqno import MoveWithSeqnoProtocol
 from repro.core.system import FragmentedDatabase
+from repro.replication import PipelineConfig
 from repro.sim.rng import SeededRng
 
 PROTOCOLS: dict[str, type[MovementProtocol]] = {
@@ -80,12 +81,13 @@ def run_movement_torture(
     n_updates: int = 15,
     n_moves: int = 3,
     horizon: float = 200.0,
+    pipeline: PipelineConfig | None = None,
 ) -> TortureResult:
     """One seeded run: random traffic, random moves, random partitions."""
     rng = SeededRng(seed)
     nodes = [f"N{i}" for i in range(n_nodes)]
     protocol = PROTOCOLS[protocol_name]()
-    db = FragmentedDatabase(nodes, movement=protocol, seed=seed)
+    db = FragmentedDatabase(nodes, movement=protocol, seed=seed, pipeline=pipeline)
     db.add_agent("ag", home_node=nodes[0])
     objects = ["u", "v", "w"]
     db.add_fragment("F", agent="ag", objects=objects)

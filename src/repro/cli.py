@@ -42,7 +42,24 @@ def _config_from_args(args: argparse.Namespace) -> SpectrumConfig:
     if duration is not None:
         kwargs["partition_start"] = 60.0
         kwargs["partition_end"] = 60.0 + max(duration, 0.001)
+    batch_size = getattr(args, "batch_size", None)
+    if batch_size is not None:
+        kwargs["batch_size"] = batch_size
+    batch_window = getattr(args, "batch_window", None)
+    if batch_window is not None:
+        kwargs["batch_window"] = batch_window
     return SpectrumConfig(**kwargs)
+
+
+def _add_batching_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="group up to N quasi-transactions per broadcast (default 1)",
+    )
+    parser.add_argument(
+        "--batch-window", type=float, default=None, metavar="TICKS",
+        help="flush a partial batch after this many simulated ticks",
+    )
 
 
 def cmd_spectrum(args: argparse.Namespace) -> int:
@@ -236,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition duration in ticks (default: the E1 scenario's 300)",
     )
     spectrum.add_argument("--trace", default=None, help=trace_help)
+    _add_batching_args(spectrum)
     spectrum.set_defaults(func=cmd_spectrum)
 
     sweep = sub.add_parser("sweep", help="availability vs duration (E9)")
@@ -268,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--summarize", default=None, metavar="TRACE",
         help="summarize an existing JSONL trace file and exit",
     )
+    _add_batching_args(metrics)
     metrics.set_defaults(func=cmd_metrics)
     return parser
 

@@ -12,6 +12,7 @@ from repro.core.transaction import (
 )
 from repro.errors import TokenError
 from repro.obs import taxonomy
+from repro.replication.admission import AdmissionPolicy, OrderedAdmission
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.node import DatabaseNode
@@ -21,14 +22,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class MovementProtocol:
     """Hooks the Section 4.4 protocols plug into the system.
 
-    The base class implements the behaviour shared by all faithful
-    protocols: per-fragment sequence-ordered quasi-transaction
-    admission (buffer gaps, drop duplicates) and plain reliable
-    broadcast for propagation.  Subclasses override the pieces their
-    section of the paper changes.
+    Propagation and installation are owned by the shared replication
+    pipeline (:mod:`repro.replication`); a movement protocol is, from
+    the pipeline's point of view, an *admission policy* (its
+    ``admission`` attribute) plus move/gating hooks.  The base class
+    supplies the faithful defaults — ordered admission and direct
+    pipeline submission at commit — and subclasses override only the
+    pieces their section of the paper changes.
     """
 
     name = "base"
+
+    #: Admission stage of the pipeline.  Policies are stateless, so a
+    #: class-level default instance is shared by all protocols using it.
+    admission: AdmissionPolicy = OrderedAdmission()
 
     def attach(self, system: "FragmentedDatabase") -> None:
         """One-time wiring (register message handlers)."""
@@ -37,47 +44,19 @@ class MovementProtocol:
     # -- propagation -------------------------------------------------------
 
     def propagate(self, node: "DatabaseNode", quasi: QuasiTransaction) -> None:
-        """Send a freshly committed quasi-transaction to all replicas."""
-        node.system.broadcast.broadcast(
-            node.name, {"type": "qt", "qt": quasi}, kind="qt"
-        )
+        """Hand a freshly committed quasi-transaction to the pipeline."""
+        node.system.pipeline.submit(node, quasi)
 
     # -- admission -----------------------------------------------------------
 
     def admit(self, node: "DatabaseNode", quasi: QuasiTransaction) -> None:
         """Decide what to do with an arriving quasi-transaction.
 
-        Default: install in per-fragment ``(epoch, stream_seq)`` order —
-        gaps are buffered, duplicates dropped.  This is the paper's
-        "processed at all other nodes in the same order as they were
-        sent" requirement, keyed by fragment stream rather than sender
-        so it stays correct when a later protocol moves the stream to a
-        new sender node.
+        Default (:class:`OrderedAdmission`): install in per-fragment
+        ``(epoch, stream_seq)`` order — gaps are buffered, duplicates
+        dropped.
         """
-        self._ordered_admit(node, quasi)
-
-    def _ordered_admit(self, node: "DatabaseNode", quasi: QuasiTransaction) -> None:
-        fragment = quasi.fragment
-        key = (quasi.epoch, quasi.stream_seq)
-        expected = (node.epoch[fragment], node.next_expected[fragment])
-        if key < expected:
-            return  # duplicate / already superseded
-        if key > expected:
-            node.qt_buffer[fragment][key] = quasi
-            return
-        node.next_expected[fragment] = quasi.stream_seq + 1
-        node.enqueue_install(quasi)
-        self._drain_buffer(node, fragment)
-
-    def _drain_buffer(self, node: "DatabaseNode", fragment: str) -> None:
-        buffer = node.qt_buffer[fragment]
-        while True:
-            key = (node.epoch[fragment], node.next_expected[fragment])
-            quasi = buffer.pop(key, None)
-            if quasi is None:
-                return
-            node.next_expected[fragment] = quasi.stream_seq + 1
-            node.enqueue_install(quasi)
+        self.admission.admit(node, quasi)
 
     def after_install(self, node: "DatabaseNode", quasi: QuasiTransaction) -> None:
         """Called after a quasi-transaction finished installing locally."""

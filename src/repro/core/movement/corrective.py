@@ -41,6 +41,7 @@ from repro.cc.ops import Write
 from repro.core.movement.base import MovementProtocol
 from repro.core.transaction import QuasiTransaction, TransactionSpec
 from repro.net.message import Message
+from repro.replication.admission import EpochOrderedAdmission, drain_buffer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.node import DatabaseNode
@@ -56,6 +57,9 @@ class CorrectiveMoveProtocol(MovementProtocol):
     name = "corrective"
 
     def __init__(self) -> None:
+        # Current-epoch traffic admits in order; future epochs park
+        # until their M0; stale epochs are orphans (rule B2/A2).
+        self.admission = EpochOrderedAdmission(self._handle_orphan)
         self._repackaged: set[str] = set()
         self.orphans_handled = 0
         self.orphans_dropped_empty = 0
@@ -69,21 +73,6 @@ class CorrectiveMoveProtocol(MovementProtocol):
         for node in system.nodes.values():
             node.register_unicast(KIND_FWD, self._make_fwd_handler(system, node))
             node.register_broadcast(M0_TYPE, self._on_m0)
-
-    # -- admission -----------------------------------------------------------
-
-    def admit(self, node: "DatabaseNode", quasi: QuasiTransaction) -> None:
-        fragment = quasi.fragment
-        if quasi.epoch == node.epoch[fragment]:
-            self._ordered_admit(node, quasi)
-        elif quasi.epoch > node.epoch[fragment]:
-            # New-epoch transaction racing ahead of its M0 (cannot happen
-            # via FIFO from the same sender, but forwarded copies can):
-            # park it until the M0 activates the epoch.
-            node.qt_buffer[fragment][(quasi.epoch, quasi.stream_seq)] = quasi
-        else:
-            # Pre-move orphan arriving after M0: rule B2 / A2.
-            self._handle_orphan(node, quasi)
 
     # -- moving -------------------------------------------------------------
 
@@ -141,18 +130,19 @@ class CorrectiveMoveProtocol(MovementProtocol):
         for quasi in sorted(body["qts"], key=lambda q: q.stream_seq):
             node.enqueue_install(quasi)  # dedups already-installed sources
         # Orphans sitting in the old-epoch buffer become rule-B2 forwards.
+        streams = node.streams
         stale = [
             quasi
-            for key, quasi in list(node.qt_buffer[fragment].items())
+            for key, quasi in list(streams.buffer[fragment].items())
             if key[0] < epoch
         ]
         for quasi in stale:
-            del node.qt_buffer[fragment][(quasi.epoch, quasi.stream_seq)]
-        node.epoch[fragment] = epoch
-        node.next_expected[fragment] = body["upto"]
+            del streams.buffer[fragment][(quasi.epoch, quasi.stream_seq)]
+        streams.epoch[fragment] = epoch
+        streams.next_expected[fragment] = body["upto"]
         for quasi in stale:
             self._handle_orphan(node, quasi)
-        self._drain_buffer(node, fragment)
+        drain_buffer(node, fragment)
 
     # -- orphan handling (rules B2 and A2) -------------------------------------
 

@@ -140,9 +140,9 @@ class MajorityCommitProtocol(MovementProtocol):
         needed = len(system.nodes) // 2 + 1
         if len(self._acks[txn]) >= needed:
             del self._pending_qt[txn]
-            system.broadcast.broadcast(
-                origin, {"type": "qt", "qt": quasi}, kind="qt"
-            )
+            # The ack round gates the *commit broadcast*; the broadcast
+            # itself rides the shared pipeline like everyone else's.
+            system.pipeline.submit(system.nodes[origin], quasi)
 
     # -- moving: resync from a majority -------------------------------------
 

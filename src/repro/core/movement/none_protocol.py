@@ -21,10 +21,9 @@ from collections.abc import Callable
 from typing import TYPE_CHECKING
 
 from repro.core.movement.base import MovementProtocol
-from repro.core.transaction import QuasiTransaction
+from repro.replication.admission import BlindAdmission
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.core.node import DatabaseNode
     from repro.core.system import FragmentedDatabase
 
 
@@ -33,12 +32,8 @@ class InstantMoveProtocol(MovementProtocol):
 
     name = "none"
 
-    def admit(self, node: "DatabaseNode", quasi: QuasiTransaction) -> None:
-        # Blind install in arrival order — no buffering, no gap detection.
-        node.next_expected[quasi.fragment] = max(
-            node.next_expected[quasi.fragment], quasi.stream_seq + 1
-        )
-        node.enqueue_install(quasi)
+    # Blind install in arrival order — no buffering, no gap detection.
+    admission = BlindAdmission()
 
     def request_move(
         self,

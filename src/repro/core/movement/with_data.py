@@ -24,6 +24,7 @@ from collections.abc import Callable
 from typing import TYPE_CHECKING
 
 from repro.core.movement.base import MovementProtocol
+from repro.replication.admission import drain_buffer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.system import FragmentedDatabase
@@ -73,16 +74,16 @@ class MoveWithDataProtocol(MovementProtocol):
                 # the origin's: fast-forward its install bookkeeping so
                 # late-arriving pre-move quasi-transactions are duplicates.
                 next_seq = token.payload.get("next_seq", 0)
-                destination.next_expected[fragment] = max(
-                    destination.next_expected[fragment], next_seq
+                streams = destination.streams
+                streams.next_expected[fragment] = max(
+                    streams.next_expected[fragment], next_seq
                 )
-                destination.epoch[fragment] = token.payload.get("epoch", 0)
+                streams.epoch[fragment] = token.payload.get("epoch", 0)
                 for seq in carried_seqs:
-                    archived = origin.qt_archive[fragment].get(seq)
+                    archived = origin.streams.archive[fragment].get(seq)
                     if archived is not None:
-                        destination.installed_sources.add(archived.source_txn)
-                        destination.qt_archive[fragment][seq] = archived
-                self._drain_buffer(destination, fragment)
+                        streams.record(archived)
+                drain_buffer(destination, fragment)
             if on_done is not None:
                 on_done()
 

@@ -19,7 +19,6 @@ Responsibilities (Section 3.2):
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
 from collections.abc import Callable
 from typing import TYPE_CHECKING, Any
 
@@ -38,8 +37,10 @@ from repro.core.transaction import (
 )
 from repro.errors import ReproError, TransactionAborted
 from repro.net.broadcast import SeqPayload
-from repro.obs import taxonomy
 from repro.net.message import Message
+from repro.replication.apply import FragmentApplyQueue
+from repro.replication.batch import QTB_TYPE
+from repro.replication.stream import StreamLog
 from repro.storage.store import ObjectStore
 from repro.storage.values import INITIAL_WRITER, Version
 from repro.storage.wal import WriteAheadLog
@@ -65,18 +66,10 @@ class DatabaseNode:
             action_delay=system.action_delay,
             apply_writes=self._apply_commit,
         )
-        # Per-fragment install bookkeeping.
-        self.next_expected: dict[str, int] = defaultdict(int)
-        self.epoch: dict[str, int] = defaultdict(int)
-        self.qt_buffer: dict[str, dict[tuple[int, int], QuasiTransaction]] = (
-            defaultdict(dict)
-        )
-        self._installing: dict[str, bool] = defaultdict(bool)
-        self._ready: dict[str, deque[QuasiTransaction]] = defaultdict(deque)
-        self.installed_sources: set[str] = set()
-        # Archive of every quasi-transaction seen, per fragment by stream
-        # seq — the majority-move resync and corrective M0 replay read it.
-        self.qt_archive: dict[str, dict[int, QuasiTransaction]] = defaultdict(dict)
+        # Replication-pipeline state: stream bookkeeping (cursor, epoch,
+        # reorder buffer, archive) and the per-fragment apply queues.
+        self.streams = StreamLog()
+        self.apply_queue = FragmentApplyQueue(self)
         # Message routing.
         self.unicast_handlers: dict[str, UnicastHandler] = {}
         self.broadcast_handlers: dict[str, BroadcastHandler] = {}
@@ -96,6 +89,33 @@ class DatabaseNode:
         self._c_qt_skipped = self.metrics.counter("qt.skipped")
         self.register_unicast("recovery-req", self._on_recovery_req)
         self.register_unicast("recovery-rep", self._on_recovery_rep)
+
+    # -- stream-log views (delegation kept for API compatibility) -----------
+
+    @property
+    def next_expected(self) -> dict[str, int]:
+        """Fragment -> next expected stream sequence number."""
+        return self.streams.next_expected
+
+    @property
+    def epoch(self) -> dict[str, int]:
+        """Fragment -> currently active epoch."""
+        return self.streams.epoch
+
+    @property
+    def qt_buffer(self) -> dict[str, dict[tuple[int, int], QuasiTransaction]]:
+        """Fragment -> out-of-order admission buffer."""
+        return self.streams.buffer
+
+    @property
+    def qt_archive(self) -> dict[str, dict[int, QuasiTransaction]]:
+        """Fragment -> archive of every quasi-transaction seen."""
+        return self.streams.archive
+
+    @property
+    def installed_sources(self) -> set[str]:
+        """Source transaction ids already installed at this replica."""
+        return self.streams.installed_sources
 
     # -- network plumbing ---------------------------------------------------
 
@@ -120,13 +140,8 @@ class DatabaseNode:
     def on_broadcast(self, sender: str, seq: int, body: dict[str, Any]) -> None:
         """Reliable-broadcast delivery callback (FIFO per sender)."""
         kind = body.get("type")
-        if kind == "qt":
-            quasi = body["qt"]
-            if not self.system.replicates(self.name, quasi.fragment):
-                self.quasi_skipped += 1
-                self._c_qt_skipped.inc()
-                return
-            self.system.movement.admit(self, quasi)
+        if kind == QTB_TYPE:
+            self.system.pipeline.deliver(self, body["batch"])
             return
         handler = self.broadcast_handlers.get(kind)
         if handler is None:
@@ -327,13 +342,9 @@ class DatabaseNode:
             InstallRecord(self.name, spec.txn_id, fragment_name, stream_seq, now)
         )
         self.wal.append_install(quasi)
-        self.installed_sources.add(quasi.source_txn)
-        self.qt_archive[fragment_name][stream_seq] = quasi
-        # Keep this node's own install bookkeeping in step with its stream.
-        self.next_expected[fragment_name] = max(
-            self.next_expected[fragment_name], stream_seq + 1
-        )
-        self.epoch[fragment_name] = max(self.epoch[fragment_name], epoch)
+        # Keep this node's own stream bookkeeping in step with its commits.
+        self.streams.record(quasi)
+        self.streams.observe(quasi)
         system.fire_install_hooks(self, quasi)
         system.movement.propagate(self, quasi)
 
@@ -345,104 +356,10 @@ class DatabaseNode:
         Installation is serialized per fragment so that the equivalent
         serial local schedule "contains quasi-transactions from a given
         node in the exact same order as they were generated"
-        (Section 3.2).
+        (Section 3.2).  The machinery lives in
+        :class:`~repro.replication.apply.FragmentApplyQueue`.
         """
-        if quasi.source_txn in self.installed_sources:
-            return  # duplicate (replay + held original)
-        self.installed_sources.add(quasi.source_txn)
-        self.qt_archive[quasi.fragment][quasi.stream_seq] = quasi
-        self._ready[quasi.fragment].append(quasi)
-        self._pump(quasi.fragment)
-
-    def _pump(self, fragment: str) -> None:
-        if self._installing[fragment] or not self._ready[fragment]:
-            return
-        quasi = self._ready[fragment].popleft()
-        self._installing[fragment] = True
-        if self.atomic_installs:
-            self._install_atomic(quasi)
-        else:
-            self._install_split(quasi)
-
-    def _install_atomic(self, quasi: QuasiTransaction, attempt: int = 0) -> None:
-        def on_done(
-            handle: TxnHandle, outcome: TxnOutcome, error: Exception | None
-        ) -> None:
-            if outcome is TxnOutcome.ABORTED:
-                # A quasi-transaction must never be lost (it is another
-                # replica's committed update); if it was sacrificed to a
-                # local deadlock anyway, retry after a short backoff.
-                self.system.sim.schedule(
-                    1.0,
-                    lambda: self._install_atomic(quasi, attempt + 1),
-                    label=f"retry install {quasi.source_txn}@{self.name}",
-                )
-                return
-            self._finish_install(quasi)
-
-        self.scheduler.submit_quasi(
-            f"q:{quasi.source_txn}@{self.name}#a{attempt}"
-            if attempt
-            else f"q:{quasi.source_txn}@{self.name}",
-            quasi.writes,
-            on_done=on_done,
-            meta={"qt": quasi},
-        )
-
-    def _install_split(self, quasi: QuasiTransaction) -> None:
-        """ABLATION: install each write as a separate mini-transaction.
-
-        Deliberately breaks the atomicity of quasi-transaction
-        installation so the Property 2 checker has something to catch.
-        Never used by the faithful protocols.
-        """
-        writes = list(quasi.writes)
-
-        def install_next(index: int) -> None:
-            if index >= len(writes):
-                self._finish_install(quasi)
-                return
-            obj, version = writes[index]
-
-            def on_done(
-                handle: TxnHandle, outcome: TxnOutcome, error: Exception | None
-            ) -> None:
-                delay = max(self.system.action_delay, 0.5)
-                self.system.sim.schedule(
-                    delay, lambda: install_next(index + 1), label="split-install"
-                )
-
-            self.scheduler.submit_quasi(
-                f"q:{quasi.source_txn}#{index}@{self.name}",
-                [(obj, version)],
-                on_done=on_done,
-            )
-
-        install_next(0)
-
-    def _finish_install(self, quasi: QuasiTransaction) -> None:
-        now = self.system.sim.now
-        self.quasi_installed += 1
-        self._c_qt_installed.inc()
-        if self.tracer.enabled:
-            self.tracer.emit(
-                taxonomy.QT_INSTALL,
-                node=self.name,
-                fragment=quasi.fragment,
-                source_txn=quasi.source_txn,
-                stream_seq=quasi.stream_seq,
-                epoch=quasi.epoch,
-            )
-        self.wal.append_install(quasi)
-        self.system.recorder.record_install(
-            InstallRecord(
-                self.name, quasi.source_txn, quasi.fragment, quasi.stream_seq, now
-            )
-        )
-        self._installing[quasi.fragment] = False
-        self.system.fire_install_hooks(self, quasi)
-        self.system.movement.after_install(self, quasi)
-        self._pump(quasi.fragment)
+        self.apply_queue.enqueue(quasi)
 
     # -- crash-stop failure and recovery ----------------------------------------
 
@@ -477,13 +394,9 @@ class DatabaseNode:
             action_delay=self.system.action_delay,
             apply_writes=self._apply_commit,
         )
-        self.next_expected.clear()
-        self.epoch.clear()
-        self.qt_buffer.clear()
-        self._installing.clear()
-        self._ready.clear()
-        self.installed_sources.clear()
-        self.qt_archive.clear()
+        self.streams.clear()
+        self.apply_queue.clear()
+        self.system.pipeline.node_crashed(self)
 
     def recover(self) -> None:
         """Replay the WAL, then anti-entropy with the live peers.
@@ -505,14 +418,9 @@ class DatabaseNode:
             quasi = record.quasi
             for obj, version in quasi.writes:
                 self.store.install(obj, version)
-            self.installed_sources.add(quasi.source_txn)
-            self.qt_archive[quasi.fragment][quasi.stream_seq] = quasi
-            self.next_expected[quasi.fragment] = max(
-                self.next_expected[quasi.fragment], quasi.stream_seq + 1
-            )
-            self.epoch[quasi.fragment] = max(
-                self.epoch[quasi.fragment], quasi.epoch
-            )
+            self.streams.record(quasi)
+            self.streams.observe(quasi)
+        self.system.pipeline.node_recovered(self)
         for peer in self.system.nodes:
             if peer != self.name:
                 self.system.network.send(

@@ -58,6 +58,7 @@ from repro.net.broadcast import ReliableBroadcast
 from repro.obs import taxonomy
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
+from repro.replication.pipeline import PipelineConfig, ReplicationPipeline
 from repro.sim.rng import SeededRng
 from repro.sim.simulator import Simulator
 from repro.storage.store import ObjectStore
@@ -99,6 +100,7 @@ class FragmentedDatabase:
         default_latency: float = 1.0,
         action_delay: float = 0.0,
         fifo_broadcast: bool = True,
+        pipeline: PipelineConfig | None = None,
     ) -> None:
         if len(node_names) < 1:
             raise DesignError("at least one node required")
@@ -113,6 +115,8 @@ class FragmentedDatabase:
             self.sim, self.topology, tracer=self.tracer, metrics=self.metrics
         )
         self.broadcast = ReliableBroadcast(self.network, fifo=fifo_broadcast)
+        self.pipeline = ReplicationPipeline(pipeline)
+        self.pipeline.attach(self)
         self.partitions = PartitionManager(self.network)
         self.partitions.crashed_guard = self._node_is_down
         self.recorder = HistoryRecorder()
@@ -350,8 +354,21 @@ class FragmentedDatabase:
             return tracker
 
         fragment = self._update_fragment(spec, agent)
+        tracker = self._new_tracker(spec, agent.home_node, on_done)
+        self._gate_update(spec, tracker, fragment)
+        return tracker
+
+    def _gate_update(
+        self, spec: TransactionSpec, tracker: RequestTracker, fragment: str
+    ) -> None:
+        """The update submission gate: token -> backpressure -> policies.
+
+        Runs at first submission and again when the pipeline's
+        backpressure releases a deferred request, so the agent's home
+        node and the token state are re-resolved each time.
+        """
+        agent = self.agents[spec.agent]
         node = self.nodes[agent.home_node]
-        tracker = self._new_tracker(spec, node.name, on_done)
         token = agent.token_for(fragment)
         if token.in_transit:
             self.recorder.record_rejection(spec.txn_id, "token in transit")
@@ -360,11 +377,12 @@ class FragmentedDatabase:
                 self.sim.now,
                 reason=f"token for {fragment!r} is in transit",
             )
-            return tracker
+            return
+        if self.pipeline.throttle_update(node, spec, tracker, fragment):
+            return
         if not self.movement.before_update(self, node, spec, tracker, fragment):
-            return tracker
+            return
         self.strategy.begin_update(self, node, spec, tracker, fragment)
-        return tracker
 
     def submit_update(
         self,

@@ -31,7 +31,7 @@ from repro.obs import taxonomy
 DeliverFn = Callable[[str, int, Any], None]
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class SeqPayload:
     """Wire format: sender's broadcast sequence number plus payload."""
 

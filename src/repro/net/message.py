@@ -14,7 +14,7 @@ def _fresh_id() -> int:
     return _next_id
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A point-to-point message.
 

@@ -26,8 +26,17 @@ TXN_REJECT = "txn.reject"
 TXN_ABORT = "txn.abort"
 TXN_TIMEOUT = "txn.timeout"
 
-# -- quasi-transaction installs (repro.core.node) ---------------------
+# -- quasi-transaction installs (repro.replication.apply) -------------
 QT_INSTALL = "qt.install"  # remote quasi-transaction installed
+
+# -- replication pipeline (repro.replication) -------------------------
+# Batch-flush events only fire when batching is configured, so the
+# default (unbatched) wire traces stay byte-identical to the seed.
+QT_BATCH_FLUSH = "replication.batch.flush"  # QtBatch sealed + broadcast
+BACKPRESSURE_ENGAGE = "replication.backpressure.engage"  # queue over bound
+BACKPRESSURE_RELEASE = "replication.backpressure.release"  # queue drained
+BACKPRESSURE_THROTTLE = "replication.backpressure.throttle"  # submit deferred
+BACKPRESSURE_RESUME = "replication.backpressure.resume"  # deferred re-gated
 
 # -- agent movement (repro.core.movement) -----------------------------
 TOKEN_MOVE_REQUESTED = "token.move.requested"

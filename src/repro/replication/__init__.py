@@ -1,0 +1,33 @@
+"""The unified replication pipeline (see :mod:`repro.replication.pipeline`).
+
+Stages: commit -> stream log -> batcher -> broadcast -> admission ->
+per-fragment apply queue.
+"""
+
+from repro.replication.admission import (
+    AdmissionPolicy,
+    BlindAdmission,
+    EpochOrderedAdmission,
+    OrderedAdmission,
+    drain_buffer,
+)
+from repro.replication.apply import FragmentApplyQueue
+from repro.replication.backpressure import BackpressureController
+from repro.replication.batch import QtBatch, QtBatcher
+from repro.replication.pipeline import PipelineConfig, ReplicationPipeline
+from repro.replication.stream import StreamLog
+
+__all__ = [
+    "AdmissionPolicy",
+    "BackpressureController",
+    "BlindAdmission",
+    "EpochOrderedAdmission",
+    "FragmentApplyQueue",
+    "OrderedAdmission",
+    "PipelineConfig",
+    "QtBatch",
+    "QtBatcher",
+    "ReplicationPipeline",
+    "StreamLog",
+    "drain_buffer",
+]

@@ -1,0 +1,121 @@
+"""Admission policies: when an arriving quasi-transaction may install.
+
+The admission stage sits between the broadcast and the per-fragment
+apply queue.  Each movement protocol is, from the pipeline's point of
+view, just a choice of admission policy:
+
+* :class:`OrderedAdmission` — the faithful default (Section 3.2):
+  install in per-fragment ``(epoch, stream_seq)`` order, buffer gaps,
+  drop duplicates.  Used by fixed-agents, majority, move-with-data and
+  move-with-seqno.
+* :class:`BlindAdmission` — the Section 4.4 "no special provisions"
+  hazard: install in arrival order, no gap detection.  Used by the
+  instant-move baseline so E7/E12 can demonstrate the divergence.
+* :class:`EpochOrderedAdmission` — the corrective protocol's split:
+  current-epoch traffic admits in order, future epochs park until their
+  M0 arrives, stale epochs are handed to an orphan sink (rule B2/A2).
+
+Policies are stateless (per-replica state lives in the node's
+:class:`~repro.replication.stream.StreamLog`), so one instance can
+serve every node.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TYPE_CHECKING
+
+from repro.core.transaction import QuasiTransaction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.node import DatabaseNode
+
+OrphanSink = Callable[["DatabaseNode", QuasiTransaction], None]
+
+
+def drain_buffer(node: "DatabaseNode", fragment: str) -> None:
+    """Admit consecutively-numbered quasi-transactions parked in the buffer."""
+    streams = node.streams
+    buffer = streams.buffer[fragment]
+    while True:
+        key = (streams.epoch[fragment], streams.next_expected[fragment])
+        quasi = buffer.pop(key, None)
+        if quasi is None:
+            return
+        streams.next_expected[fragment] = quasi.stream_seq + 1
+        node.enqueue_install(quasi)
+
+
+class AdmissionPolicy:
+    """Decides what to do with a quasi-transaction arriving at a node."""
+
+    def admit(self, node: "DatabaseNode", quasi: QuasiTransaction) -> None:
+        raise NotImplementedError
+
+
+class OrderedAdmission(AdmissionPolicy):
+    """Per-fragment ``(epoch, stream_seq)`` order: buffer gaps, drop dups.
+
+    This is the paper's "processed at all other nodes in the same order
+    as they were sent" requirement, keyed by fragment stream rather
+    than sender so it stays correct when a movement protocol hands the
+    stream to a new sender node.
+    """
+
+    def admit(self, node: "DatabaseNode", quasi: QuasiTransaction) -> None:
+        streams = node.streams
+        fragment = quasi.fragment
+        key = (quasi.epoch, quasi.stream_seq)
+        expected = (streams.epoch[fragment], streams.next_expected[fragment])
+        if key < expected:
+            return  # duplicate / already superseded
+        if key > expected:
+            streams.buffer[fragment][key] = quasi
+            return
+        streams.next_expected[fragment] = quasi.stream_seq + 1
+        node.enqueue_install(quasi)
+        drain_buffer(node, fragment)
+
+
+class BlindAdmission(AdmissionPolicy):
+    """Install in arrival order — no buffering, no gap detection.
+
+    The deliberate Section 4.4 hazard: two replicas receiving a
+    pre-move orphan and a post-move transaction in opposite orders
+    finish with different values.
+    """
+
+    def admit(self, node: "DatabaseNode", quasi: QuasiTransaction) -> None:
+        streams = node.streams
+        streams.next_expected[quasi.fragment] = max(
+            streams.next_expected[quasi.fragment], quasi.stream_seq + 1
+        )
+        node.enqueue_install(quasi)
+
+
+class EpochOrderedAdmission(AdmissionPolicy):
+    """Corrective-protocol admission: order within the epoch, sink orphans.
+
+    ``orphan_sink`` receives quasi-transactions from a stale epoch
+    (pre-move transactions surfacing after the M0) — the protocol
+    forwards them to the fragment's new home for repackaging.
+    """
+
+    def __init__(self, orphan_sink: OrphanSink) -> None:
+        self.orphan_sink = orphan_sink
+        self._ordered = OrderedAdmission()
+
+    def admit(self, node: "DatabaseNode", quasi: QuasiTransaction) -> None:
+        fragment = quasi.fragment
+        current = node.streams.epoch[fragment]
+        if quasi.epoch == current:
+            self._ordered.admit(node, quasi)
+        elif quasi.epoch > current:
+            # New-epoch transaction racing ahead of its M0 (cannot happen
+            # via FIFO from the same sender, but forwarded copies can):
+            # park it until the M0 activates the epoch.
+            node.streams.buffer[fragment][(quasi.epoch, quasi.stream_seq)] = (
+                quasi
+            )
+        else:
+            self.orphan_sink(node, quasi)

@@ -1,0 +1,161 @@
+"""Per-fragment apply queues: the install stage of the pipeline.
+
+Admitted quasi-transactions are installed *atomically* and *serialized
+per fragment* through the node's local scheduler, so the equivalent
+serial local schedule "contains quasi-transactions from a given node in
+the exact same order as they were generated" (Section 3.2).
+
+The queue is bounded when the pipeline configures ``max_apply_queue``:
+a replica whose backlog for a fragment exceeds the bound engages
+backpressure, which throttles the controlling agent's new submissions
+until the backlog drains — bounded memory instead of unbounded buffers
+on a lagging node.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import TYPE_CHECKING
+
+from repro.cc.history import InstallRecord
+from repro.cc.scheduler import TxnHandle, TxnOutcome
+from repro.core.transaction import QuasiTransaction
+from repro.obs import taxonomy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.node import DatabaseNode
+
+
+class FragmentApplyQueue:
+    """One node's install machinery, serialized per fragment."""
+
+    __slots__ = ("node", "_ready", "_installing")
+
+    def __init__(self, node: "DatabaseNode") -> None:
+        self.node = node
+        self._ready: dict[str, deque[QuasiTransaction]] = defaultdict(deque)
+        self._installing: dict[str, bool] = defaultdict(bool)
+
+    def depth(self, fragment: str) -> int:
+        """Admitted-but-not-yet-installed backlog for one fragment."""
+        return len(self._ready[fragment]) + (
+            1 if self._installing[fragment] else 0
+        )
+
+    def clear(self) -> None:
+        """Crash-stop: queued installs are volatile."""
+        self._ready.clear()
+        self._installing.clear()
+
+    def enqueue(self, quasi: QuasiTransaction) -> None:
+        """Queue an admitted quasi-transaction for atomic installation."""
+        node = self.node
+        if node.streams.seen(quasi):
+            return  # duplicate (replay + held original)
+        node.streams.record(quasi)
+        self._ready[quasi.fragment].append(quasi)
+        self._check_bound(quasi.fragment)
+        self._pump(quasi.fragment)
+
+    def _check_bound(self, fragment: str) -> None:
+        pipeline = self.node.system.pipeline
+        limit = pipeline.config.max_apply_queue
+        if limit is not None and self.depth(fragment) > limit:
+            pipeline.backpressure.engage(self.node, fragment, self.depth(fragment))
+
+    def _pump(self, fragment: str) -> None:
+        if self._installing[fragment] or not self._ready[fragment]:
+            return
+        quasi = self._ready[fragment].popleft()
+        self._installing[fragment] = True
+        if self.node.atomic_installs:
+            self._install_atomic(quasi)
+        else:
+            self._install_split(quasi)
+
+    def _install_atomic(self, quasi: QuasiTransaction, attempt: int = 0) -> None:
+        node = self.node
+
+        def on_done(
+            handle: TxnHandle, outcome: TxnOutcome, error: Exception | None
+        ) -> None:
+            if outcome is TxnOutcome.ABORTED:
+                # A quasi-transaction must never be lost (it is another
+                # replica's committed update); if it was sacrificed to a
+                # local deadlock anyway, retry after a short backoff.
+                node.system.sim.schedule(
+                    1.0,
+                    lambda: self._install_atomic(quasi, attempt + 1),
+                    label=f"retry install {quasi.source_txn}@{node.name}",
+                )
+                return
+            self._finish_install(quasi)
+
+        node.scheduler.submit_quasi(
+            f"q:{quasi.source_txn}@{node.name}#a{attempt}"
+            if attempt
+            else f"q:{quasi.source_txn}@{node.name}",
+            quasi.writes,
+            on_done=on_done,
+            meta={"qt": quasi},
+        )
+
+    def _install_split(self, quasi: QuasiTransaction) -> None:
+        """ABLATION: install each write as a separate mini-transaction.
+
+        Deliberately breaks the atomicity of quasi-transaction
+        installation so the Property 2 checker has something to catch.
+        Never used by the faithful protocols.
+        """
+        node = self.node
+        writes = list(quasi.writes)
+
+        def install_next(index: int) -> None:
+            if index >= len(writes):
+                self._finish_install(quasi)
+                return
+            obj, version = writes[index]
+
+            def on_done(
+                handle: TxnHandle, outcome: TxnOutcome, error: Exception | None
+            ) -> None:
+                delay = max(node.system.action_delay, 0.5)
+                node.system.sim.schedule(
+                    delay, lambda: install_next(index + 1), label="split-install"
+                )
+
+            node.scheduler.submit_quasi(
+                f"q:{quasi.source_txn}#{index}@{node.name}",
+                [(obj, version)],
+                on_done=on_done,
+            )
+
+        install_next(0)
+
+    def _finish_install(self, quasi: QuasiTransaction) -> None:
+        node = self.node
+        system = node.system
+        now = system.sim.now
+        node.quasi_installed += 1
+        node._c_qt_installed.inc()
+        if node.tracer.enabled:
+            node.tracer.emit(
+                taxonomy.QT_INSTALL,
+                node=node.name,
+                fragment=quasi.fragment,
+                source_txn=quasi.source_txn,
+                stream_seq=quasi.stream_seq,
+                epoch=quasi.epoch,
+            )
+        node.wal.append_install(quasi)
+        system.recorder.record_install(
+            InstallRecord(
+                node.name, quasi.source_txn, quasi.fragment, quasi.stream_seq, now
+            )
+        )
+        self._installing[quasi.fragment] = False
+        system.fire_install_hooks(node, quasi)
+        system.movement.after_install(node, quasi)
+        self._pump(quasi.fragment)
+        if self.depth(quasi.fragment) <= system.pipeline.config.resume_depth:
+            system.pipeline.backpressure.release(node, quasi.fragment)

@@ -1,0 +1,147 @@
+"""Backpressure: lagging replicas throttle the fragment's agent.
+
+When a bounded apply queue overflows at some replica, growing the
+buffer without limit would just trade availability for memory.  Instead
+the replica *engages* backpressure for the fragment; while any replica
+is engaged, new update submissions for that fragment are deferred at
+the agent (the paper's submission path) rather than committed and
+broadcast into an already-drowning queue.  When the lagging replica
+drains back to ``resume_depth``, it releases, and deferred submissions
+re-enter the normal gate.
+
+Deferral is visible: the tracker stays PENDING (clients simply see a
+longer latency), ``replication.backpressure.*`` metrics count the
+engage/release/throttle traffic, and trace events carry the node,
+fragment, and queue depth.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING
+
+from repro.core.transaction import (
+    RequestStatus,
+    RequestTracker,
+    TransactionSpec,
+)
+from repro.obs import taxonomy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.node import DatabaseNode
+    from repro.replication.pipeline import ReplicationPipeline
+
+
+class BackpressureController:
+    """Tracks lagging replicas and the submissions deferred for them."""
+
+    def __init__(self, pipeline: "ReplicationPipeline") -> None:
+        self.pipeline = pipeline
+        #: fragment -> names of replicas currently over their bound.
+        self._lagging: dict[str, set[str]] = defaultdict(set)
+        #: fragment -> deferred (spec, tracker) submissions, FIFO.
+        self._deferred: dict[str, list[tuple[TransactionSpec, RequestTracker]]] = (
+            defaultdict(list)
+        )
+
+    def engaged(self, fragment: str) -> bool:
+        """True while any replica of ``fragment`` is over its bound."""
+        return bool(self._lagging.get(fragment))
+
+    def engage(self, node: "DatabaseNode", fragment: str, depth: int) -> None:
+        """A replica's apply queue crossed the bound."""
+        lagging = self._lagging[fragment]
+        if node.name in lagging:
+            return
+        lagging.add(node.name)
+        system = self.pipeline.system
+        self.pipeline._c_bp_engaged.inc()
+        if system.tracer.enabled:
+            system.tracer.emit(
+                taxonomy.BACKPRESSURE_ENGAGE,
+                node=node.name,
+                fragment=fragment,
+                depth=depth,
+            )
+
+    def release(self, node: "DatabaseNode", fragment: str) -> None:
+        """A lagging replica drained back under the resume threshold."""
+        lagging = self._lagging.get(fragment)
+        if not lagging or node.name not in lagging:
+            return
+        lagging.discard(node.name)
+        system = self.pipeline.system
+        self.pipeline._c_bp_released.inc()
+        if system.tracer.enabled:
+            system.tracer.emit(
+                taxonomy.BACKPRESSURE_RELEASE, node=node.name, fragment=fragment
+            )
+        if not lagging and self._deferred.get(fragment):
+            system.sim.schedule(
+                0.0,
+                lambda: self._resume(fragment),
+                label=f"backpressure resume {fragment}",
+            )
+
+    def node_cleared(self, node: "DatabaseNode") -> None:
+        """A replica crashed: its volatile backlog is gone, disengage it."""
+        for fragment in list(self._lagging):
+            self.release(node, fragment)
+
+    def defer(
+        self, fragment: str, spec: TransactionSpec, tracker: RequestTracker
+    ) -> None:
+        """Park one update submission until the fragment is released."""
+        self._deferred[fragment].append((spec, tracker))
+        system = self.pipeline.system
+        self.pipeline._c_bp_throttled.inc()
+        if system.tracer.enabled:
+            system.tracer.emit(
+                taxonomy.BACKPRESSURE_THROTTLE,
+                txn=spec.txn_id,
+                fragment=fragment,
+                lagging=sorted(self._lagging[fragment]),
+            )
+
+    def _resume(self, fragment: str) -> None:
+        if self.engaged(fragment):
+            return  # re-engaged before the resume event fired
+        queue = [
+            entry
+            for entry in self._deferred.pop(fragment, [])
+            if entry[1].status is RequestStatus.PENDING
+        ]
+        if not queue:
+            return
+        system = self.pipeline.system
+        if system.tracer.enabled:
+            system.tracer.emit(
+                taxonomy.BACKPRESSURE_RESUME,
+                fragment=fragment,
+                count=len(queue),
+            )
+
+        # Drain sequentially: releasing the whole burst into the local
+        # scheduler at one instant would just deadlock-abort most of it.
+        # Each re-gated submission chains the next through its tracker's
+        # completion; a re-engagement mid-drain simply re-defers the
+        # head (throttle path) and the chain resumes on the next release.
+        def pump() -> None:
+            while queue:
+                spec, tracker = queue.pop(0)
+                if tracker.status is not RequestStatus.PENDING:
+                    continue
+                chained = tracker.on_done
+
+                def advance(done: RequestTracker, _prev=chained) -> None:
+                    if _prev is not None:
+                        _prev(done)
+                    system.sim.schedule(
+                        0.0, pump, label=f"backpressure drain {fragment}"
+                    )
+
+                tracker.on_done = advance
+                system._gate_update(spec, tracker, fragment)
+                return
+
+        pump()

@@ -1,0 +1,175 @@
+"""The unified replication pipeline.
+
+Every committed update flows through the same staged path, regardless
+of movement protocol or control strategy::
+
+    commit ──> StreamLog ──> QtBatcher ──> ReliableBroadcast
+                                               │
+    apply queue <── AdmissionPolicy <── deliver (per receiver)
+
+* **commit** — ``DatabaseNode._apply_commit`` mints versions and the
+  stream position, then hands the quasi-transaction to
+  :meth:`ReplicationPipeline.submit`.
+* **stream log** — :class:`~repro.replication.stream.StreamLog`
+  records it at the origin (archive, duplicate filter, cursor).
+* **batcher** — :class:`~repro.replication.batch.QtBatcher`
+  accumulates per origin and seals a
+  :class:`~repro.replication.batch.QtBatch` by count or window.
+* **broadcast** — the batch rides the reliable FIFO broadcast as one
+  message (``kind="qt"``, body type ``"qtb"``).
+* **admission** — each receiver unpacks the batch and admits members
+  *individually* through the movement protocol's admission policy:
+  partial-replication filtering, ordering, and duplicate suppression
+  are per quasi-transaction, so a batch whose prefix a replica already
+  installed (pre-crash, via anti-entropy, …) is idempotent.
+* **apply queue** — admitted quasi-transactions install atomically in
+  per-fragment order through
+  :class:`~repro.replication.apply.FragmentApplyQueue`; bounded queues
+  engage :class:`~repro.replication.backpressure.BackpressureController`.
+
+:class:`PipelineConfig` is the single knob surface
+(``FragmentedDatabase(pipeline=...)``, CLI ``--batch-size`` /
+``--batch-window``).  The default configuration reproduces the paper's
+one-message-per-quasi-transaction wire behaviour exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.transaction import (
+    QuasiTransaction,
+    RequestTracker,
+    TransactionSpec,
+)
+from repro.replication.backpressure import BackpressureController
+from repro.replication.batch import QtBatch, QtBatcher
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.node import DatabaseNode
+    from repro.core.system import FragmentedDatabase
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineConfig:
+    """Tuning knobs for the replication pipeline.
+
+    ``batch_size``/``batch_window`` control group commit: a batch is
+    sealed when it reaches ``batch_size`` quasi-transactions or when
+    ``batch_window`` simulated ticks have passed since its first member
+    (whichever comes first).  The defaults (1, 0.0) disable batching.
+
+    ``max_apply_queue`` bounds each replica's per-fragment backlog of
+    admitted-but-not-installed quasi-transactions; crossing it engages
+    backpressure until the backlog drains to ``resume_depth``.  ``None``
+    (default) leaves queues unbounded and backpressure off.
+    """
+
+    batch_size: int = 1
+    batch_window: float = 0.0
+    max_apply_queue: int | None = None
+    resume_depth: int = 0
+
+    @property
+    def batching(self) -> bool:
+        return self.batch_size > 1 or self.batch_window > 0.0
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.batch_window < 0.0:
+            raise ValueError("batch_window must be >= 0")
+        if self.max_apply_queue is not None and self.max_apply_queue < 1:
+            raise ValueError("max_apply_queue must be >= 1 (or None)")
+
+
+class ReplicationPipeline:
+    """One system's propagation path: batcher + admission + backpressure."""
+
+    def __init__(self, config: PipelineConfig | None = None) -> None:
+        self.config = config or PipelineConfig()
+
+    def attach(self, system: "FragmentedDatabase") -> None:
+        """One-time wiring to the owning system (metrics, batcher)."""
+        self.system = system
+        self.batcher = QtBatcher(self)
+        self.backpressure = BackpressureController(self)
+        metrics = system.metrics
+        self._c_submitted = metrics.counter("replication.qt_submitted")
+        self._c_batches = metrics.counter("replication.batches_sent")
+        self._h_batch_fill = metrics.histogram("replication.batch_fill")
+        self._c_bp_engaged = metrics.counter("replication.backpressure.engaged")
+        self._c_bp_released = metrics.counter(
+            "replication.backpressure.released"
+        )
+        self._c_bp_throttled = metrics.counter(
+            "replication.backpressure.throttled"
+        )
+        metrics.gauge("replication.pending_now", self.batcher.pending_count)
+
+    # -- send side ---------------------------------------------------------
+
+    def submit(self, node: "DatabaseNode", quasi: QuasiTransaction) -> None:
+        """Accept a committed quasi-transaction for propagation.
+
+        Called by the movement protocols (directly at commit for most,
+        after the ack round for majority commit).  The origin's own
+        replica already reflects the write; the batcher decides when
+        the broadcast goes out.
+        """
+        self._c_submitted.inc()
+        self.batcher.submit(node.name, quasi)
+
+    def flush(self, origin: str) -> None:
+        """Force out ``origin``'s pending batch (tests, shutdown)."""
+        self.batcher.flush(origin, "explicit")
+
+    # -- receive side ------------------------------------------------------
+
+    def deliver(self, node: "DatabaseNode", batch: QtBatch) -> None:
+        """Unpack a batch at one receiver and admit members individually.
+
+        Per-member admission is what makes batch install idempotent: a
+        member whose seqno the replica already installed (its prefix
+        survived a crash in the WAL, or anti-entropy got there first)
+        is dropped by the admission policy / duplicate filter exactly
+        as an unbatched duplicate would be.
+        """
+        system = self.system
+        for quasi in batch.qts:
+            if not system.replicates(node.name, quasi.fragment):
+                node.quasi_skipped += 1
+                node._c_qt_skipped.inc()
+                continue
+            system.movement.admit(node, quasi)
+
+    # -- update gating -----------------------------------------------------
+
+    def throttle_update(
+        self,
+        node: "DatabaseNode",
+        spec: TransactionSpec,
+        tracker: RequestTracker,
+        fragment: str,
+    ) -> bool:
+        """Defer a submission while the fragment is under backpressure.
+
+        Returns True if the pipeline took ownership of the request (it
+        re-enters the submission gate on release).
+        """
+        if not self.backpressure.engaged(fragment):
+            return False
+        self.backpressure.defer(fragment, spec, tracker)
+        return True
+
+    # -- failure model -----------------------------------------------------
+
+    def node_crashed(self, node: "DatabaseNode") -> None:
+        """Crash-stop hook: disengage the replica, suspend its batcher."""
+        self.backpressure.node_cleared(node)
+        self.batcher.suspend(node.name)
+
+    def node_recovered(self, node: "DatabaseNode") -> None:
+        """Recovery hook: flush any batch that was pending at crash time."""
+        self.batcher.flush(node.name, "recovery")

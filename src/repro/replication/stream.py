@@ -1,0 +1,76 @@
+"""Per-node replication stream bookkeeping.
+
+One :class:`StreamLog` per node holds everything a replica knows about
+the fragment update streams it follows: the next expected sequence
+number and active epoch per fragment, the out-of-order admission
+buffer, the duplicate-suppression set, and the archive of every
+quasi-transaction seen (which the majority-move resync, the corrective
+M0 replay, and crash recovery's anti-entropy all read).
+
+This state used to live as five loose attributes on ``DatabaseNode``;
+pulling it into one object gives the admission policies a single
+surface to program against and makes the crash-stop contract explicit:
+the whole log is volatile (:meth:`clear`), rebuilt from the WAL via
+:meth:`record` + :meth:`observe` at recovery.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.transaction import QuasiTransaction
+
+
+class StreamLog:
+    """Volatile per-fragment stream state of one replica."""
+
+    __slots__ = (
+        "next_expected",
+        "epoch",
+        "buffer",
+        "installed_sources",
+        "archive",
+    )
+
+    def __init__(self) -> None:
+        #: fragment -> next stream sequence number this replica expects.
+        self.next_expected: dict[str, int] = defaultdict(int)
+        #: fragment -> currently active epoch (bumped by moves, §4.4.3).
+        self.epoch: dict[str, int] = defaultdict(int)
+        #: fragment -> {(epoch, seq): quasi} out-of-order admission buffer.
+        self.buffer: dict[str, dict[tuple[int, int], QuasiTransaction]] = (
+            defaultdict(dict)
+        )
+        #: source transaction ids already installed (duplicate filter).
+        self.installed_sources: set[str] = set()
+        #: fragment -> {seq: quasi} archive of everything seen.
+        self.archive: dict[str, dict[int, QuasiTransaction]] = defaultdict(dict)
+
+    def seen(self, quasi: QuasiTransaction) -> bool:
+        """True if this quasi-transaction was already installed here."""
+        return quasi.source_txn in self.installed_sources
+
+    def record(self, quasi: QuasiTransaction) -> None:
+        """Note a quasi-transaction as installed (dedup set + archive)."""
+        self.installed_sources.add(quasi.source_txn)
+        self.archive[quasi.fragment][quasi.stream_seq] = quasi
+
+    def observe(self, quasi: QuasiTransaction) -> None:
+        """Advance the stream cursor past an installed quasi-transaction.
+
+        Used at the origin (its own commits define the stream head) and
+        during WAL replay; ordered admission advances the cursor itself.
+        """
+        fragment = quasi.fragment
+        self.next_expected[fragment] = max(
+            self.next_expected[fragment], quasi.stream_seq + 1
+        )
+        self.epoch[fragment] = max(self.epoch[fragment], quasi.epoch)
+
+    def clear(self) -> None:
+        """Crash-stop: the whole log is volatile."""
+        self.next_expected.clear()
+        self.epoch.clear()
+        self.buffer.clear()
+        self.installed_sources.clear()
+        self.archive.clear()

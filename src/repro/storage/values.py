@@ -8,7 +8,7 @@ from typing import Any
 INITIAL_WRITER = "@init"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Version:
     """One committed version of a data object.
 

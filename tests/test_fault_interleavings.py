@@ -184,3 +184,54 @@ class TestRecoverDuringPartition:
         assert up(db, "B", "C")
         db.quiesce()
         assert db.mutual_consistency().consistent
+
+
+class TestBatchInstallIdempotence:
+    """A held batch arriving after anti-entropy already installed some
+    of its members must skip those members, not re-install them."""
+
+    def test_held_batch_overlapping_recovered_prefix(self):
+        from repro import PipelineConfig
+
+        db = make_db(pipeline=PipelineConfig(batch_size=2, batch_window=1.0))
+        for _ in range(2):  # T1,T2: one batch, installed everywhere
+            db.submit_update("ag", bump(), writes=["x"])
+        db.run(until=2.0)
+        assert all(n.store.read("x") == 2 for n in db.nodes.values())
+
+        db.fail_node("B")  # volatile stream state gone; WAL keeps T1,T2
+        db.sim.schedule_at(3.0, lambda: db.submit_update("ag", bump(), writes=["x"]))
+        db.sim.schedule_at(3.5, lambda: db.submit_update("ag", bump(), writes=["x"]))
+        db.run(until=6.0)  # T3,T4 batch delivered to C, held for B
+        assert db.nodes["C"].store.read("x") == 4
+
+        # A partition forms while B is down; when B recovers, the B-C
+        # link comes back but A-B stays severed (the episode adopts it),
+        # so the held batch stays held while anti-entropy runs via C.
+        db.sim.schedule_at(7.0, lambda: db.partitions.partition_now([["A"], ["B", "C"]]))
+        db.sim.schedule_at(8.0, lambda: db.recover_node("B"))
+        db.run(until=15.0)
+        assert db.nodes["B"].store.read("x") == 4  # T3,T4 via C's archive
+        assert db.network.held_count() > 0  # the original batch, still held
+
+        # Heal: the held {T3,T4} batch finally reaches B — every member
+        # is already installed and per-qt admission must drop both.
+        db.sim.schedule_at(20.0, db.partitions.heal_now)
+        db.quiesce()
+
+        assert db.nodes["B"].store.read("x") == 4
+        installs = [
+            r.quasi.source_txn
+            for r in db.nodes["B"].wal.records()
+            if r.kind == "install"
+        ]
+        assert len(installs) == len(set(installs))  # no double installs
+        assert db.mutual_consistency().consistent
+
+        # The stream cursor survived the duplicate batch: later updates
+        # still install in order everywhere.
+        db.submit_update("ag", bump(), writes=["x"])
+        db.submit_update("ag", bump(), writes=["x"])
+        db.quiesce()
+        assert all(n.store.read("x") == 6 for n in db.nodes.values())
+        assert db.mutual_consistency().consistent
