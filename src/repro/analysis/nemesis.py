@@ -1,0 +1,269 @@
+"""The chaos harness ("nemesis"): composed fault schedules from one seed.
+
+Generalizes :mod:`repro.analysis.torture` — where the torture harness
+scripts its own partitions inline, the nemesis draws a complete
+:class:`~repro.net.faults.FaultPlan` (steady message loss, duplication,
+latency jitter, loss bursts, link flaps, node crashes, partitions) and
+a randomized workload (update traffic + agent moves) from a *single*
+integer seed, runs them against any movement protocol and pipeline
+configuration, then checks the Section 4.4 guarantee table after
+quiescence.
+
+Two deliberate stream splits make the harness useful as an experiment:
+
+* the **workload** stream and the **fault-plan** stream are separate
+  forks of the seed, so the same seed produces the *identical* workload
+  under different fault configurations — which is what lets E16 compare
+  a faulty run's final state hash against the fault-free run of the
+  same seed (reliable protocols must converge to the same state);
+* episode counts are configuration, not chance: a config with
+  ``n_crashes=0`` draws nothing from the crash dimension, leaving the
+  other dimensions' draws untouched.
+
+Safety rails mirroring the paper's scope: crashes carry
+``unless_agent_home`` (the movement protocols handle home failure via
+explicit moves, not by executing on a dead node — E14 covers home-node
+failover separately), and scheduled moves are skipped if the
+destination is down when the move fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.torture import GUARANTEES, PROTOCOLS, _try_move
+from repro.cc.ops import Read, Write
+from repro.core.system import FragmentedDatabase
+from repro.net.faults import CrashEpisode, FaultPlan, LinkFlap, LossBurst
+from repro.net.partition import PartitionSpec
+from repro.net.reliable import ReliableConfig
+from repro.replication import PipelineConfig
+from repro.sim.rng import SeededRng
+
+
+@dataclass
+class NemesisConfig:
+    """Shape of one chaos run: workload size plus fault intensities.
+
+    ``loss_rate``/``dup_rate``/``jitter`` are the steady message
+    faults; the ``n_*`` knobs say how many scheduled episodes of each
+    kind the plan draws.  Set every fault knob to zero for a fault-free
+    baseline run of the same workload.  ``reliable`` forwards to
+    :class:`FragmentedDatabase` (``None`` = auto-on when message faults
+    are armed).
+    """
+
+    n_nodes: int = 4
+    n_updates: int = 15
+    n_moves: int = 3
+    horizon: float = 200.0
+    loss_rate: float = 0.1
+    dup_rate: float = 0.05
+    jitter: float = 2.0
+    n_bursts: int = 0
+    n_flaps: int = 0
+    n_crashes: int = 0
+    n_partitions: int = 1
+    pipeline: PipelineConfig | None = None
+    reliable: ReliableConfig | bool | None = None
+
+    def message_faults_only(self) -> bool:
+        """True when the plan perturbs messages but never connectivity.
+
+        Connectivity episodes (crashes, partitions, flaps) feed the
+        protocols' *decisions* (majority checks see a different quorum)
+        and so legitimately change which transactions commit; pure
+        message faults must not, which is exactly the E16 hash-match
+        claim.  Bursts only raise the loss rate, so they are message
+        faults too.
+        """
+        return not (self.n_flaps or self.n_crashes or self.n_partitions)
+
+
+@dataclass
+class NemesisResult:
+    """Outcome of one chaos run, guarantee flags plus fault/overhead data."""
+
+    seed: int
+    protocol: str
+    submitted: int
+    committed: int
+    moves_requested: int
+    mutually_consistent: bool
+    fragmentwise: bool
+    drops: int
+    dups: int
+    retransmits: int
+    dups_dropped: int
+    exhausted: int
+    messages_sent: int
+    converge_time: float
+    state_hash: str
+
+    def respects_guarantees(self) -> bool:
+        """True iff the run satisfied its protocol's promised matrix."""
+        required = GUARANTEES[self.protocol]
+        if required["mc"] and not self.mutually_consistent:
+            return False
+        if required["fw"] and not self.fragmentwise:
+            return False
+        return True
+
+
+def build_fault_plan(
+    rng: SeededRng, nodes: list[str], config: NemesisConfig
+) -> FaultPlan:
+    """Draw one complete fault schedule from the plan stream.
+
+    Dimension order (bursts, flaps, crashes, partitions) is fixed and
+    each dimension draws only if its count is non-zero, so zeroing one
+    knob leaves the other dimensions' schedules identical.
+    """
+    horizon = config.horizon
+    bursts = []
+    for _ in range(config.n_bursts):
+        start = rng.uniform(0.0, horizon * 0.6)
+        bursts.append(
+            LossBurst(start, start + rng.uniform(5.0, 20.0),
+                      rng.uniform(0.2, 0.5))
+        )
+    flaps = []
+    for _ in range(config.n_flaps):
+        a, b = rng.sample(nodes, 2)
+        flaps.append(
+            LinkFlap(rng.uniform(0.0, horizon * 0.7), a, b,
+                     rng.uniform(2.0, 15.0))
+        )
+    crashes = []
+    for _ in range(config.n_crashes):
+        node = rng.choice(nodes)
+        at = rng.uniform(0.0, horizon * 0.5)
+        crashes.append(
+            CrashEpisode(node, at, at + rng.uniform(10.0, 40.0),
+                         unless_agent_home=True)
+        )
+    partitions = []
+    for index in range(config.n_partitions):
+        shuffled = list(nodes)
+        rng.shuffle(shuffled)
+        cut_at = rng.randint(1, len(nodes) - 1)
+        start = rng.uniform(0.0, horizon * 0.5)
+        partitions.append(
+            PartitionSpec(
+                start,
+                rng.uniform(start + 5.0, horizon * 0.9),
+                [shuffled[:cut_at], shuffled[cut_at:]],
+                label=f"nemesis-{index}",
+            )
+        )
+    return FaultPlan(
+        loss_rate=config.loss_rate,
+        dup_rate=config.dup_rate,
+        jitter=config.jitter,
+        bursts=tuple(bursts),
+        flaps=tuple(flaps),
+        crashes=tuple(crashes),
+        partitions=tuple(partitions),
+    )
+
+
+def run_nemesis(
+    seed: int,
+    protocol_name: str,
+    config: NemesisConfig | None = None,
+    trace_path: str | None = None,
+) -> NemesisResult:
+    """One seeded chaos run against one movement protocol.
+
+    ``trace_path`` appends the run's structured trace events (fault
+    drops, retransmissions, partitions, …) to that JSONL file with a
+    ``run`` context of ``{protocol}@{seed}`` — the chaos CLI and the CI
+    smoke job upload this file when a run breaks its guarantees.
+    """
+    config = config or NemesisConfig()
+    root = SeededRng(seed)
+    workload_rng = root.fork("workload")
+    plan_rng = root.fork("plan")
+    nodes = [f"N{i}" for i in range(config.n_nodes)]
+    plan = build_fault_plan(plan_rng, nodes, config)
+    empty = not (
+        plan.message_faults or plan.flaps or plan.crashes or plan.partitions
+    )
+    db = FragmentedDatabase(
+        nodes,
+        movement=PROTOCOLS[protocol_name](),
+        seed=seed,
+        pipeline=config.pipeline,
+        faults=None if empty else plan,
+        reliable=config.reliable,
+    )
+    if trace_path is not None:
+        db.enable_tracing(
+            trace_path,
+            append=True,
+            context={"run": f"{protocol_name}@{seed}"},
+        )
+    db.add_agent("ag", home_node=nodes[0])
+    objects = ["u", "v", "w"]
+    db.add_fragment("F", agent="ag", objects=objects)
+    db.load({obj: 0 for obj in objects})
+    db.finalize()
+
+    trackers = []
+
+    def submit(index: int) -> None:
+        chosen = [obj for obj in objects if workload_rng.bernoulli(0.5)] or [
+            workload_rng.choice(objects)
+        ]
+        value = workload_rng.randint(1, 10_000)
+
+        def body(_ctx):
+            total = 0
+            for obj in chosen:
+                observed = yield Read(obj)
+                total += observed
+            for obj in chosen:
+                yield Write(obj, total + value)
+
+        trackers.append(
+            db.submit_update(
+                "ag", body, reads=chosen, writes=chosen, txn_id=f"T{index}"
+            )
+        )
+
+    for index in range(config.n_updates):
+        db.sim.schedule_at(
+            workload_rng.uniform(0.0, config.horizon * 0.7),
+            lambda i=index: submit(i),
+        )
+    for _ in range(config.n_moves):
+        destination = workload_rng.choice(nodes)
+        db.sim.schedule_at(
+            workload_rng.uniform(0.0, config.horizon * 0.7),
+            lambda d=destination: _try_move(db, d),
+        )
+    db.quiesce()
+    if trace_path is not None:
+        db.tracer.close()
+
+    injector = db.injector
+    transport = db.transport
+    return NemesisResult(
+        seed=seed,
+        protocol=protocol_name,
+        submitted=len(trackers),
+        committed=sum(1 for t in trackers if t.succeeded),
+        moves_requested=config.n_moves,
+        mutually_consistent=db.mutual_consistency().consistent,
+        fragmentwise=db.fragmentwise_serializability().ok,
+        drops=injector.dropped if injector is not None else 0,
+        dups=injector.duplicated if injector is not None else 0,
+        retransmits=transport.retransmits if transport is not None else 0,
+        dups_dropped=(
+            transport.duplicates_dropped if transport is not None else 0
+        ),
+        exhausted=transport.exhausted if transport is not None else 0,
+        messages_sent=db.network.messages_sent,
+        converge_time=db.sim.now,
+        state_hash=db.state_hash(),
+    )

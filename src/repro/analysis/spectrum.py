@@ -37,6 +37,7 @@ from repro.core.control.base import ControlStrategy
 from repro.core.control.read_locks import ReadLocksStrategy
 from repro.core.control.unrestricted import UnrestrictedReadsStrategy
 from repro.core.system import FragmentedDatabase
+from repro.net.faults import FaultPlan
 from repro.replication import PipelineConfig
 from repro.sim.rng import SeededRng
 from repro.workloads.banking import BankingWorkload
@@ -66,6 +67,12 @@ class SpectrumConfig:
     #: quasi-transaction, the paper's baseline propagation).
     batch_size: int = 1
     batch_window: float = 0.0
+    #: Message-level fault injection (0.0 = the default reliable
+    #: substrate).  Applies to the fragments-and-agents runs only — the
+    #: pre-observability baselines run their own network stacks.
+    loss_rate: float = 0.0
+    dup_rate: float = 0.0
+    jitter: float = 0.0
 
     def pipeline_config(self) -> PipelineConfig | None:
         """Pipeline settings for the fragments-and-agents runs."""
@@ -73,6 +80,16 @@ class SpectrumConfig:
             return None
         return PipelineConfig(
             batch_size=self.batch_size, batch_window=self.batch_window
+        )
+
+    def fault_plan(self) -> FaultPlan | None:
+        """Message-fault plan for the fragments-and-agents runs."""
+        if not (self.loss_rate or self.dup_rate or self.jitter):
+            return None
+        return FaultPlan(
+            loss_rate=self.loss_rate,
+            dup_rate=self.dup_rate,
+            jitter=self.jitter,
         )
 
     @property
@@ -189,6 +206,7 @@ def run_fragments_agents(
         strategy=strategy,
         seed=config.seed,
         pipeline=config.pipeline_config(),
+        faults=config.fault_plan(),
     )
     if db_sink is not None:
         db_sink.append(db)

@@ -31,6 +31,7 @@ from repro.core.movement.none_protocol import InstantMoveProtocol
 from repro.core.movement.with_data import MoveWithDataProtocol
 from repro.core.movement.with_seqno import MoveWithSeqnoProtocol
 from repro.core.system import FragmentedDatabase
+from repro.net.faults import FaultPlan
 from repro.replication import PipelineConfig
 from repro.sim.rng import SeededRng
 
@@ -82,12 +83,21 @@ def run_movement_torture(
     n_moves: int = 3,
     horizon: float = 200.0,
     pipeline: PipelineConfig | None = None,
+    faults: FaultPlan | None = None,
 ) -> TortureResult:
-    """One seeded run: random traffic, random moves, random partitions."""
+    """One seeded run: random traffic, random moves, random partitions.
+
+    ``faults`` layers a seeded fault plan (message loss, duplication,
+    jitter, …) under the run; the chaos harness in
+    :mod:`repro.analysis.nemesis` composes full fault schedules on top
+    of this same workload shape.
+    """
     rng = SeededRng(seed)
     nodes = [f"N{i}" for i in range(n_nodes)]
     protocol = PROTOCOLS[protocol_name]()
-    db = FragmentedDatabase(nodes, movement=protocol, seed=seed, pipeline=pipeline)
+    db = FragmentedDatabase(
+        nodes, movement=protocol, seed=seed, pipeline=pipeline, faults=faults
+    )
     db.add_agent("ag", home_node=nodes[0])
     objects = ["u", "v", "w"]
     db.add_fragment("F", agent="ag", objects=objects)
@@ -156,6 +166,8 @@ def _try_move(db: FragmentedDatabase, destination: str) -> None:
     token = agent.token_for("F")
     if token.in_transit or agent.home_node == destination:
         return
+    if db.nodes[destination].down:
+        return  # never move the agent onto a crashed node
     db.move_agent("ag", destination, transport_delay=2.0)
 
 

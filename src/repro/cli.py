@@ -10,6 +10,8 @@
     python -m repro scenario            # E2/E3: the Section 1-2 banking story
     python -m repro metrics             # metrics snapshot of an E1-style run
     python -m repro metrics --summarize out.jsonl
+    python -m repro spectrum --loss-rate 0.1 --jitter 2   # lossy substrate
+    python -m repro chaos --seeds 10    # E16: seeded nemesis sweep
 """
 
 from __future__ import annotations
@@ -48,7 +50,17 @@ def _config_from_args(args: argparse.Namespace) -> SpectrumConfig:
     batch_window = getattr(args, "batch_window", None)
     if batch_window is not None:
         kwargs["batch_window"] = batch_window
+    kwargs.update(_fault_kwargs(args))
     return SpectrumConfig(**kwargs)
+
+
+def _fault_kwargs(args: argparse.Namespace) -> dict:
+    kwargs = {}
+    for name in ("loss_rate", "dup_rate", "jitter"):
+        value = getattr(args, name, None)
+        if value is not None:
+            kwargs[name] = value
+    return kwargs
 
 
 def _add_batching_args(parser: argparse.ArgumentParser) -> None:
@@ -59,6 +71,24 @@ def _add_batching_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--batch-window", type=float, default=None, metavar="TICKS",
         help="flush a partial batch after this many simulated ticks",
+    )
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--loss-rate", type=float, default=None, metavar="P",
+        dest="loss_rate",
+        help="drop each message with probability P (enables the "
+        "ack/retransmit delivery layer)",
+    )
+    parser.add_argument(
+        "--dup-rate", type=float, default=None, metavar="P",
+        dest="dup_rate",
+        help="duplicate each delivered message with probability P",
+    )
+    parser.add_argument(
+        "--jitter", type=float, default=None, metavar="TICKS",
+        help="add uniform random extra latency in [0, TICKS] per message",
     )
 
 
@@ -90,6 +120,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             partition_start=60.0,
             partition_end=60.0 + max(duration, 0.001),
             seed=args.seed,
+            **_fault_kwargs(args),
         )
         rows.append(
             [
@@ -192,6 +223,77 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.analysis.nemesis import NemesisConfig, run_nemesis
+    from repro.analysis.torture import PROTOCOLS
+
+    config = NemesisConfig(
+        loss_rate=args.loss_rate if args.loss_rate is not None else 0.15,
+        dup_rate=args.dup_rate if args.dup_rate is not None else 0.05,
+        jitter=args.jitter if args.jitter is not None else 2.0,
+        n_bursts=args.bursts,
+        n_flaps=args.flaps,
+        n_crashes=args.crashes,
+        n_partitions=args.partitions,
+    )
+    protocols = [args.protocol] if args.protocol else list(PROTOCOLS)
+    seeds = (
+        range(args.seed, args.seed + args.seeds)
+        if args.seeds
+        else [args.seed]
+    )
+    if args.trace:
+        open(args.trace, "w", encoding="utf-8").close()  # truncate
+    rows = []
+    violations = []
+    for protocol in protocols:
+        for seed in seeds:
+            result = run_nemesis(seed, protocol, config, trace_path=args.trace)
+            ok = result.respects_guarantees()
+            if not ok:
+                violations.append((protocol, seed))
+            rows.append(
+                [
+                    protocol,
+                    seed,
+                    f"{result.committed}/{result.submitted}",
+                    result.drops,
+                    result.dups,
+                    result.retransmits,
+                    result.dups_dropped,
+                    result.exhausted,
+                    round(result.converge_time, 1),
+                    result.mutually_consistent,
+                    result.fragmentwise,
+                    "OK" if ok else "VIOLATION",
+                ]
+            )
+    print(
+        format_table(
+            ["protocol", "seed", "committed", "drops", "dups", "retrans",
+             "dedup", "exhausted", "converge", "MC", "FW", "verdict"],
+            rows,
+            title=(
+                f"chaos nemesis (loss={config.loss_rate}, "
+                f"dup={config.dup_rate}, jitter={config.jitter}, "
+                f"bursts={config.n_bursts}, flaps={config.n_flaps}, "
+                f"crashes={config.n_crashes}, "
+                f"partitions={config.n_partitions})"
+            ),
+        )
+    )
+    if args.trace:
+        print(f"\ntrace written to {args.trace}")
+    if violations:
+        print(
+            f"\n{len(violations)} guarantee violation(s): {violations}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall {len(rows)} runs respected the Section 4.4 guarantees")
+    return 0
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     from repro.obs.summary import summarize_trace
 
@@ -254,12 +356,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     spectrum.add_argument("--trace", default=None, help=trace_help)
     _add_batching_args(spectrum)
+    _add_fault_args(spectrum)
     spectrum.set_defaults(func=cmd_spectrum)
 
     sweep = sub.add_parser("sweep", help="availability vs duration (E9)")
     sweep.add_argument("--seed", type=int, default=7)
     sweep.add_argument("--trace", default=None, help=trace_help)
+    _add_fault_args(sweep)
     sweep.set_defaults(func=cmd_sweep)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded nemesis: movement protocols under composed faults (E16)",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--seeds", type=int, default=None, metavar="N",
+        help="sweep N consecutive seeds starting at --seed",
+    )
+    chaos.add_argument(
+        "--protocol", choices=["none", "majority", "with-data",
+                               "with-seqno", "corrective"],
+        default=None, help="run one protocol (default: all five)",
+    )
+    chaos.add_argument(
+        "--bursts", type=int, default=1, help="scheduled loss bursts"
+    )
+    chaos.add_argument(
+        "--flaps", type=int, default=2, help="transient link flaps"
+    )
+    chaos.add_argument(
+        "--crashes", type=int, default=1, help="crash/recover episodes"
+    )
+    chaos.add_argument(
+        "--partitions", type=int, default=1, help="partition episodes"
+    )
+    chaos.add_argument("--trace", default=None, help=trace_help)
+    _add_fault_args(chaos)
+    chaos.set_defaults(func=cmd_chaos)
 
     theorem = sub.add_parser("theorem", help="randomized §4.2 theorem (E8)")
     theorem.add_argument("--runs", type=int, default=60)
@@ -287,6 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="summarize an existing JSONL trace file and exit",
     )
     _add_batching_args(metrics)
+    _add_fault_args(metrics)
     metrics.set_defaults(func=cmd_metrics)
     return parser
 

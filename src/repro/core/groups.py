@@ -202,6 +202,10 @@ class MultiFragmentCoordinator:
             group.timeout_handle.cancel()
         for txn_id, home in group.members.items():
             if home == group.coordinator:
+                # The coordinator's own member commits synchronously —
+                # a 2PC decision is local state, not wire traffic, so
+                # it must not count as a message or be deferred behind
+                # (faultable) loopback delivery.
                 self._apply_decision(
                     self.system.nodes[home], txn_id, decision
                 )

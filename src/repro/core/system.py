@@ -22,6 +22,7 @@ movement protocol (Section 4.4).
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass
 from typing import Any
@@ -51,8 +52,10 @@ from repro.core.transaction import (
     TransactionSpec,
 )
 from repro.errors import DesignError, InitiationError, TokenError
+from repro.net.faults import CrashEpisode, FaultInjector, FaultPlan
 from repro.net.network import Network
 from repro.net.partition import PartitionManager
+from repro.net.reliable import ReliableConfig, ReliableTransport
 from repro.net.topology import Topology
 from repro.net.broadcast import ReliableBroadcast
 from repro.obs import taxonomy
@@ -101,6 +104,8 @@ class FragmentedDatabase:
         action_delay: float = 0.0,
         fifo_broadcast: bool = True,
         pipeline: PipelineConfig | None = None,
+        faults: FaultPlan | None = None,
+        reliable: ReliableConfig | bool | None = None,
     ) -> None:
         if len(node_names) < 1:
             raise DesignError("at least one node required")
@@ -124,6 +129,41 @@ class FragmentedDatabase:
         self.rag = ReadAccessGraph(self.catalog)
         self.predicates = PredicateSuite(self.catalog)
         self.rng = SeededRng(seed)
+        # Fault injection + reliable delivery (opt-in; both off on the
+        # default fault-free network so existing runs stay untouched).
+        # ``reliable=None`` means "on exactly when message faults are
+        # armed" — the paper's reliable-delivery assumption must be
+        # implemented once the substrate stops granting it for free.
+        self.faults = faults
+        if reliable is None:
+            reliable = faults is not None and faults.message_faults
+        if reliable:
+            config = reliable if isinstance(reliable, ReliableConfig) else None
+            self.transport: ReliableTransport | None = ReliableTransport(
+                self.network, config
+            )
+        else:
+            self.transport = None
+        if faults is not None:
+            self.injector: FaultInjector | None = FaultInjector(
+                self.network, faults, self.rng.fork("faults")
+            )
+            self.injector.revive_guard = self._flap_revive_guard
+            self.injector.install()
+            self.partitions.install(faults.partitions)
+            for crash in faults.crashes:
+                self.sim.schedule_at(
+                    crash.at,
+                    lambda c=crash: self._crash_episode(c),
+                    label=f"fault crash {crash.node}",
+                )
+                self.sim.schedule_at(
+                    crash.recover_at,
+                    lambda c=crash: self.recover_node(c.node),
+                    label=f"fault recover {crash.node}",
+                )
+        else:
+            self.injector = None
         self.action_delay = action_delay
         self.agents: dict[str, Agent] = {}
         self._fragment_agent: dict[str, str] = {}
@@ -483,6 +523,36 @@ class FragmentedDatabase:
 
     # -- node failure and recovery ----------------------------------------------
 
+    def _crash_episode(self, crash: CrashEpisode) -> None:
+        """Fire one scheduled crash from the fault plan.
+
+        ``unless_agent_home`` episodes are vetoed at fire time if any
+        agent currently lives on the node (agents may have moved since
+        the plan was drawn) — the veto is traced, never silent.
+        """
+        if crash.unless_agent_home and any(
+            agent.home_node == crash.node for agent in self.agents.values()
+        ):
+            self.metrics.inc("fault.crashes_skipped")
+            if self.tracer.enabled:
+                self.tracer.emit(taxonomy.FAULT_CRASH_SKIPPED, node=crash.node)
+            return
+        self.fail_node(crash.node)
+
+    def _flap_revive_guard(self, a: str, b: str) -> bool:
+        """Flap-up veto: crashes and partitions outrank flap revival.
+
+        A partition that claimed the link mid-flap adopts it, so the
+        scheduled heal (not the flap) brings it back; a crash-held link
+        returns through node recovery.
+        """
+        if self._node_is_down(a) or self._node_is_down(b):
+            return False
+        if self.partitions.severs(a, b):
+            self.partitions.adopt(a, b)
+            return False
+        return True
+
     def fail_node(self, name: str) -> None:
         """Crash-stop one node: volatile state lost, links down.
 
@@ -601,6 +671,29 @@ class FragmentedDatabase:
         self.sim.run()
 
     # -- correctness and metrics -------------------------------------------------------
+
+    def state_hash(self) -> str:
+        """SHA-256 over every replica's committed object versions.
+
+        Timestamps are excluded: value, writer, and version number
+        fully determine logical state, while commit *times* legitimately
+        differ between a fault-free and a faulty run of the same
+        workload (jitter shifts them without changing outcomes).  Two
+        runs that converge to the same logical replica contents hash
+        identically — the chaos harness's convergence check.
+        """
+        digest = hashlib.sha256()
+        for name in sorted(self.nodes):
+            store = self.nodes[name].store
+            for obj in sorted(store.names):
+                version = store.read_version(obj)
+                digest.update(
+                    repr(
+                        (name, obj, version.value, version.writer,
+                         version.version_no)
+                    ).encode()
+                )
+        return digest.hexdigest()
 
     def mutual_consistency(self) -> MutualConsistencyReport:
         """Compare all replicas (meaningful after quiescence).

@@ -17,16 +17,31 @@ partitions and heals.
 """
 
 from repro.net.broadcast import ReliableBroadcast
+from repro.net.faults import (
+    CrashEpisode,
+    FaultInjector,
+    FaultPlan,
+    LinkFlap,
+    LossBurst,
+)
 from repro.net.message import Message
 from repro.net.network import Network
 from repro.net.partition import PartitionManager, PartitionSpec
+from repro.net.reliable import ReliableConfig, ReliableTransport
 from repro.net.topology import Topology
 
 __all__ = [
+    "CrashEpisode",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFlap",
+    "LossBurst",
     "Message",
     "Network",
     "PartitionManager",
     "PartitionSpec",
     "ReliableBroadcast",
+    "ReliableConfig",
+    "ReliableTransport",
     "Topology",
 ]

@@ -91,6 +91,13 @@ class Network:
         self.jitter = 0.0
         self.jitter_rng = None
         self.fifo_channels = True
+        # Optional attached layers.  ``faults`` (a FaultInjector) takes
+        # over delivery scheduling to inject loss/dup/jitter;
+        # ``reliable`` (a ReliableTransport) wraps sends and intercepts
+        # deliveries for ack/retransmit semantics.  Both default off so
+        # fault-free runs are byte-identical to a bare network.
+        self.faults = None
+        self.reliable = None
         self._down = False
 
     # -- wiring ---------------------------------------------------------
@@ -106,30 +113,40 @@ class Network:
     # -- sending ----------------------------------------------------------
 
     def send(self, src: str, dst: str, kind: str, payload: Any) -> Message:
-        """Send a message; returns the (not yet delivered) envelope."""
-        if src == dst:
-            raise NetworkError("loopback send; call the handler directly")
+        """Send a message; returns the (not yet delivered) envelope.
+
+        Loopback sends (``src == dst``) are delivered to the local
+        handler via a zero-latency simulator event: they never cross a
+        link, so they bypass partitions, fault injection, and the
+        reliable-delivery transport, but still count and trace like any
+        other message.
+        """
         if dst not in self._handlers:
             raise NetworkError(f"no handler registered for {dst!r}")
         message = Message(src, dst, kind, payload, sent_at=self.sim.now)
-        self.messages_sent += 1
-        self.messages_by_kind[kind] += 1
-        self._c_sent.inc()
-        counter = self._kind_counters.get(kind)
-        if counter is None:
-            counter = self._kind_counters[kind] = self.metrics.counter(
-                f"net.kind.{kind}"
+        self._count_send(message)
+        if src == dst:
+            self.sim.schedule(
+                0.0,
+                lambda: self._deliver_local(message),
+                label=f"deliver {kind} {src}->{dst} loopback",
             )
-        counter.inc()
-        if self.tracer.enabled:
-            self.tracer.emit(
-                taxonomy.MESSAGE_SEND, src=src, dst=dst, kind=kind
-            )
-        latency = self.topology.path_latency(src, dst)
-        if latency is None:
-            self._hold(message)
-        else:
-            self._schedule_delivery(message, latency)
+            return message
+        if self.reliable is not None:
+            self.reliable.on_send(message)
+        self._transmit(message)
+        return message
+
+    def resend(self, src: str, dst: str, kind: str, payload: Any) -> Message:
+        """Retransmit an already-wrapped packet (reliable transport only).
+
+        Counts and traces as a fresh send (``retransmit=True``) but
+        skips the transport's wrap-and-track step — the caller already
+        owns the packet's retry state.
+        """
+        message = Message(src, dst, kind, payload, sent_at=self.sim.now)
+        self._count_send(message, retransmit=True)
+        self._transmit(message)
         return message
 
     def broadcast_raw(self, src: str, kind: str, payload: Any) -> list[Message]:
@@ -178,6 +195,32 @@ class Network:
 
     # -- internals --------------------------------------------------------
 
+    def _count_send(self, message: Message, **trace_extra: Any) -> None:
+        self.messages_sent += 1
+        self.messages_by_kind[message.kind] += 1
+        self._c_sent.inc()
+        counter = self._kind_counters.get(message.kind)
+        if counter is None:
+            counter = self._kind_counters[message.kind] = self.metrics.counter(
+                f"net.kind.{message.kind}"
+            )
+        counter.inc()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                taxonomy.MESSAGE_SEND,
+                src=message.src,
+                dst=message.dst,
+                kind=message.kind,
+                **trace_extra,
+            )
+
+    def _transmit(self, message: Message) -> None:
+        latency = self.topology.path_latency(message.src, message.dst)
+        if latency is None:
+            self._hold(message)
+        else:
+            self._schedule_delivery(message, latency)
+
     def _hold(self, message: Message) -> None:
         self._held[(message.src, message.dst)].append(message)
         self._c_held.inc()
@@ -190,6 +233,16 @@ class Network:
             )
 
     def _schedule_delivery(self, message: Message, latency: float) -> None:
+        # The fault injector, when attached, owns the scheduling
+        # decision for every link-crossing delivery (drop / jitter /
+        # duplicate); it calls back into ``_schedule_raw`` for each
+        # copy that survives.
+        if self.faults is not None:
+            self.faults.intercept(message, latency)
+            return
+        self._schedule_raw(message, latency)
+
+    def _schedule_raw(self, message: Message, latency: float) -> None:
         channel = (message.src, message.dst)
         at = self.sim.now + latency
         if self.jitter and self.jitter_rng is not None:
@@ -224,5 +277,22 @@ class Network:
                 dst=message.dst,
                 kind=message.kind,
                 delay=self.sim.now - message.sent_at,
+            )
+        if self.reliable is not None and self.reliable.intercept(message):
+            return
+        self._handlers[message.dst](message)
+
+    def _deliver_local(self, message: Message) -> None:
+        message.delivered_at = self.sim.now
+        self.messages_delivered += 1
+        self._c_delivered.inc()
+        self._h_delay.observe(0.0)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                taxonomy.MESSAGE_DELIVER,
+                src=message.src,
+                dst=message.dst,
+                kind=message.kind,
+                delay=0.0,
             )
         self._handlers[message.dst](message)

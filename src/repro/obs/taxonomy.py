@@ -14,6 +14,20 @@ MESSAGE_DELIVER = "message.deliver"  # handler actually invoked
 MESSAGE_HOLD = "message.hold"  # held at send, or re-held in flight
 MESSAGE_RELEASE = "message.release"  # released by a topology change
 
+# -- fault injection (repro.net.faults) -------------------------------
+FAULT_DROP = "fault.drop"  # injected message loss
+FAULT_DUPLICATE = "fault.duplicate"  # injected duplicate delivery
+FAULT_FLAP_DOWN = "fault.flap.down"  # transient link flap: link cut
+FAULT_FLAP_UP = "fault.flap.up"  # transient link flap: link revived
+FAULT_CRASH_SKIPPED = "fault.crash.skipped"  # crash episode vetoed
+
+# -- reliable delivery (repro.net.reliable) ---------------------------
+RETRANS_SEND = "retrans.send"  # retransmission of an unacked packet
+RETRANS_ACK = "retrans.ack"  # ack processed at the sender
+RETRANS_DUPLICATE = "retrans.duplicate"  # receiver-side dedup drop
+RETRANS_BUFFER = "retrans.buffer"  # out-of-order packet buffered
+RETRANS_EXHAUSTED = "retrans.exhausted"  # retry budget spent, gave up
+
 # -- reliable broadcast (repro.net.broadcast) -------------------------
 BROADCAST_BUFFER = "broadcast.buffer"  # out-of-order, first sighting
 BROADCAST_DRAIN = "broadcast.drain"  # buffered payload delivered

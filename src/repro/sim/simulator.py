@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import heapq
+from collections import Counter
 from collections.abc import Callable
 
 from repro.errors import SimulationError
@@ -109,14 +110,20 @@ class Simulator:
 
         Events scheduled exactly at ``until`` still fire.  The
         ``max_events`` guard turns accidental event loops (a callback
-        that reschedules itself at delay zero, say) into a loud
-        :class:`SimulationError` instead of a hang.
+        that reschedules itself at delay zero, say, or a retransmit
+        timer that never stops re-arming) into a loud
+        :class:`SimulationError` instead of a hang; the error reports
+        the most frequent labels among the last events fired so the
+        looping component is identifiable from the message alone.
         """
         if self._running:
             raise SimulationError("run() called re-entrantly from a callback")
         self._running = True
         try:
             budget = max_events
+            # Labels of recently fired events, recorded only once the
+            # budget is nearly spent so the normal path pays nothing.
+            recent: list[str] | None = None
             while self._queue:
                 event = self._queue[0]
                 if event.cancelled:
@@ -131,12 +138,21 @@ class Simulator:
                 tracer = self._tracer
                 if tracer is not None and tracer.enabled:
                     tracer.emit(SIM_FIRE, label=event.label)
+                if recent is None and budget <= 2048:
+                    recent = []
+                if recent is not None:
+                    recent.append(event.label or "<unlabelled>")
                 event.callback()
                 self._fired += 1
                 budget -= 1
                 if budget <= 0:
+                    top = ", ".join(
+                        f"{label!r} x{count}"
+                        for label, count in Counter(recent or ()).most_common(5)
+                    )
                     raise SimulationError(
-                        f"exceeded max_events={max_events}; probable event loop"
+                        f"exceeded max_events={max_events}; probable event"
+                        f" loop (most frequent recent events: {top})"
                     )
             if until is not None and self._now < until:
                 self._now = until

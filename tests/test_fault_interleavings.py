@@ -186,6 +186,100 @@ class TestRecoverDuringPartition:
         assert db.mutual_consistency().consistent
 
 
+class TestAdoptAndHealWithCrashHeldLinks:
+    """Direct coverage for ``PartitionManager.adopt``/``heal_now`` when
+    links are simultaneously held down by crashes, partitions, and
+    (via the fault injector) link flaps."""
+
+    def test_adopt_requires_an_active_claim(self):
+        db = make_db()
+        db.topology.set_link_up("A", "B", False)
+        db.partitions.adopt("A", "B")  # no claim: a no-op
+        db.partitions.heal_now()
+        assert not up(db, "A", "B")  # heal never touched the orphan link
+
+    def test_adopt_transfers_restore_duty_to_heal(self):
+        db = make_db()
+        db.fail_node("C")
+        db.partitions.partition_now([["A", "B"], ["C"]])
+        db.recover_node("C")
+        # Recovery left A-C/B-C down and adopted them under the active
+        # claim; severs() reports the claim, heal restores the links.
+        assert db.partitions.severs("A", "C")
+        assert db.partitions.severs("B", "C")
+        db.partitions.heal_now()
+        assert up(db, "A", "C")
+        assert up(db, "B", "C")
+
+    def test_heal_now_skips_links_guarded_by_a_crash(self):
+        db = make_db(nodes=("A", "B", "C", "D"))
+        db.partitions.partition_now([["A", "B"], ["C", "D"]])
+        db.fail_node("D")
+        db.partitions.heal_now()
+        # Partition-cut links with both endpoints alive come back; every
+        # link touching the crashed node stays down even though the
+        # partition owned some of them.
+        assert up(db, "A", "C")
+        assert up(db, "B", "C")
+        for other in ("A", "B", "C"):
+            assert not up(db, other, "D")
+        db.recover_node("D")
+        for other in ("A", "B", "C"):
+            assert up(db, other, "D")
+
+    def test_flap_up_during_partition_is_adopted_not_revived(self):
+        """A link flap ending mid-partition must not punch a hole in the
+        partition: the revive guard hands the link to the episode, and
+        the eventual heal restores it."""
+        from repro.net.faults import FaultPlan, LinkFlap
+
+        db = make_db(
+            faults=FaultPlan(flaps=(LinkFlap(5.0, "A", "C", 10.0),))
+        )
+        db.sim.schedule_at(
+            8.0, lambda: db.partitions.partition_now([["A", "B"], ["C"]])
+        )
+        db.run(until=20.0)  # flap tried to come back up at 15
+        assert not up(db, "A", "C")  # partition still severs it
+        assert db.partitions.severs("A", "C")
+        db.partitions.heal_now()
+        assert up(db, "A", "C")
+        db.quiesce()
+        assert db.mutual_consistency().consistent
+
+    def test_flap_up_during_crash_waits_for_recovery(self):
+        from repro.net.faults import FaultPlan, LinkFlap
+
+        db = make_db(
+            faults=FaultPlan(flaps=(LinkFlap(5.0, "A", "C", 10.0),))
+        )
+        db.sim.schedule_at(8.0, lambda: db.fail_node("C"))
+        db.run(until=20.0)
+        assert not up(db, "A", "C")  # guard vetoed the flap's revive
+        db.recover_node("C")
+        assert up(db, "A", "C")
+        db.quiesce()
+        assert db.mutual_consistency().consistent
+
+    def test_traffic_survives_adopted_flap_plus_crash(self):
+        from repro.net.faults import FaultPlan, LinkFlap
+
+        db = make_db(
+            faults=FaultPlan(
+                loss_rate=0.2,
+                flaps=(LinkFlap(3.0, "B", "C", 8.0),),
+            )
+        )
+        db.sim.schedule_at(
+            5.0, lambda: db.partitions.partition_now([["A", "B"], ["C"]])
+        )
+        db.sim.schedule_at(6.0, lambda: db.submit_update("ag", bump(), writes=["x"]))
+        db.sim.schedule_at(25.0, db.partitions.heal_now)
+        db.quiesce()
+        assert db.nodes["C"].store.read("x") == 1
+        assert db.mutual_consistency().consistent
+
+
 class TestBatchInstallIdempotence:
     """A held batch arriving after anti-entropy already installed some
     of its members must skip those members, not re-install them."""

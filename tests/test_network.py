@@ -149,8 +149,6 @@ class TestNetworkDelivery:
         net.register("A", lambda m: None)
         net.register("B", lambda m: None)
         with pytest.raises(NetworkError):
-            net.send("A", "A", "m", 1)
-        with pytest.raises(NetworkError):
             net.register("A", lambda m: None)
         net.send("A", "B", "kind1", 1)
         net.send("A", "B", "kind1", 2)
@@ -158,6 +156,34 @@ class TestNetworkDelivery:
         assert net.messages_sent == 2
         assert net.messages_delivered == 2
         assert net.messages_by_kind["kind1"] == 2
+
+    def test_loopback_delivers_via_zero_latency_event(self):
+        sim, topo, net = make_net(["A", "B"])
+        received = []
+        net.register("A", lambda m: received.append(m))
+        net.register("B", lambda m: None)
+        message = net.send("A", "A", "self-note", 42)
+        # Asynchronous: nothing delivered until the simulator runs.
+        assert received == []
+        sim.run()
+        assert [m.payload for m in received] == [42]
+        assert received[0].src == "A" and received[0].dst == "A"
+        assert message.delivered_at == 0.0
+        assert net.messages_sent == 1
+        assert net.messages_delivered == 1
+
+    def test_loopback_ignores_partitions_and_counts_by_kind(self):
+        sim, topo, net = make_net(["A", "B"])
+        received = []
+        net.register("A", lambda m: received.append(sim.now))
+        net.register("B", lambda m: None)
+        manager = PartitionManager(net)
+        manager.partition_now([["A"], ["B"]])
+        net.send("A", "A", "self-note", 1)
+        sim.run()
+        assert received == [0.0]  # a node is never partitioned from itself
+        assert net.held_count() == 0
+        assert net.messages_by_kind["self-note"] == 1
 
 
 class TestPartitionSpec:

@@ -101,6 +101,23 @@ class TestRunControl:
         with pytest.raises(SimulationError):
             sim.run(max_events=100)
 
+    def test_max_events_error_names_the_looping_events(self):
+        """The exhaustion error must identify the probable culprit by
+        reporting the most frequent recent event labels."""
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.0, loop, label="hot retransmit loop")
+            sim.schedule(0.0, lambda: None)  # unlabelled bystander
+
+        sim.schedule(0.0, loop, label="hot retransmit loop")
+        with pytest.raises(SimulationError) as exc:
+            sim.run(max_events=500)
+        message = str(exc.value)
+        assert "max_events=500" in message
+        assert "'hot retransmit loop'" in message
+        assert "<unlabelled>" in message
+
     def test_reentrant_run_rejected(self):
         sim = Simulator()
 
