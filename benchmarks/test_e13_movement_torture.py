@@ -18,7 +18,7 @@ than the token-carrying protocols.
 
 from conftest import run_once
 
-from repro.analysis.report import format_table
+from repro.analysis.report import format_table, pipeline_latency_rows
 from repro.analysis.torture import PROTOCOLS, run_movement_torture
 from repro.replication import PipelineConfig
 
@@ -87,15 +87,22 @@ def test_e13b_torture_with_batching(benchmark, report):
     """The guarantee matrix is batching-invariant: group commit is a
     transport envelope, not a semantics change."""
 
+    latency = {}
+
     def sweep_batched():
         rows = []
         for protocol in ("majority", "with-data", "with-seqno", "corrective"):
             mc_breaks = 0
             for seed in range(BATCHED_RUNS):
+                dbs = []
                 result = run_movement_torture(
-                    seed, protocol, pipeline=BATCHED
+                    seed, protocol, pipeline=BATCHED, db_sink=dbs
                 )
                 mc_breaks += not result.mutually_consistent
+                if seed == 0:
+                    latency[protocol] = pipeline_latency_rows(
+                        dbs[0].snapshot()
+                    )
             rows.append({"protocol": protocol, "MC broken": mc_breaks})
         return rows
 
@@ -112,5 +119,21 @@ def test_e13b_torture_with_batching(benchmark, report):
             ),
         )
     )
+    report(
+        format_table(
+            ["protocol", "stage", "count", "p50", "p90", "max"],
+            [
+                [protocol, *stage]
+                for protocol, stages in latency.items()
+                for stage in stages
+            ],
+            title="E13b — pipeline stage waits + propagation latency (seed 0)",
+        )
+    )
     for row in rows:
         assert row["MC broken"] == 0, row["protocol"]
+        # Group commit actually grouped: batch waits were recorded, and
+        # remote installs fed the per-fragment propagation histogram.
+        stages = {r[0] for r in latency[row["protocol"]]}
+        assert "pipeline.batch_wait" in stages, row["protocol"]
+        assert "pipeline.propagation.F" in stages, row["protocol"]

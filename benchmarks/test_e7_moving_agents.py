@@ -26,13 +26,13 @@ from repro import (
     MoveWithDataProtocol,
     MoveWithSeqnoProtocol,
 )
-from repro.analysis.report import format_table
+from repro.analysis.report import format_table, pipeline_latency_rows
 from repro.cc.ops import Write
 
 HEAL_AT = 60.0
 
 
-def run_protocol(protocol, pipeline=None):
+def run_protocol(protocol, pipeline=None, db_sink=None):
     db = FragmentedDatabase(["X", "Y", "Z"], movement=protocol,
                             pipeline=pipeline)
     db.add_agent("ag", home_node="X")
@@ -59,6 +59,8 @@ def run_protocol(protocol, pipeline=None):
     db.quiesce()
 
     finals = {name: node.store.read("v") for name, node in db.nodes.items()}
+    if db_sink is not None:
+        db_sink.append(db)
     return {
         "protocol": protocol.name,
         "T1": results["t1"].status.value,
@@ -131,14 +133,20 @@ def test_e7b_moving_agents_batched(benchmark, report):
     from repro import PipelineConfig
 
     config = PipelineConfig(batch_size=4, batch_window=2.0)
+    dbs = []
 
     def run_all_batched():
+        dbs.clear()
         return [
-            run_protocol(InstantMoveProtocol(), pipeline=config),
-            run_protocol(MajorityCommitProtocol(), pipeline=config),
-            run_protocol(MoveWithDataProtocol(), pipeline=config),
-            run_protocol(MoveWithSeqnoProtocol(), pipeline=config),
-            run_protocol(CorrectiveMoveProtocol(), pipeline=config),
+            run_protocol(InstantMoveProtocol(), pipeline=config, db_sink=dbs),
+            run_protocol(MajorityCommitProtocol(), pipeline=config,
+                         db_sink=dbs),
+            run_protocol(MoveWithDataProtocol(), pipeline=config,
+                         db_sink=dbs),
+            run_protocol(MoveWithSeqnoProtocol(), pipeline=config,
+                         db_sink=dbs),
+            run_protocol(CorrectiveMoveProtocol(), pipeline=config,
+                         db_sink=dbs),
         ]
 
     rows = run_once(benchmark, run_all_batched)
@@ -150,6 +158,23 @@ def test_e7b_moving_agents_batched(benchmark, report):
             title="E7b — the same hazard under group commit (batch 4 / 2.0)",
         )
     )
+    latency_rows = []
+    for row, db in zip(rows, dbs):
+        for stage in pipeline_latency_rows(db.snapshot()):
+            latency_rows.append([row["protocol"], *stage])
+    report(
+        format_table(
+            ["protocol", "stage", "count", "p50", "p90", "max"],
+            latency_rows,
+            title="E7b — pipeline stage waits + propagation latency",
+        )
+    )
+    # The always-on histograms saw the run: every protocol batched and
+    # replicated across the partition, so propagation was observed.
+    stages = {(r[0], r[1]) for r in latency_rows}
+    for name in ("none", "with-data", "corrective"):
+        assert (name, "pipeline.batch_wait") in stages, name
+        assert (name, "pipeline.propagation.F") in stages, name
     by_name = {row["protocol"]: row for row in rows}
     assert not by_name["none"]["MC"]
     for name in ("majority", "with-data", "with-seqno", "corrective"):

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.audit import audit_events
 from repro.analysis.torture import GUARANTEES, PROTOCOLS, _try_move
 from repro.cc.ops import Read, Write
 from repro.core.system import FragmentedDatabase
@@ -99,15 +100,23 @@ class NemesisResult:
     messages_sent: int
     converge_time: float
     state_hash: str
+    audit_ok: bool = True
+    audit_violations: int = 0
+    audit_first: str = ""
 
     def respects_guarantees(self) -> bool:
-        """True iff the run satisfied its protocol's promised matrix."""
+        """True iff the run satisfied its protocol's promised matrix.
+
+        Includes the offline lineage audit: a run whose final state
+        hashes match can still have installed a transaction twice or
+        out of stream order along the way, and only the trace knows.
+        """
         required = GUARANTEES[self.protocol]
         if required["mc"] and not self.mutually_consistent:
             return False
         if required["fw"] and not self.fragmentwise:
             return False
-        return True
+        return self.audit_ok
 
 
 def build_fault_plan(
@@ -179,6 +188,11 @@ def run_nemesis(
     drops, retransmissions, partitions, …) to that JSONL file with a
     ``run`` context of ``{protocol}@{seed}`` — the chaos CLI and the CI
     smoke job upload this file when a run breaks its guarantees.
+
+    Tracing is always enabled (ring buffer at minimum): after
+    quiescence the run's events are replayed through the offline
+    lineage auditor (:mod:`repro.analysis.audit`), and the verdict
+    lands in ``NemesisResult.audit_ok`` / ``respects_guarantees``.
     """
     config = config or NemesisConfig()
     root = SeededRng(seed)
@@ -197,12 +211,11 @@ def run_nemesis(
         faults=None if empty else plan,
         reliable=config.reliable,
     )
-    if trace_path is not None:
-        db.enable_tracing(
-            trace_path,
-            append=True,
-            context={"run": f"{protocol_name}@{seed}"},
-        )
+    db.enable_tracing(
+        trace_path,
+        append=True,
+        context={"run": f"{protocol_name}@{seed}"},
+    )
     db.add_agent("ag", home_node=nodes[0])
     objects = ["u", "v", "w"]
     db.add_fragment("F", agent="ag", objects=objects)
@@ -243,6 +256,12 @@ def run_nemesis(
             lambda d=destination: _try_move(db, d),
         )
     db.quiesce()
+    audit = audit_events(
+        (event.as_dict() for event in db.tracer),
+        protocol=protocol_name,
+        run=f"{protocol_name}@{seed}",
+    )
+    first = audit.first_violation()
     if trace_path is not None:
         db.tracer.close()
 
@@ -266,4 +285,7 @@ def run_nemesis(
         messages_sent=db.network.messages_sent,
         converge_time=db.sim.now,
         state_hash=db.state_hash(),
+        audit_ok=audit.ok,
+        audit_violations=audit.violation_count,
+        audit_first="" if first is None else first.message,
     )

@@ -87,6 +87,31 @@ def format_metrics_snapshot(
     return "\n\n".join(blocks) if blocks else "(no metrics recorded)"
 
 
+def pipeline_latency_rows(
+    snapshot: dict[str, dict[str, Any]], prefix: str = "pipeline."
+) -> list[list[Any]]:
+    """``[stage, count, p50, p90, max]`` rows for pipeline histograms.
+
+    Filters a :meth:`MetricsRegistry.snapshot` to the per-stage
+    queue-wait and propagation-latency histograms, skipping empty ones —
+    the benches append these under their guarantee tables so the
+    latency cost of each stage is visible next to the semantics it buys.
+    """
+    rows = []
+    for name, summary in snapshot.get("histograms", {}).items():
+        if name.startswith(prefix) and summary.get("count"):
+            rows.append(
+                [
+                    name,
+                    summary["count"],
+                    summary["p50"],
+                    summary["p90"],
+                    summary["max"],
+                ]
+            )
+    return rows
+
+
 def format_trace_summary(summary: Any, title: str = "trace summary") -> str:
     """Render a :class:`~repro.obs.summary.TraceSummary`."""
     lines = [title]

@@ -84,13 +84,16 @@ def run_movement_torture(
     horizon: float = 200.0,
     pipeline: PipelineConfig | None = None,
     faults: FaultPlan | None = None,
+    db_sink: list | None = None,
 ) -> TortureResult:
     """One seeded run: random traffic, random moves, random partitions.
 
     ``faults`` layers a seeded fault plan (message loss, duplication,
     jitter, …) under the run; the chaos harness in
     :mod:`repro.analysis.nemesis` composes full fault schedules on top
-    of this same workload shape.
+    of this same workload shape.  ``db_sink``, when given, receives the
+    quiesced :class:`FragmentedDatabase` so callers can read its
+    metrics (the E13b bench prints the pipeline latency histograms).
     """
     rng = SeededRng(seed)
     nodes = [f"N{i}" for i in range(n_nodes)]
@@ -150,6 +153,8 @@ def run_movement_torture(
         db.sim.schedule_at(end, db.partitions.heal_now)
     db.quiesce()
 
+    if db_sink is not None:
+        db_sink.append(db)
     return TortureResult(
         seed=seed,
         protocol=protocol_name,

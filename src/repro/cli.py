@@ -12,6 +12,8 @@
     python -m repro metrics --summarize out.jsonl
     python -m repro spectrum --loss-rate 0.1 --jitter 2   # lossy substrate
     python -m repro chaos --seeds 10    # E16: seeded nemesis sweep
+    python -m repro audit out.jsonl     # offline lineage audit of a trace
+    python -m repro timeline out.jsonl --txn T3   # one txn's causal story
 """
 
 from __future__ import annotations
@@ -265,13 +267,21 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                     round(result.converge_time, 1),
                     result.mutually_consistent,
                     result.fragmentwise,
+                    "ok" if result.audit_ok
+                    else f"FAIL:{result.audit_violations}",
                     "OK" if ok else "VIOLATION",
                 ]
             )
+            if not result.audit_ok:
+                print(
+                    f"{protocol}@{seed}: audit: {result.audit_first}",
+                    file=sys.stderr,
+                )
     print(
         format_table(
             ["protocol", "seed", "committed", "drops", "dups", "retrans",
-             "dedup", "exhausted", "converge", "MC", "FW", "verdict"],
+             "dedup", "exhausted", "converge", "MC", "FW", "audit",
+             "verdict"],
             rows,
             title=(
                 f"chaos nemesis (loss={config.loss_rate}, "
@@ -291,6 +301,94 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         )
         return 1
     print(f"\nall {len(rows)} runs respected the Section 4.4 guarantees")
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from repro.analysis.audit import ALL_CHECKS, audit_trace, write_report
+
+    try:
+        reports = audit_trace(args.trace_file, protocol=args.protocol)
+    except OSError as exc:
+        print(f"error: cannot read trace {args.trace_file}: {exc}",
+              file=sys.stderr)
+        return 1
+    if not reports:
+        print(f"error: no events in {args.trace_file}", file=sys.stderr)
+        return 1
+    rows = []
+    for run, report in reports.items():
+        row = [run or "-", report.protocol or "?", report.events,
+               report.installs]
+        for name in ALL_CHECKS:
+            check = report.checks[name]
+            if not check.checked:
+                row.append("relaxed")
+            elif check.ok:
+                row.append("ok")
+            else:
+                row.append(f"FAIL:{check.violation_count}")
+        row.append("OK" if report.ok else "VIOLATION")
+        rows.append(row)
+    print(
+        format_table(
+            ["run", "protocol", "events", "installs",
+             *[name.replace("_", "-") for name in ALL_CHECKS], "verdict"],
+            rows,
+            title=f"lineage audit: {args.trace_file}",
+        )
+    )
+    failed = {run: rep for run, rep in reports.items() if not rep.ok}
+    for run, report in failed.items():
+        first = report.first_violation()
+        print(f"\n{run or '-'}: first violation [{first.check}] "
+              f"{first.message}", file=sys.stderr)
+        print(f"  event: {first.event}", file=sys.stderr)
+    if args.report:
+        write_report(args.report, reports)
+        print(f"\naudit report written to {args.report}")
+    if failed:
+        print(f"\n{len(failed)} run(s) failed the audit", file=sys.stderr)
+        return 1
+    print(f"\nall {len(reports)} run(s) passed the audit")
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.analysis.audit import timeline_from_trace
+
+    try:
+        events = timeline_from_trace(args.trace_file, args.txn, run=args.run)
+    except OSError as exc:
+        print(f"error: cannot read trace {args.trace_file}: {exc}",
+              file=sys.stderr)
+        return 1
+    if not events:
+        print(f"no events mention transaction {args.txn!r}", file=sys.stderr)
+        return 1
+    rows = []
+    for event in events:
+        fields = {
+            key: value
+            for key, value in event.items()
+            if key not in ("t", "type", "run")
+        }
+        where = (
+            fields.pop("node", None)
+            or fields.pop("receiver", None)
+            or fields.pop("origin", None)
+            or fields.pop("src", "-")
+        )
+        detail = " ".join(f"{key}={value}" for key, value in fields.items())
+        rows.append([f"{event.get('t', 0.0):.2f}", event.get("type", "?"),
+                     where, detail])
+    print(
+        format_table(
+            ["t", "event", "where", "detail"],
+            rows,
+            title=f"timeline of {args.txn} ({len(events)} events)",
+        )
+    )
     return 0
 
 
@@ -394,6 +492,40 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--trace", default=None, help=trace_help)
     _add_fault_args(chaos)
     chaos.set_defaults(func=cmd_chaos)
+
+    audit = sub.add_parser(
+        "audit",
+        help="offline lineage audit of a JSONL trace (exactly-once, "
+        "stream order, initiation, token uniqueness, agreement)",
+    )
+    audit.add_argument("trace_file", help="JSONL trace file to audit")
+    audit.add_argument(
+        "--protocol",
+        choices=["none", "majority", "with-data", "with-seqno", "corrective"],
+        default=None,
+        help="force the guarantee matrix of one protocol (default: infer "
+        "from each run's '{protocol}@{seed}' label)",
+    )
+    audit.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="also write the structured audit report as JSON",
+    )
+    audit.set_defaults(func=cmd_audit)
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="chronological lineage of one transaction from a JSONL trace",
+    )
+    timeline.add_argument("trace_file", help="JSONL trace file to read")
+    timeline.add_argument(
+        "--txn", required=True,
+        help="transaction id (repackaged descendants/ancestors included)",
+    )
+    timeline.add_argument(
+        "--run", default=None,
+        help="restrict to one run label when the trace holds several",
+    )
+    timeline.set_defaults(func=cmd_timeline)
 
     theorem = sub.add_parser("theorem", help="randomized §4.2 theorem (E8)")
     theorem.add_argument("--runs", type=int, default=60)

@@ -134,6 +134,7 @@ class MovementProtocol:
                     agent=agent_name,
                     src=from_node,
                     dst=to_node,
+                    fragments=sorted(agent.fragments),
                 )
             arrive()
 

@@ -38,6 +38,8 @@ from repro.core.transaction import (
 from repro.errors import ReproError, TransactionAborted
 from repro.net.broadcast import SeqPayload
 from repro.net.message import Message
+from repro.obs import taxonomy
+from repro.obs.lineage import SpanContext
 from repro.replication.apply import FragmentApplyQueue
 from repro.replication.batch import QTB_TYPE
 from repro.replication.stream import StreamLog
@@ -141,7 +143,9 @@ class DatabaseNode:
         """Reliable-broadcast delivery callback (FIFO per sender)."""
         kind = body.get("type")
         if kind == QTB_TYPE:
-            self.system.pipeline.deliver(self, body["batch"])
+            self.system.pipeline.deliver(
+                self, body["batch"], sender=sender, seq=seq
+            )
             return
         handler = self.broadcast_handlers.get(kind)
         if handler is None:
@@ -323,6 +327,26 @@ class DatabaseNode:
             origin_time=now,
             meta=dict(spec.meta),
         )
+        if self.tracer.enabled:
+            # Causal lineage opens here: the span rides the quasi down
+            # the pipeline, and the commit event carries the written
+            # objects so the offline auditor can check the initiation
+            # requirement against the fragment catalog.
+            quasi.span = SpanContext(
+                txn_id=spec.txn_id,
+                agent=spec.agent,
+                fragment=fragment_name,
+                origin_node=self.name,
+                stream_seq=stream_seq,
+                epoch=epoch,
+                parent=spec.meta.get("repackaged_from"),
+            )
+            self.tracer.emit(
+                taxonomy.LINEAGE_COMMIT,
+                node=self.name,
+                objects=[obj for obj, _version in writes],
+                **quasi.span.fields(),
+            )
         record = CommittedTxn(
             txn_id=spec.txn_id,
             agent=spec.agent,

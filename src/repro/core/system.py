@@ -223,7 +223,33 @@ class FragmentedDatabase:
         if path is not None:
             self.tracer.open_jsonl(path, append=append, context=context)
         self.tracer.enable()
+        if self._finalized:
+            # Tracing turned on after schema definition: emit the
+            # catalog now so an offline audit of this sink still knows
+            # the fragment -> objects map (finalize() already ran and
+            # will not re-emit).
+            self._emit_catalog()
         return self.tracer
+
+    def _emit_catalog(self) -> None:
+        """Trace the schema (fragment map + agent homes) for audits."""
+        if not self.tracer.enabled:
+            return
+        self.tracer.emit(
+            taxonomy.SYSTEM_CATALOG,
+            fragments={
+                fragment.name: {
+                    "objects": sorted(fragment.objects),
+                    "prefixes": sorted(fragment.prefixes),
+                    "agent": self._fragment_agent.get(fragment.name),
+                }
+                for fragment in self.catalog
+            },
+            agents={
+                name: agent.home_node for name, agent in self.agents.items()
+            },
+            nodes=sorted(self.nodes),
+        )
 
     def snapshot(self) -> dict[str, dict[str, Any]]:
         """The metrics registry's snapshot — the experiment-facing view.
@@ -256,6 +282,15 @@ class FragmentedDatabase:
                     node=tracker.node,
                     latency=tracker.latency,
                     reason=tracker.reason or None,
+                )
+            if tracker.spec.update:
+                self.tracer.emit(
+                    taxonomy.SPAN_END,
+                    txn=tracker.spec.txn_id,
+                    agent=tracker.spec.agent,
+                    node=tracker.node,
+                    status=tracker.status.value,
+                    latency=tracker.latency,
                 )
 
     # -- schema definition -----------------------------------------------------
@@ -348,6 +383,7 @@ class FragmentedDatabase:
             return
         self.strategy.validate_design(self)
         self._finalized = True
+        self._emit_catalog()
 
     # -- lookups ----------------------------------------------------------------
 
@@ -493,6 +529,14 @@ class FragmentedDatabase:
                 node=node_name,
                 update=spec.update,
             )
+            if spec.update:
+                self.tracer.emit(
+                    taxonomy.SPAN_BEGIN,
+                    txn=spec.txn_id,
+                    agent=spec.agent,
+                    node=node_name,
+                    parent=spec.meta.get("repackaged_from"),
+                )
         return tracker
 
     def _update_fragment(self, spec: TransactionSpec, agent: Agent) -> str:

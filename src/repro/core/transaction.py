@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.cc.ops import Read, Write
+from repro.obs.lineage import SpanContext
 from repro.storage.values import Version
 
 Body = Callable[[Any], Generator[Any, Any, Any]]
@@ -131,6 +132,10 @@ class QuasiTransaction:
     writes: list[tuple[str, Version]]
     origin_time: float
     meta: dict[str, Any] = field(default_factory=dict)
+    #: Causal lineage span, stamped at commit *only while tracing is
+    #: enabled* (None otherwise — tracing off allocates nothing).  The
+    #: batcher fills in batch/broadcast identity as the quasi travels.
+    span: SpanContext | None = None
 
     @property
     def objects(self) -> list[str]:

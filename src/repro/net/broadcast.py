@@ -27,6 +27,7 @@ from typing import Any
 from repro.net.message import Message
 from repro.net.network import Network
 from repro.obs import taxonomy
+from repro.obs.lineage import batch_span_fields
 
 DeliverFn = Callable[[str, int, Any], None]
 
@@ -85,6 +86,15 @@ class ReliableBroadcast:
         self._deliver[node] = deliver
         if register:
             self.network.register(node, self.handle_message)
+
+    def next_seq(self, sender: str) -> int:
+        """The sequence number :meth:`broadcast` will assign next.
+
+        Lets the batcher stamp the wire identity on lineage spans
+        *before* the broadcast runs the sender's own synchronous
+        delivery.
+        """
+        return self._next_send_seq[sender]
 
     def broadcast(self, sender: str, body: Any, kind: str = "bcast") -> int:
         """Broadcast ``body`` from ``sender``; returns its sequence number.
@@ -153,6 +163,7 @@ class ReliableBroadcast:
                     sender=payload.sender,
                     seq=payload.seq,
                     expected=expected,
+                    **batch_span_fields(payload),
                 )
             return
         self._deliver[receiver](payload.sender, payload.seq, payload.body)
@@ -172,6 +183,7 @@ class ReliableBroadcast:
                     receiver=receiver,
                     sender=queued.sender,
                     seq=queued.seq,
+                    **batch_span_fields(queued),
                 )
             self._deliver[receiver](queued.sender, queued.seq, queued.body)
             nxt += 1
@@ -188,4 +200,5 @@ class ReliableBroadcast:
                 receiver=receiver,
                 sender=payload.sender,
                 seq=payload.seq,
+                **batch_span_fields(payload),
             )

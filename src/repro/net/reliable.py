@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.net.message import Message
 from repro.obs import taxonomy
+from repro.obs.lineage import batch_span_fields
 from repro.sim.events import EventHandle
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -207,12 +208,16 @@ class ReliableTransport:
                     kind=entry.packet.kind,
                     cseq=cseq,
                     attempts=entry.attempts - 1,
+                    **batch_span_fields(entry.packet.payload),
                 )
             del self._outstanding[channel][cseq]
             return
         self.retransmits += 1
         self._c_resent.inc()
         if self.tracer.enabled:
+            # A retransmitted quasi-transaction batch keeps its causal
+            # identity: the copy on the wire names the same batch_id and
+            # transactions as the original lineage.send.
             self.tracer.emit(
                 taxonomy.RETRANS_SEND,
                 src=src,
@@ -220,6 +225,7 @@ class ReliableTransport:
                 kind=entry.packet.kind,
                 cseq=cseq,
                 attempt=entry.attempts,
+                **batch_span_fields(entry.packet.payload),
             )
         self.network.resend(src, dst, entry.packet.kind, entry.packet)
         self._arm_timer(channel, entry)
@@ -264,6 +270,7 @@ class ReliableTransport:
                         kind=packet.kind,
                         cseq=packet.cseq,
                         expected=state.next_expected,
+                        **batch_span_fields(packet.payload),
                     )
         else:
             self._deliver_in_order(message, state, packet)
@@ -300,6 +307,7 @@ class ReliableTransport:
                 dst=message.dst,
                 kind=packet.kind,
                 cseq=packet.cseq,
+                **batch_span_fields(packet.payload),
             )
 
     def _send_ack(self, channel: tuple[str, str], state: _RecvChannel) -> None:

@@ -12,19 +12,28 @@ See ``docs/observability.md`` for the event taxonomy and metric names.
 """
 
 from repro.obs import taxonomy
+from repro.obs.lineage import SpanContext, batch_span_fields
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.summary import TraceSummary, read_trace, summarize_trace
-from repro.obs.trace import DEFAULT_RING_SIZE, TraceEvent, Tracer
+from repro.obs.trace import (
+    DEFAULT_FLUSH_EVERY,
+    DEFAULT_RING_SIZE,
+    TraceEvent,
+    Tracer,
+)
 
 __all__ = [
     "Counter",
+    "DEFAULT_FLUSH_EVERY",
     "DEFAULT_RING_SIZE",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SpanContext",
     "TraceEvent",
     "TraceSummary",
     "Tracer",
+    "batch_span_fields",
     "read_trace",
     "summarize_trace",
     "taxonomy",

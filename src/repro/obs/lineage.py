@@ -1,0 +1,95 @@
+"""Causal lineage: one identity threaded through the update path.
+
+A committed update transaction's effects travel commit -> stream log ->
+batcher -> reliable broadcast -> reliable transport (retransmits and
+dedup included) -> admission -> apply queue -> per-node install.  Each
+stage already emits its own trace events; what was missing is a single
+*causal identity* tying them together so an offline checker can rebuild
+the happens-before graph of one transaction instead of correlating
+seqnos by hand.
+
+:class:`SpanContext` is that identity.  It is stamped on the
+quasi-transaction at commit time (only while tracing is enabled — a
+disabled tracer allocates nothing) and enriched as the update moves
+down the pipeline: the batcher fills in ``batch_id`` and the broadcast
+sequence number, so every later event — including a retransmission of
+the wire packet three stages down — can name the transactions it
+carries.
+
+The transport and broadcast layers must not import the replication
+package (they sit below it), so :func:`batch_span_fields` recovers the
+identity from a wire payload by duck typing: anything whose body is a
+dict carrying a ``"batch"`` with ``qts`` yields its transaction ids and
+batch id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(slots=True)
+class SpanContext:
+    """The causal identity of one update transaction's propagation span.
+
+    ``parent`` links a derived transaction to its ancestor — the
+    corrective protocol's repackaged orphans (``rp:T7`` carries
+    ``parent="T7"``) are the only producers today.  ``batch_id`` and
+    ``bcast_seq`` are filled in by the batcher when the quasi-
+    transaction is sealed into its wire batch.
+    """
+
+    txn_id: str
+    agent: str
+    fragment: str
+    origin_node: str
+    stream_seq: int
+    epoch: int
+    parent: str | None = None
+    batch_id: int | None = None
+    bcast_seq: int | None = None
+
+    def fields(self) -> dict[str, Any]:
+        """Flat trace-event fields (Nones elided)."""
+        out: dict[str, Any] = {
+            "txn": self.txn_id,
+            "agent": self.agent,
+            "fragment": self.fragment,
+            "origin_node": self.origin_node,
+            "stream_seq": self.stream_seq,
+            "epoch": self.epoch,
+        }
+        if self.parent is not None:
+            out["parent"] = self.parent
+        if self.batch_id is not None:
+            out["batch_id"] = self.batch_id
+        if self.bcast_seq is not None:
+            out["bcast_seq"] = self.bcast_seq
+        return out
+
+
+def batch_span_fields(payload: Any) -> dict[str, Any]:
+    """Span identity carried by a wire payload, or ``{}``.
+
+    Accepts anything; returns ``{"txns": [...], "batch_id": ...}`` when
+    the payload is (or wraps, via a ``body`` attribute or a plain dict)
+    a quasi-transaction batch.  Used by the transport and broadcast
+    layers to stamp retransmit/duplicate/buffer events with the causal
+    identity of the batch they affect, without importing the
+    replication package.
+    """
+    body = getattr(payload, "body", payload)
+    if not isinstance(body, dict):
+        return {}
+    batch = body.get("batch")
+    qts = getattr(batch, "qts", None)
+    if qts is None:
+        return {}
+    fields: dict[str, Any] = {
+        "txns": [quasi.source_txn for quasi in qts],
+    }
+    batch_id = getattr(batch, "batch_id", -1)
+    if batch_id >= 0:
+        fields["batch_id"] = batch_id
+    return fields

@@ -55,30 +55,39 @@ class Gauge:
 class Histogram:
     """A value distribution with percentile summaries.
 
-    Values are kept verbatim (simulation runs are bounded); the summary
-    computes nearest-rank percentiles over a sorted copy on demand.
+    Values are kept verbatim (simulation runs are bounded).  The sorted
+    view percentiles need is cached and invalidated on ``observe``, so
+    repeated ``percentile``/``summary`` calls between observations sort
+    at most once — these sit on the per-install latency hot path.
     """
 
-    __slots__ = ("name", "values")
+    __slots__ = ("name", "values", "_sorted")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.values: list[float] = []
+        self._sorted: list[float] | None = None
 
     def observe(self, value: float) -> None:
-        """Record one sample."""
+        """Record one sample (invalidates the cached sorted view)."""
         self.values.append(value)
+        self._sorted = None
 
     @property
     def count(self) -> int:
         """Number of recorded samples."""
         return len(self.values)
 
+    def _ordered(self) -> list[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self.values)
+        return self._sorted
+
     def percentile(self, p: float) -> float | None:
         """Nearest-rank percentile, ``p`` in [0, 100]; None when empty."""
         if not self.values:
             return None
-        ordered = sorted(self.values)
+        ordered = self._ordered()
         n = len(ordered)
         return ordered[min(n - 1, max(0, round(p / 100.0 * n) - 1))]
 
@@ -94,7 +103,7 @@ class Histogram:
                 "p99": None,
                 "max": None,
             }
-        ordered = sorted(self.values)
+        ordered = self._ordered()
         n = len(ordered)
 
         def rank(p: float) -> float:
@@ -155,11 +164,19 @@ class MetricsRegistry:
         self.histogram(name).observe(value)
 
     def value(self, name: str) -> Any:
-        """Current value of a counter or gauge called ``name``."""
+        """Current value of the metric called ``name``.
+
+        Counters and gauges return their scalar value; histograms
+        return their :meth:`Histogram.summary` dict, so ``value()``
+        covers all three metric kinds.  Unknown names still raise
+        :class:`KeyError`.
+        """
         if name in self._counters:
             return self._counters[name].value
         if name in self._gauges:
             return self._gauges[name].value
+        if name in self._histograms:
+            return self._histograms[name].summary()
         raise KeyError(name)
 
     # -- views -----------------------------------------------------------

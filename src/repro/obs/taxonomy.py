@@ -40,6 +40,20 @@ TXN_REJECT = "txn.reject"
 TXN_ABORT = "txn.abort"
 TXN_TIMEOUT = "txn.timeout"
 
+# -- causal lineage spans (repro.obs.lineage; see docs/observability.md).
+# A span covers one update transaction from initiation to its terminal
+# status; the lineage.* events stamp the same causal identity on every
+# stage of the propagation path so the offline auditor
+# (repro.analysis.audit) can rebuild the happens-before graph.
+SPAN_BEGIN = "span.begin"  # update accepted: the span opens
+SPAN_END = "span.end"  # tracker terminal: the span closes
+LINEAGE_COMMIT = "lineage.commit"  # versions minted at the agent's node
+LINEAGE_SEND = "lineage.send"  # batch handed to the broadcast
+LINEAGE_DELIVER = "lineage.deliver"  # batch unpacked at one receiver
+LINEAGE_BUFFER = "lineage.buffer"  # admission parked an out-of-order qt
+LINEAGE_ENQUEUE = "lineage.enqueue"  # qt entered the apply queue
+SYSTEM_CATALOG = "system.catalog"  # fragment map for offline audits
+
 # -- quasi-transaction installs (repro.replication.apply) -------------
 QT_INSTALL = "qt.install"  # remote quasi-transaction installed
 

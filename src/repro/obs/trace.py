@@ -24,6 +24,11 @@ from repro.obs.taxonomy import DEFAULT_EXCLUDE
 
 DEFAULT_RING_SIZE = 65536
 
+#: Sink writes between automatic flushes.  Python buffers file writes,
+#: so a run that dies mid-simulation would otherwise lose the tail of
+#: its JSONL trace — exactly the part a CI failure upload needs.
+DEFAULT_FLUSH_EVERY = 256
+
 
 @dataclass
 class TraceEvent:
@@ -55,6 +60,9 @@ class Tracer:
         Event types to suppress even while enabled.  Defaults to
         :data:`~repro.obs.taxonomy.DEFAULT_EXCLUDE` (the per-callback
         ``sim.fire`` firehose).
+    flush_every:
+        Flush the JSONL sink after this many writes (0 disables
+        periodic flushing; :meth:`close` always flushes).
     """
 
     def __init__(
@@ -63,6 +71,7 @@ class Tracer:
         enabled: bool = False,
         ring_size: int = DEFAULT_RING_SIZE,
         exclude: frozenset[str] | set[str] | tuple[str, ...] | None = None,
+        flush_every: int = DEFAULT_FLUSH_EVERY,
     ) -> None:
         self.clock = clock
         self.enabled = enabled
@@ -73,6 +82,8 @@ class Tracer:
         self._sink: TextIO | None = None
         self._sink_context: dict[str, Any] = {}
         self.emitted = 0  # events recorded (post-filter), lifetime
+        self.flush_every = flush_every
+        self._unflushed = 0  # sink writes since the last flush
 
     # -- lifecycle -------------------------------------------------------
 
@@ -101,6 +112,9 @@ class Tracer:
         if self._sink is not None:
             record = {"t": time, "type": type, **self._sink_context, **fields}
             self._sink.write(json.dumps(record, default=str) + "\n")
+            self._unflushed += 1
+            if self.flush_every and self._unflushed >= self.flush_every:
+                self.flush()
 
     # -- JSONL sink ------------------------------------------------------
 
@@ -119,6 +133,13 @@ class Tracer:
         self.close()
         self._sink = open(path, "a" if append else "w", encoding="utf-8")
         self._sink_context = dict(context or {})
+        self._unflushed = 0
+
+    def flush(self) -> None:
+        """Push buffered sink writes to disk, if a sink is open."""
+        if self._sink is not None:
+            self._sink.flush()
+            self._unflushed = 0
 
     def close(self) -> None:
         """Flush and close the JSONL sink, if open."""
@@ -126,6 +147,7 @@ class Tracer:
             self._sink.close()
             self._sink = None
             self._sink_context = {}
+            self._unflushed = 0
 
     def __enter__(self) -> "Tracer":
         return self

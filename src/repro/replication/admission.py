@@ -26,11 +26,30 @@ from collections.abc import Callable
 from typing import TYPE_CHECKING
 
 from repro.core.transaction import QuasiTransaction
+from repro.obs import taxonomy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.node import DatabaseNode
 
 OrphanSink = Callable[["DatabaseNode", QuasiTransaction], None]
+
+
+def _trace_buffered(
+    node: "DatabaseNode",
+    quasi: QuasiTransaction,
+    expected: tuple[int, int] | None,
+) -> None:
+    """Emit the lineage event for an admission-buffered quasi (guarded)."""
+    node.tracer.emit(
+        taxonomy.LINEAGE_BUFFER,
+        node=node.name,
+        txn=quasi.source_txn,
+        fragment=quasi.fragment,
+        epoch=quasi.epoch,
+        stream_seq=quasi.stream_seq,
+        expected_epoch=expected[0] if expected is not None else None,
+        expected_seq=expected[1] if expected is not None else None,
+    )
 
 
 def drain_buffer(node: "DatabaseNode", fragment: str) -> None:
@@ -71,6 +90,8 @@ class OrderedAdmission(AdmissionPolicy):
             return  # duplicate / already superseded
         if key > expected:
             streams.buffer[fragment][key] = quasi
+            if node.tracer.enabled:
+                _trace_buffered(node, quasi, expected)
             return
         streams.next_expected[fragment] = quasi.stream_seq + 1
         node.enqueue_install(quasi)
@@ -117,5 +138,7 @@ class EpochOrderedAdmission(AdmissionPolicy):
             node.streams.buffer[fragment][(quasi.epoch, quasi.stream_seq)] = (
                 quasi
             )
+            if node.tracer.enabled:
+                _trace_buffered(node, quasi, None)
         else:
             self.orphan_sink(node, quasi)

@@ -29,12 +29,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class FragmentApplyQueue:
     """One node's install machinery, serialized per fragment."""
 
-    __slots__ = ("node", "_ready", "_installing")
+    __slots__ = ("node", "_ready", "_installing", "_enqueued_at")
 
     def __init__(self, node: "DatabaseNode") -> None:
         self.node = node
         self._ready: dict[str, deque[QuasiTransaction]] = defaultdict(deque)
         self._installing: dict[str, bool] = defaultdict(bool)
+        # source txn -> queue-entry time, feeding the apply-wait
+        # histogram.  Per *node* (quasi objects are shared between
+        # receivers, so per-receiver timing cannot live on the quasi).
+        self._enqueued_at: dict[str, float] = {}
 
     def depth(self, fragment: str) -> int:
         """Admitted-but-not-yet-installed backlog for one fragment."""
@@ -46,14 +50,28 @@ class FragmentApplyQueue:
         """Crash-stop: queued installs are volatile."""
         self._ready.clear()
         self._installing.clear()
+        self._enqueued_at.clear()
 
     def enqueue(self, quasi: QuasiTransaction) -> None:
         """Queue an admitted quasi-transaction for atomic installation."""
         node = self.node
+        now = node.system.sim.now
+        arrived = node.streams.arrived_at.pop(quasi.source_txn, None)
         if node.streams.seen(quasi):
             return  # duplicate (replay + held original)
+        if arrived is not None:
+            node.system.pipeline._h_admission_wait.observe(now - arrived)
+        self._enqueued_at[quasi.source_txn] = now
         node.streams.record(quasi)
         self._ready[quasi.fragment].append(quasi)
+        if node.tracer.enabled:
+            node.tracer.emit(
+                taxonomy.LINEAGE_ENQUEUE,
+                node=node.name,
+                txn=quasi.source_txn,
+                fragment=quasi.fragment,
+                depth=self.depth(quasi.fragment),
+            )
         self._check_bound(quasi.fragment)
         self._pump(quasi.fragment)
 
@@ -138,7 +156,18 @@ class FragmentApplyQueue:
         now = system.sim.now
         node.quasi_installed += 1
         node._c_qt_installed.inc()
+        pipeline = system.pipeline
+        entered = self._enqueued_at.pop(quasi.source_txn, None)
+        if entered is not None:
+            pipeline._h_apply_wait.observe(now - entered)
+        if node.name != quasi.origin_node:
+            # End-to-end propagation latency, commit-at-agent to
+            # apply-at-this-node, bucketed per fragment.
+            pipeline.propagation_histogram(quasi.fragment).observe(
+                now - quasi.origin_time
+            )
         if node.tracer.enabled:
+            span = quasi.span
             node.tracer.emit(
                 taxonomy.QT_INSTALL,
                 node=node.name,
@@ -146,6 +175,9 @@ class FragmentApplyQueue:
                 source_txn=quasi.source_txn,
                 stream_seq=quasi.stream_seq,
                 epoch=quasi.epoch,
+                origin_node=quasi.origin_node,
+                agent=quasi.agent,
+                batch_id=span.batch_id if span is not None else None,
             )
         node.wal.append_install(quasi)
         system.recorder.record_install(

@@ -45,6 +45,10 @@ class QtBatch:
     qts: tuple[QuasiTransaction, ...]
     created_at: float
     sealed_by: str = "direct"
+    #: System-wide batch identity (-1 on hand-built batches in tests);
+    #: the lineage spans of the members carry the same id, so a
+    #: retransmitted wire packet can be tied back to its transactions.
+    batch_id: int = -1
 
     def __len__(self) -> int:
         return len(self.qts)
@@ -116,20 +120,46 @@ class QtBatcher:
     ) -> None:
         pipeline = self.pipeline
         system = pipeline.system
+        now = system.sim.now
         batch = QtBatch(
             origin=origin,
             qts=tuple(qts),
-            created_at=system.sim.now,
+            created_at=now,
             sealed_by=sealed_by,
+            batch_id=pipeline.next_batch_id(),
         )
         pipeline._c_batches.inc()
         pipeline._h_batch_fill.observe(len(batch))
+        # Batching-stage queue wait: commit time to seal time (0.0 on
+        # the unbatched direct path — the sample still counts the send).
+        batch_wait = pipeline._h_batch_wait
+        for quasi in batch.qts:
+            batch_wait.observe(now - quasi.origin_time)
         if system.tracer.enabled and pipeline.config.batching:
             system.tracer.emit(
                 taxonomy.QT_BATCH_FLUSH,
                 origin=origin,
                 count=len(batch),
                 sealed_by=sealed_by,
+                txns=[quasi.source_txn for quasi in batch.qts],
+            )
+        if system.tracer.enabled:
+            # Stamp the wire identity on the member spans *before* the
+            # broadcast: the sender's own delivery runs synchronously
+            # inside broadcast(), and downstream emit sites read the
+            # span.  next_seq() is what broadcast() will assign.
+            seq = system.broadcast.next_seq(origin)
+            for quasi in batch.qts:
+                if quasi.span is not None:
+                    quasi.span.batch_id = batch.batch_id
+                    quasi.span.bcast_seq = seq
+            system.tracer.emit(
+                taxonomy.LINEAGE_SEND,
+                origin=origin,
+                batch_id=batch.batch_id,
+                seq=seq,
+                sealed_by=sealed_by,
+                count=len(batch),
                 txns=[quasi.source_txn for quasi in batch.qts],
             )
         system.broadcast.broadcast(

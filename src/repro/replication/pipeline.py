@@ -36,13 +36,14 @@ one-message-per-quasi-transaction wire behaviour exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.core.transaction import (
     QuasiTransaction,
     RequestTracker,
     TransactionSpec,
 )
+from repro.obs import taxonomy
 from repro.replication.backpressure import BackpressureController
 from repro.replication.batch import QtBatch, QtBatcher
 
@@ -107,6 +108,35 @@ class ReplicationPipeline:
             "replication.backpressure.throttled"
         )
         metrics.gauge("replication.pending_now", self.batcher.pending_count)
+        # Per-stage queue-wait histograms (always on, like every other
+        # metric): batch wait is commit -> seal, transport wait is
+        # seal -> delivery at a receiver, admission wait is delivery ->
+        # apply-queue entry (includes reorder buffering), apply wait is
+        # queue entry -> install.  End-to-end propagation latency
+        # (commit-at-agent -> apply-at-node) is per fragment, created
+        # lazily as ``pipeline.propagation.<fragment>``.
+        self._h_batch_wait = metrics.histogram("pipeline.batch_wait")
+        self._h_transport_wait = metrics.histogram("pipeline.transport_wait")
+        self._h_admission_wait = metrics.histogram("pipeline.admission_wait")
+        self._h_apply_wait = metrics.histogram("pipeline.apply_wait")
+        self._prop_hists: dict[str, Any] = {}
+        self._batch_counter = 0
+
+    def next_batch_id(self) -> int:
+        """A fresh system-wide batch identity."""
+        batch_id = self._batch_counter
+        self._batch_counter += 1
+        return batch_id
+
+    def propagation_histogram(self, fragment: str):
+        """The per-fragment end-to-end propagation-latency histogram."""
+        histogram = self._prop_hists.get(fragment)
+        if histogram is None:
+            histogram = self.system.metrics.histogram(
+                f"pipeline.propagation.{fragment}"
+            )
+            self._prop_hists[fragment] = histogram
+        return histogram
 
     # -- send side ---------------------------------------------------------
 
@@ -127,7 +157,13 @@ class ReplicationPipeline:
 
     # -- receive side ------------------------------------------------------
 
-    def deliver(self, node: "DatabaseNode", batch: QtBatch) -> None:
+    def deliver(
+        self,
+        node: "DatabaseNode",
+        batch: QtBatch,
+        sender: str | None = None,
+        seq: int | None = None,
+    ) -> None:
         """Unpack a batch at one receiver and admit members individually.
 
         Per-member admission is what makes batch install idempotent: a
@@ -135,13 +171,33 @@ class ReplicationPipeline:
         survived a crash in the WAL, or anti-entropy got there first)
         is dropped by the admission policy / duplicate filter exactly
         as an unbatched duplicate would be.
+
+        ``sender``/``seq`` are the broadcast channel identity, threaded
+        through for the lineage trace; batches re-admitted outside the
+        broadcast path (recovery anti-entropy, move resync) omit them.
         """
         system = self.system
+        now = system.sim.now
+        self._h_transport_wait.observe(now - batch.created_at)
+        if system.tracer.enabled:
+            system.tracer.emit(
+                taxonomy.LINEAGE_DELIVER,
+                node=node.name,
+                origin=batch.origin,
+                batch_id=batch.batch_id,
+                sender=sender,
+                seq=seq,
+                txns=[quasi.source_txn for quasi in batch.qts],
+            )
+        arrived_at = node.streams.arrived_at
         for quasi in batch.qts:
             if not system.replicates(node.name, quasi.fragment):
                 node.quasi_skipped += 1
                 node._c_qt_skipped.inc()
                 continue
+            # Arrival timestamp feeds the admission-wait histogram when
+            # (if ever) the quasi reaches this node's apply queue.
+            arrived_at.setdefault(quasi.source_txn, now)
             system.movement.admit(node, quasi)
 
     # -- update gating -----------------------------------------------------

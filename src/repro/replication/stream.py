@@ -30,6 +30,7 @@ class StreamLog:
         "buffer",
         "installed_sources",
         "archive",
+        "arrived_at",
     )
 
     def __init__(self) -> None:
@@ -45,6 +46,10 @@ class StreamLog:
         self.installed_sources: set[str] = set()
         #: fragment -> {seq: quasi} archive of everything seen.
         self.archive: dict[str, dict[int, QuasiTransaction]] = defaultdict(dict)
+        #: source txn -> first pipeline-delivery time at this replica,
+        #: consumed by the apply queue for the admission-wait histogram
+        #: (delivery -> queue entry, reorder buffering included).
+        self.arrived_at: dict[str, float] = {}
 
     def seen(self, quasi: QuasiTransaction) -> bool:
         """True if this quasi-transaction was already installed here."""
@@ -74,3 +79,4 @@ class StreamLog:
         self.buffer.clear()
         self.installed_sources.clear()
         self.archive.clear()
+        self.arrived_at.clear()

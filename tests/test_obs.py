@@ -98,6 +98,28 @@ class TestMetricsRegistry:
         with pytest.raises(KeyError):
             MetricsRegistry().value("nope")
 
+    def test_histogram_sorted_view_cached_until_observe(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in (3.0, 1.0, 2.0):
+            hist.observe(value)
+        assert hist._sorted is None  # no summary asked for yet
+        first = hist._ordered()
+        assert first == [1.0, 2.0, 3.0]
+        assert hist._ordered() is first  # cached, not re-sorted
+        hist.observe(0.5)
+        assert hist._sorted is None  # observe invalidates the cache
+        assert hist.summary()["min"] == 0.5  # and the summary sees it
+
+    def test_value_returns_histogram_summary(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 2.0)
+        registry.observe("h", 4.0)
+        summary = registry.value("h")
+        assert summary["count"] == 2
+        assert summary["min"] == 2.0
+        assert summary["max"] == 4.0
+        assert summary == registry.histogram("h").summary()
+
 
 class TestTracer:
     def test_disabled_tracer_records_nothing(self):
@@ -174,6 +196,29 @@ class TestTracer:
         tracer.close()
         (record,) = read_trace(path)
         assert isinstance(record["obj"], str)
+
+    def test_sink_flushes_periodically(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(enabled=True, flush_every=2)
+        tracer.open_jsonl(path)
+        tracer.emit("a")
+        assert tracer._unflushed == 1
+        tracer.emit("b")  # hits flush_every: sink flushed to disk
+        assert tracer._unflushed == 0
+        assert [r["type"] for r in read_trace(path)] == ["a", "b"]
+        tracer.close()
+
+    def test_manual_flush_drains_sink(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(enabled=True, flush_every=0)  # periodic off
+        tracer.open_jsonl(path)
+        for index in range(5):
+            tracer.emit("e", i=index)
+        assert tracer._unflushed == 5
+        tracer.flush()
+        assert tracer._unflushed == 0
+        assert len(list(read_trace(path))) == 5
+        tracer.close()
 
 
 class TestBroadcastAccounting:
@@ -407,6 +452,10 @@ class TestTraceGolden:
 
         summary = summarize_trace(path)
         assert summary.by_type == {
+            "lineage.commit": 6,
+            "lineage.deliver": 12,
+            "lineage.enqueue": 6,
+            "lineage.send": 6,
             "message.deliver": 6,
             "message.hold": 4,
             "message.release": 4,
@@ -414,6 +463,9 @@ class TestTraceGolden:
             "partition.cut": 1,
             "partition.heal": 1,
             "qt.install": 6,
+            "span.begin": 6,
+            "span.end": 6,
+            "system.catalog": 1,
             "txn.commit": 6,
             "txn.submit": 6,
         }
