@@ -71,6 +71,7 @@ from repro.errors import (
 from repro.net.partition import PartitionSpec
 from repro.net.topology import Topology
 from repro.obs import MetricsRegistry, TraceEvent, Tracer
+from repro.recovery import FragmentCheckpoint, RecoveryConfig
 from repro.replication import PipelineConfig, QtBatch, ReplicationPipeline
 
 __version__ = "1.0.0"
@@ -85,6 +86,7 @@ __all__ = [
     "CorrectiveMoveProtocol",
     "DesignError",
     "FixedAgentsProtocol",
+    "FragmentCheckpoint",
     "FragmentedDatabase",
     "InitiationError",
     "InstantMoveProtocol",
@@ -103,6 +105,7 @@ __all__ = [
     "Read",
     "ReadAccessGraph",
     "ReadLocksStrategy",
+    "RecoveryConfig",
     "ReproError",
     "RequestStatus",
     "RequestTracker",

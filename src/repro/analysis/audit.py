@@ -130,6 +130,11 @@ class AuditReport:
     protocol: str | None
     events: int = 0
     installs: int = 0
+    #: Informational recovery-activity counters (no invariant attached):
+    #: how many durable checkpoints the run took and how many whole
+    #: checkpoints catch-up donors shipped to below-horizon rejoiners.
+    checkpoints: int = 0
+    snapshots_shipped: int = 0
     checks: dict[str, CheckResult] = field(default_factory=dict)
 
     @property
@@ -155,6 +160,8 @@ class AuditReport:
             "ok": self.ok,
             "events": self.events,
             "installs": self.installs,
+            "checkpoints": self.checkpoints,
+            "snapshots_shipped": self.snapshots_shipped,
             "violation_count": self.violation_count,
             "checks": {
                 name: self.checks[name].as_dict()
@@ -206,6 +213,10 @@ class _Auditor:
             self._on_depart(event)
         elif etype == taxonomy.TOKEN_MOVE_ARRIVE:
             self._on_arrive(event)
+        elif etype == taxonomy.RECOVERY_CHECKPOINT:
+            self.report.checkpoints += 1
+        elif etype == taxonomy.RECOVERY_CATCHUP_SNAPSHOT:
+            self.report.snapshots_shipped += 1
 
     def _on_catalog(self, event: dict[str, Any]) -> None:
         self.catalog_seen = True

@@ -38,6 +38,7 @@ from repro.core.system import FragmentedDatabase
 from repro.net.faults import CrashEpisode, FaultPlan, LinkFlap, LossBurst
 from repro.net.partition import PartitionSpec
 from repro.net.reliable import ReliableConfig
+from repro.recovery import RecoveryConfig
 from repro.replication import PipelineConfig
 from repro.sim.rng import SeededRng
 
@@ -51,7 +52,10 @@ class NemesisConfig:
     kind the plan draws.  Set every fault knob to zero for a fault-free
     baseline run of the same workload.  ``reliable`` forwards to
     :class:`FragmentedDatabase` (``None`` = auto-on when message faults
-    are armed).
+    are armed).  ``checkpoint_every`` arms the recovery subsystem
+    (checkpoint every K installs, log compaction, delta catch-up);
+    ``recovery_grace`` sets how long an unreachable replica may hold
+    the compaction watermark before being excluded from it.
     """
 
     n_nodes: int = 4
@@ -67,6 +71,8 @@ class NemesisConfig:
     n_partitions: int = 1
     pipeline: PipelineConfig | None = None
     reliable: ReliableConfig | bool | None = None
+    checkpoint_every: int | None = None
+    recovery_grace: float | None = 60.0
 
     def message_faults_only(self) -> bool:
         """True when the plan perturbs messages but never connectivity.
@@ -103,6 +109,10 @@ class NemesisResult:
     audit_ok: bool = True
     audit_violations: int = 0
     audit_first: str = ""
+    checkpoints: int = 0
+    archive_pruned: int = 0
+    snapshots_shipped: int = 0
+    delta_qts_shipped: int = 0
 
     def respects_guarantees(self) -> bool:
         """True iff the run satisfied its protocol's promised matrix.
@@ -203,6 +213,12 @@ def run_nemesis(
     empty = not (
         plan.message_faults or plan.flaps or plan.crashes or plan.partitions
     )
+    recovery = None
+    if config.checkpoint_every is not None:
+        recovery = RecoveryConfig(
+            checkpoint_every=config.checkpoint_every,
+            grace=config.recovery_grace,
+        )
     db = FragmentedDatabase(
         nodes,
         movement=PROTOCOLS[protocol_name](),
@@ -210,6 +226,7 @@ def run_nemesis(
         pipeline=config.pipeline,
         faults=None if empty else plan,
         reliable=config.reliable,
+        recovery=recovery,
     )
     db.enable_tracing(
         trace_path,
@@ -288,4 +305,12 @@ def run_nemesis(
         audit_ok=audit.ok,
         audit_violations=audit.violation_count,
         audit_first="" if first is None else first.message,
+        checkpoints=int(db.metrics.value("recovery.checkpoints") or 0),
+        archive_pruned=int(db.metrics.value("recovery.archive_pruned") or 0),
+        snapshots_shipped=int(
+            db.metrics.value("recovery.checkpoints_shipped") or 0
+        ),
+        delta_qts_shipped=int(
+            db.metrics.value("recovery.delta_qts_shipped") or 0
+        ),
     )

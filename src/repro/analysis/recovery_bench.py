@@ -1,0 +1,232 @@
+"""E17: checkpoint-recovery benchmark (full replay vs delta vs snapshot).
+
+One scenario, three recovery configurations: a replica crashes a
+quarter of the way through a seeded update workload and rejoins after
+the traffic ends.  What differs is how the cluster prepared for the
+rejoin:
+
+* ``full`` — recovery subsystem disarmed: no checkpoints, nothing
+  pruned.  The rejoiner replays its *entire* WAL and the donor ships
+  the whole missed range from an archive that also never shrinks.
+* ``checkpoint`` — periodic checkpoints with ``grace=None``: the downed
+  replica keeps pinning the compaction watermark, so the donor retains
+  exactly the tail the rejoiner is missing and ships only that delta;
+  the rejoiner restores checkpoint + WAL suffix locally.
+* ``snapshot`` — periodic checkpoints with a finite grace: the downed
+  replica stops pinning the watermark, the cluster compacts past its
+  cursor, and rejoin needs a shipped checkpoint plus retained tail —
+  the §4.4 long-partition case.
+
+The point of the numbers: bytes shipped and WAL replayed must scale
+with the *gap* (or the fragment size, for snapshots), not with run
+history — that is the bounded-logs claim the subsystem makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.audit import audit_events
+from repro.cc.ops import Read, Write
+from repro.core.system import FragmentedDatabase
+from repro.obs import taxonomy
+from repro.recovery import RecoveryConfig
+from repro.sim.rng import SeededRng
+
+#: Recognized benchmark modes, in report order.
+MODES = ("full", "checkpoint", "snapshot")
+
+# Shipped-size estimate weights — kept identical to the recovery
+# manager's retained-bytes gauge weights so "bytes shipped" and "bytes
+# retained" are comparable quantities.
+_QT_BYTES = 48
+_WRITE_BYTES = 32
+_CKPT_OBJECT_BYTES = 40
+
+
+@dataclass(frozen=True)
+class RejoinResult:
+    """Measured cost of one crash/rejoin under one recovery mode."""
+
+    mode: str
+    seed: int
+    committed: int
+    stream_length: int  # total quasi-transactions in the fragment stream
+    wal_replayed: int  # rejoiner's WAL records at the moment of recovery
+    checkpoints: int
+    archive_pruned: int
+    delta_qts_shipped: int
+    delta_objects_shipped: int
+    checkpoints_shipped: int
+    snapshot_objects_shipped: int
+    bytes_shipped: int
+    retained_bytes: int
+    rejoin_ticks: float  # sim time from node.recover to catch-up done
+    consistent: bool
+    audit_ok: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "seed": self.seed,
+            "committed": self.committed,
+            "stream_length": self.stream_length,
+            "wal_replayed": self.wal_replayed,
+            "checkpoints": self.checkpoints,
+            "archive_pruned": self.archive_pruned,
+            "delta_qts_shipped": self.delta_qts_shipped,
+            "delta_objects_shipped": self.delta_objects_shipped,
+            "checkpoints_shipped": self.checkpoints_shipped,
+            "snapshot_objects_shipped": self.snapshot_objects_shipped,
+            "bytes_shipped": self.bytes_shipped,
+            "retained_bytes": self.retained_bytes,
+            "rejoin_ticks": round(self.rejoin_ticks, 3),
+            "consistent": self.consistent,
+            "audit_ok": self.audit_ok,
+        }
+
+
+def _recovery_for(
+    mode: str, checkpoint_every: int, grace: float
+) -> RecoveryConfig | None:
+    if mode == "full":
+        return None
+    if mode == "checkpoint":
+        return RecoveryConfig(checkpoint_every=checkpoint_every, grace=None)
+    if mode == "snapshot":
+        return RecoveryConfig(checkpoint_every=checkpoint_every, grace=grace)
+    raise ValueError(f"unknown rejoin mode {mode!r}; expected one of {MODES}")
+
+
+def run_rejoin(
+    mode: str,
+    seed: int = 7,
+    n_nodes: int = 3,
+    n_updates: int = 60,
+    horizon: float = 300.0,
+    checkpoint_every: int = 8,
+    grace: float = 60.0,
+    crash_node: str | None = None,
+) -> RejoinResult:
+    """One crash/rejoin measurement under one recovery mode.
+
+    The workload stream is independent of the mode (same seed → same
+    updates), so the three modes of one seed are directly comparable.
+    The crashed replica is never the agent's home; it goes down at
+    ``0.3 * horizon`` and recovers 20 ticks after the horizon, when
+    every surviving update has long been installed — the measured
+    catch-up is purely the rejoin cost.
+    """
+    rng = SeededRng(seed)
+    nodes = [f"N{i}" for i in range(n_nodes)]
+    victim = crash_node or nodes[-1]
+    db = FragmentedDatabase(
+        nodes, seed=seed, recovery=_recovery_for(mode, checkpoint_every, grace)
+    )
+    db.enable_tracing(None)
+    db.add_agent("ag", home_node=nodes[0])
+    objects = ["u", "v", "w"]
+    db.add_fragment("F", agent="ag", objects=objects)
+    db.load({obj: 0 for obj in objects})
+    db.finalize()
+
+    trackers = []
+
+    def submit(index: int) -> None:
+        chosen = [obj for obj in objects if rng.bernoulli(0.5)] or [
+            rng.choice(objects)
+        ]
+        value = rng.randint(1, 10_000)
+
+        def body(_ctx):
+            total = 0
+            for obj in chosen:
+                observed = yield Read(obj)
+                total += observed
+            for obj in chosen:
+                yield Write(obj, total + value)
+
+        trackers.append(
+            db.submit_update(
+                "ag", body, reads=chosen, writes=chosen, txn_id=f"T{index}"
+            )
+        )
+
+    for index in range(n_updates):
+        db.sim.schedule_at(
+            rng.uniform(0.0, horizon * 0.7), lambda i=index: submit(i)
+        )
+
+    wal_at_recovery = [0]
+
+    def recover() -> None:
+        wal_at_recovery[0] = len(db.nodes[victim].wal)
+        db.recover_node(victim)
+
+    db.sim.schedule_at(horizon * 0.3, lambda: db.fail_node(victim))
+    db.sim.schedule_at(horizon + 20.0, recover)
+    db.quiesce()
+
+    events = [event.as_dict() for event in db.tracer]
+    audit = audit_events(events, protocol=None, run=f"{mode}@{seed}")
+    recovered_at = done_at = None
+    for event in events:
+        if event.get("node") != victim:
+            continue
+        if event["type"] == taxonomy.NODE_RECOVER and recovered_at is None:
+            recovered_at = event["t"]
+        elif event["type"] == taxonomy.RECOVERY_CATCHUP_DONE:
+            done_at = event["t"]
+    rejoin_ticks = (
+        0.0
+        if recovered_at is None or done_at is None
+        else max(0.0, done_at - recovered_at)
+    )
+
+    value = db.metrics.value
+    delta_qts = int(value("recovery.delta_qts_shipped") or 0)
+    delta_objects = int(value("recovery.delta_objects_shipped") or 0)
+    snapshot_objects = int(value("recovery.snapshot_objects_shipped") or 0)
+    return RejoinResult(
+        mode=mode,
+        seed=seed,
+        committed=sum(1 for t in trackers if t.succeeded),
+        stream_length=int(db.nodes[nodes[0]].streams.next_expected["F"]),
+        wal_replayed=wal_at_recovery[0],
+        checkpoints=int(value("recovery.checkpoints") or 0),
+        archive_pruned=int(value("recovery.archive_pruned") or 0),
+        delta_qts_shipped=delta_qts,
+        delta_objects_shipped=delta_objects,
+        checkpoints_shipped=int(value("recovery.checkpoints_shipped") or 0),
+        snapshot_objects_shipped=snapshot_objects,
+        bytes_shipped=(
+            delta_qts * _QT_BYTES
+            + delta_objects * _WRITE_BYTES
+            + snapshot_objects * _CKPT_OBJECT_BYTES
+        ),
+        retained_bytes=int(value("recovery.retained_bytes") or 0),
+        rejoin_ticks=rejoin_ticks,
+        consistent=db.mutual_consistency().consistent,
+        audit_ok=audit.ok,
+    )
+
+
+def run_rejoin_comparison(
+    seed: int = 7,
+    n_updates: int = 60,
+    horizon: float = 300.0,
+    checkpoint_every: int = 8,
+    grace: float = 60.0,
+) -> dict[str, RejoinResult]:
+    """All three modes of one seed, keyed by mode (the E17 table)."""
+    return {
+        mode: run_rejoin(
+            mode,
+            seed=seed,
+            n_updates=n_updates,
+            horizon=horizon,
+            checkpoint_every=checkpoint_every,
+            grace=grace,
+        )
+        for mode in MODES
+    }

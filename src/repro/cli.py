@@ -12,6 +12,8 @@
     python -m repro metrics --summarize out.jsonl
     python -m repro spectrum --loss-rate 0.1 --jitter 2   # lossy substrate
     python -m repro chaos --seeds 10    # E16: seeded nemesis sweep
+    python -m repro chaos --crashes 2 --checkpoint-every 8  # + recovery armed
+    python -m repro checkpoint          # E17: full vs delta vs snapshot rejoin
     python -m repro audit out.jsonl     # offline lineage audit of a trace
     python -m repro timeline out.jsonl --txn T3   # one txn's causal story
 """
@@ -237,6 +239,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         n_flaps=args.flaps,
         n_crashes=args.crashes,
         n_partitions=args.partitions,
+        checkpoint_every=args.checkpoint_every,
+        recovery_grace=args.recovery_grace,
     )
     protocols = [args.protocol] if args.protocol else list(PROTOCOLS)
     seeds = (
@@ -301,6 +305,67 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         )
         return 1
     print(f"\nall {len(rows)} runs respected the Section 4.4 guarantees")
+    return 0
+
+
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.recovery_bench import MODES, run_rejoin_comparison
+
+    results = run_rejoin_comparison(
+        seed=args.seed,
+        n_updates=args.updates,
+        checkpoint_every=args.every,
+        grace=args.grace,
+    )
+    rows = []
+    for mode in MODES:
+        result = results[mode]
+        rows.append(
+            [
+                mode,
+                result.committed,
+                result.wal_replayed,
+                result.checkpoints,
+                result.archive_pruned,
+                result.delta_qts_shipped,
+                result.checkpoints_shipped,
+                result.bytes_shipped,
+                result.retained_bytes,
+                round(result.rejoin_ticks, 1),
+                result.consistent,
+                "ok" if result.audit_ok else "FAIL",
+            ]
+        )
+    print(
+        format_table(
+            ["mode", "committed", "wal-replay", "ckpts", "pruned",
+             "delta-qts", "snaps", "bytes-shipped", "retained-bytes",
+             "rejoin", "MC", "audit"],
+            rows,
+            title=(
+                f"checkpoint & rejoin benchmark (E17, seed {args.seed}, "
+                f"{args.updates} updates, every={args.every}, "
+                f"grace={args.grace:g})"
+            ),
+        )
+    )
+    if args.json:
+        payload = {mode: results[mode].as_dict() for mode in MODES}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nresults written to {args.json}")
+    broken = [
+        mode
+        for mode in MODES
+        if not (results[mode].consistent and results[mode].audit_ok)
+    ]
+    if broken:
+        print(f"\nmode(s) broke consistency or audit: {broken}",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -489,9 +554,46 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--partitions", type=int, default=1, help="partition episodes"
     )
+    chaos.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="K",
+        dest="checkpoint_every",
+        help="arm the recovery subsystem: checkpoint every K installs, "
+        "compact logs behind the cluster watermark, delta catch-up on "
+        "rejoin",
+    )
+    chaos.add_argument(
+        "--recovery-grace", type=float, default=60.0, metavar="TICKS",
+        dest="recovery_grace",
+        help="how long a downed/unreachable replica pins the compaction "
+        "watermark (with --checkpoint-every)",
+    )
     chaos.add_argument("--trace", default=None, help=trace_help)
     _add_fault_args(chaos)
     chaos.set_defaults(func=cmd_chaos)
+
+    checkpoint = sub.add_parser(
+        "checkpoint",
+        help="checkpoint & rejoin benchmark: full replay vs checkpoint+"
+        "delta vs snapshot shipping (E17)",
+    )
+    checkpoint.add_argument("--seed", type=int, default=7)
+    checkpoint.add_argument(
+        "--updates", type=int, default=60,
+        help="update transactions in the workload",
+    )
+    checkpoint.add_argument(
+        "--every", type=int, default=8,
+        help="checkpoint every K installs (armed modes)",
+    )
+    checkpoint.add_argument(
+        "--grace", type=float, default=60.0,
+        help="watermark grace for the snapshot mode",
+    )
+    checkpoint.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="also write the results as JSON",
+    )
+    checkpoint.set_defaults(func=cmd_checkpoint)
 
     audit = sub.add_parser(
         "audit",

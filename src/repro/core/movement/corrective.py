@@ -61,8 +61,23 @@ class CorrectiveMoveProtocol(MovementProtocol):
         # until their M0; stale epochs are orphans (rule B2/A2).
         self.admission = EpochOrderedAdmission(self._handle_orphan)
         self._repackaged: set[str] = set()
+        # Orphans that surfaced while the token was in transit: rule A2
+        # needs the new home to *commit* the repackaged transaction, and
+        # submissions are rejected mid-move — park and retry at arrival.
+        self._deferred_orphans: list[QuasiTransaction] = []
+        # (fragment, new_epoch) -> source txns the cut's M0 carried as
+        # rule-B1 catch-up material.  "Missing" in rule A2 is defined
+        # against these baselines: a pre-cut transaction absent from
+        # some baseline since its epoch may never have reached replicas
+        # that activated that epoch (or a later one) directly, so it
+        # must be repackaged — even when the *current* home happens to
+        # have installed it.  Membership is by transaction, not by seq
+        # range: the seq space rewinds at a cut, so an old entry's slot
+        # can sit below the cursor yet hold a different epoch's entry.
+        self._baselines: dict[tuple[str, int], frozenset[str]] = {}
         self.orphans_handled = 0
         self.orphans_dropped_empty = 0
+        self.orphans_deferred = 0
         self.repackaged_count = 0
         self.m0_broadcasts = 0
 
@@ -112,6 +127,15 @@ class CorrectiveMoveProtocol(MovementProtocol):
                 )
                 token.payload["epoch"] = new_epoch
                 token.payload["next_seq"] = installed_upto
+                self._baselines[(fragment, new_epoch)] = frozenset(
+                    quasi.source_txn for quasi in carried
+                )
+            # Orphans parked during the flight can repackage now that
+            # the token has landed (re-deferred if another fragment's
+            # token is still travelling).
+            deferred, self._deferred_orphans = self._deferred_orphans, []
+            for quasi in deferred:
+                self._handle_orphan(destination, quasi)
             if on_done is not None:
                 on_done()
 
@@ -126,8 +150,20 @@ class CorrectiveMoveProtocol(MovementProtocol):
         epoch = body["epoch"]
         if epoch <= node.epoch[fragment]:
             return  # stale announcement
-        # Catch up from the M0 contents (rule B1).
+        # Catch up from the M0 contents (rule B1).  Install-dedup keys on
+        # source txn, but a checkpointed replica no longer *names* every
+        # txn its snapshot covers (WAL truncation and archive pruning
+        # drop them from the dedup set) — so also skip carried entries
+        # below this replica's cursor: ordered admission and prior B1
+        # drains guarantee everything under the cursor was already seen
+        # here, checkpointed or named.
+        cursor = (
+            node.streams.epoch[fragment],
+            node.streams.next_expected[fragment],
+        )
         for quasi in sorted(body["qts"], key=lambda q: q.stream_seq):
+            if (quasi.epoch, quasi.stream_seq) < cursor:
+                continue
             node.enqueue_install(quasi)  # dedups already-installed sources
         # Orphans sitting in the old-epoch buffer become rule-B2 forwards.
         streams = node.streams
@@ -146,14 +182,47 @@ class CorrectiveMoveProtocol(MovementProtocol):
 
     # -- orphan handling (rules B2 and A2) -------------------------------------
 
+    def _missing(self, quasi: QuasiTransaction, current_epoch: int) -> bool | None:
+        """Is this stale-epoch transaction outside some M0 baseline?
+
+        A replica reaches the current epoch by processing *one* of the
+        cut M0s since the orphan's epoch (intermediate M0s arriving out
+        of order are discarded as stale), so the orphan's effects are
+        guaranteed everywhere only if every such baseline carried it.
+        Absent from any one of them, some replica may have jumped
+        straight over the M0 that would have delivered it: rule A2 must
+        repackage.  Returns None when a cut's baseline is unknown (a
+        foreign move protocol bumped the epoch), letting the caller
+        fall back to the install-dedup heuristic.
+        """
+        cuts = [
+            self._baselines.get((quasi.fragment, epoch))
+            for epoch in range(quasi.epoch + 1, current_epoch + 1)
+        ]
+        if not cuts or any(cut is None for cut in cuts):
+            return None
+        return any(quasi.source_txn not in cut for cut in cuts)
+
     def _handle_orphan(self, node: "DatabaseNode", quasi: QuasiTransaction) -> None:
-        if (
-            quasi.source_txn in node.installed_sources
-            or quasi.source_txn in self._repackaged
-        ):
+        if quasi.source_txn in self._repackaged:
             return
         system = node.system
         agent = system.agent_of(quasi.fragment)
+        token = agent.token_for(quasi.fragment)
+        missing = self._missing(quasi, token.payload.get("epoch", 0))
+        if missing is None:
+            missing = quasi.source_txn not in node.installed_sources
+        if not missing:
+            return
+        if token.in_transit:
+            # The new home cannot commit a repackaged transaction while
+            # the token travels (the submission would be rejected and
+            # the orphan's updates silently lost — exactly the state a
+            # heal-during-move surfaces orphans in).  Park until the
+            # arrival callback replays us.
+            self.orphans_deferred += 1
+            self._deferred_orphans.append(quasi)
+            return
         home = agent.home_node
         if node.name != home:
             system.network.send(node.name, home, KIND_FWD, {"qt": quasi})

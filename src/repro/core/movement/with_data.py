@@ -6,13 +6,18 @@ at site Y before resuming processing.  In addition, all other sites are
 requested not to install updates from transaction T2 until those from
 T1 have been installed."
 
-The token's payload is the tape / magnetic strip: it carries a full
-snapshot of the fragment's objects plus the stream position.  On
-arrival the snapshot replaces Y's copy, Y's install bookkeeping jumps
-to the carried position, and the agent resumes immediately — no
-waiting, no majority.  Third nodes need no special treatment: the
-stream's sequence numbering continues unbroken across the move, so the
-default ordered admission already refuses to install T2 before T1.
+The token's payload is the tape / magnetic strip: it carries a
+:class:`~repro.recovery.checkpoint.FragmentCheckpoint` — the versioned
+fragment snapshot plus the stream cursor it is current through.  On
+arrival the checkpoint installs over Y's copy, Y's install bookkeeping
+fast-forwards to the carried cursor, and the agent resumes immediately
+— no waiting, no majority.  The checkpoint is persisted on Y's durable
+shelf, so a crash at the new home recovers the carried state instead of
+replaying from nothing, and Y can serve the same checkpoint onward to a
+catch-up requester below its compaction horizon.  Third nodes need no
+special treatment: the stream's sequence numbering continues unbroken
+across the move, so the default ordered admission already refuses to
+install T2 before T1.
 
 Guarantees preserved: mutual consistency *and* fragmentwise
 serializability.
@@ -24,7 +29,7 @@ from collections.abc import Callable
 from typing import TYPE_CHECKING
 
 from repro.core.movement.base import MovementProtocol
-from repro.replication.admission import drain_buffer
+from repro.recovery.checkpoint import apply_checkpoint, build_checkpoint
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.system import FragmentedDatabase
@@ -53,37 +58,24 @@ class MoveWithDataProtocol(MovementProtocol):
         # Dump the fragment to the "tape" at departure time.
         for fragment in fragments:
             token = agent.token_for(fragment)
-            snapshot = {
-                obj: origin.store.read_version(obj)
-                for obj in system.fragment_objects(fragment, origin.store)
-            }
-            token.payload["snapshot"] = snapshot
-            token.payload["sources"] = set(origin.qt_archive[fragment])
+            ckpt = build_checkpoint(system, origin, fragment)
+            token.payload["checkpoint"] = ckpt
             self.snapshots_carried += 1
-            self.objects_carried += len(snapshot)
+            self.objects_carried += len(ckpt.snapshot)
 
         def arrive() -> None:
             destination = system.nodes[to_node]
             for fragment in fragments:
                 token = agent.token_for(fragment)
-                snapshot = token.payload.pop("snapshot", {})
-                for obj, version in snapshot.items():
-                    destination.store.install(obj, version)
-                carried_seqs = token.payload.pop("sources", set())
+                ckpt = token.payload.pop("checkpoint", None)
+                if ckpt is None:
+                    continue
                 # The destination's replica of this fragment is now exactly
-                # the origin's: fast-forward its install bookkeeping so
-                # late-arriving pre-move quasi-transactions are duplicates.
-                next_seq = token.payload.get("next_seq", 0)
-                streams = destination.streams
-                streams.next_expected[fragment] = max(
-                    streams.next_expected[fragment], next_seq
-                )
-                streams.epoch[fragment] = token.payload.get("epoch", 0)
-                for seq in carried_seqs:
-                    archived = origin.streams.archive[fragment].get(seq)
-                    if archived is not None:
-                        streams.record(archived)
-                drain_buffer(destination, fragment)
+                # the origin's: the checkpoint install fast-forwards its
+                # cursor so late-arriving pre-move quasi-transactions are
+                # duplicates, and the persisted copy makes the carried
+                # state crash-durable at the new home.
+                apply_checkpoint(destination, ckpt, persist=True)
             if on_done is not None:
                 on_done()
 

@@ -40,6 +40,7 @@ from repro.net.broadcast import SeqPayload
 from repro.net.message import Message
 from repro.obs import taxonomy
 from repro.obs.lineage import SpanContext
+from repro.recovery.checkpoint import CheckpointStore, apply_checkpoint
 from repro.replication.apply import FragmentApplyQueue
 from repro.replication.batch import QTB_TYPE
 from repro.replication.stream import StreamLog
@@ -79,9 +80,10 @@ class DatabaseNode:
         self.atomic_installs = True
         self.quasi_installed = 0
         self.quasi_skipped = 0  # fragments this node does not replicate
-        # Crash-stop failure model: the WAL survives a crash, nothing
-        # else does.
+        # Crash-stop failure model: the WAL and the checkpoint shelf
+        # survive a crash, nothing else does.
         self.wal = WriteAheadLog(name)
+        self.checkpoints = CheckpointStore(name)
         self.down = False
         self.crashes = 0
         # Shared observability handles (system-wide registry/tracer).
@@ -89,8 +91,6 @@ class DatabaseNode:
         self.tracer = system.tracer
         self._c_qt_installed = self.metrics.counter("qt.installed")
         self._c_qt_skipped = self.metrics.counter("qt.skipped")
-        self.register_unicast("recovery-req", self._on_recovery_req)
-        self.register_unicast("recovery-rep", self._on_recovery_rep)
 
     # -- stream-log views (delegation kept for API compatibility) -----------
 
@@ -423,49 +423,45 @@ class DatabaseNode:
         self.system.pipeline.node_crashed(self)
 
     def recover(self) -> None:
-        """Replay the WAL, then anti-entropy with the live peers.
+        """Restore checkpoints, replay the WAL suffix, then catch up.
 
-        WAL replay rebuilds the store and the per-fragment install
-        bookkeeping to the last stable point.  Quasi-transactions that
-        the broadcast middleware had already handed over but that never
-        reached the WAL are gone from this replica — the recovery
-        request asks every peer for its archive and the ordered
-        admission path re-installs whatever is missing.
+        The durable state comes back in two layers: the newest
+        checkpoint per fragment restores that fragment's snapshot and
+        fast-forwards the stream cursor, then WAL replay applies only
+        the records past each checkpoint (truncation usually already
+        dropped the rest; the guards below make the order safe even
+        when truncation is disabled).  Quasi-transactions the
+        middleware had delivered but that never reached the WAL are
+        gone from this replica — the recovery manager's cursor-based
+        catch-up asks one donor per fragment for exactly the missing
+        suffix, and the ordered admission path re-installs it.
         """
         self.down = False
+        streams = self.streams
+        for ckpt in self.checkpoints.all():
+            apply_checkpoint(self, ckpt, persist=False)
         for record in self.wal.records():
             if record.kind == "load":
-                self.store.install(
-                    record.obj, Version(record.value, INITIAL_WRITER, 0, 0.0)
-                )
+                # A checkpointed object already has its snapshot
+                # version; re-installing the initial value would
+                # regress it.
+                if not self.store.exists(record.obj):
+                    self.store.install(
+                        record.obj,
+                        Version(record.value, INITIAL_WRITER, 0, 0.0),
+                    )
                 continue
             quasi = record.quasi
+            fragment = quasi.fragment
+            slot = (quasi.epoch, quasi.stream_seq)
+            if slot < (streams.epoch[fragment], streams.next_expected[fragment]):
+                continue  # superseded by the restored checkpoint
             for obj, version in quasi.writes:
                 self.store.install(obj, version)
-            self.streams.record(quasi)
-            self.streams.observe(quasi)
+            streams.record(quasi)
+            streams.observe(quasi)
         self.system.pipeline.node_recovered(self)
-        for peer in self.system.nodes:
-            if peer != self.name:
-                self.system.network.send(
-                    self.name, peer, "recovery-req",
-                    {"requester": self.name},
-                )
-
-    def _on_recovery_req(self, message: Message) -> None:
-        requester = message.payload["requester"]
-        archives = {
-            fragment: dict(entries)
-            for fragment, entries in self.qt_archive.items()
-        }
-        self.system.network.send(
-            self.name, requester, "recovery-rep", {"archives": archives}
-        )
-
-    def _on_recovery_rep(self, message: Message) -> None:
-        for fragment, entries in message.payload["archives"].items():
-            for seq in sorted(entries):
-                self.system.movement.admit(self, entries[seq])
+        self.system.recovery.catch_up(self)
 
     def __repr__(self) -> str:
         return f"DatabaseNode({self.name!r})"

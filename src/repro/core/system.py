@@ -61,6 +61,7 @@ from repro.net.broadcast import ReliableBroadcast
 from repro.obs import taxonomy
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
+from repro.recovery.manager import RecoveryConfig, RecoveryManager
 from repro.replication.pipeline import PipelineConfig, ReplicationPipeline
 from repro.sim.rng import SeededRng
 from repro.sim.simulator import Simulator
@@ -106,6 +107,7 @@ class FragmentedDatabase:
         pipeline: PipelineConfig | None = None,
         faults: FaultPlan | None = None,
         reliable: ReliableConfig | bool | None = None,
+        recovery: RecoveryConfig | None = None,
     ) -> None:
         if len(node_names) < 1:
             raise DesignError("at least one node required")
@@ -177,6 +179,11 @@ class FragmentedDatabase:
         self.movement = movement or FixedAgentsProtocol()
         self.strategy.attach(self)
         self.movement.attach(self)
+        # Checkpoint / compaction / catch-up policy engine.  Always
+        # attached (its handlers serve the rejoin path); automatic
+        # checkpoints and pruning stay off unless the config arms them.
+        self.recovery = RecoveryManager(recovery)
+        self.recovery.attach(self)
         self.trackers: list[RequestTracker] = []
         # Partial replication (paper's conclusion: "databases that are
         # not fully replicated"): fragment -> replicating nodes.  Absent
@@ -700,6 +707,7 @@ class FragmentedDatabase:
 
     def fire_install_hooks(self, node: DatabaseNode, quasi: QuasiTransaction) -> None:
         """Invoke install hooks for one installed quasi-transaction."""
+        self.recovery.note_install(node, quasi)
         for fragment, hook in self._install_hooks:
             if fragment == quasi.fragment:
                 hook(node, quasi)

@@ -75,6 +75,15 @@ TOKEN_MOVE_ARRIVE = "token.move.arrive"
 NODE_CRASH = "node.crash"
 NODE_RECOVER = "node.recover"
 
+# -- checkpoint & catch-up subsystem (repro.recovery) ------------------
+RECOVERY_CHECKPOINT = "recovery.checkpoint"  # fragment checkpoint taken
+RECOVERY_PRUNE = "recovery.prune"  # archive pruned behind watermark
+RECOVERY_WAL_TRUNCATE = "recovery.wal.truncate"  # WAL prefix dropped
+RECOVERY_CATCHUP_REQUEST = "recovery.catchup.request"  # cursors to donor
+RECOVERY_CATCHUP_DELTA = "recovery.catchup.delta"  # seq range shipped
+RECOVERY_CATCHUP_SNAPSHOT = "recovery.catchup.snapshot"  # ckpt shipped
+RECOVERY_CATCHUP_DONE = "recovery.catchup.done"  # rejoiner fully served
+
 # -- partitions (repro.net.partition) ---------------------------------
 PARTITION_CUT = "partition.cut"
 PARTITION_HEAL = "partition.heal"

@@ -1,0 +1,45 @@
+"""Checkpoint and anti-entropy catch-up subsystem.
+
+Three cooperating pieces keep long-lived runs bounded in memory while
+preserving the Section 4.4 guarantees:
+
+* :mod:`repro.recovery.checkpoint` — per-fragment durable snapshots
+  (:class:`FragmentCheckpoint`) persisted beside the WAL, so recovery
+  restores the snapshot and replays only the WAL suffix;
+* :mod:`repro.recovery.watermark` — the cluster low-watermark (min
+  checkpointed cursor across live replicas) that bounds what any
+  replica may prune;
+* :mod:`repro.recovery.manager` — the policy engine: checkpoint every
+  K installs, gossip cursor marks, prune archives/WAL behind the
+  watermark, and answer cursor-based catch-up requests from rejoining
+  nodes (shipping a checkpoint when the rejoiner is below the
+  compaction horizon).
+"""
+
+from repro.recovery.checkpoint import (
+    CheckpointStore,
+    FragmentCheckpoint,
+    apply_checkpoint,
+    build_checkpoint,
+)
+from repro.recovery.manager import (
+    CATCHUP_REP,
+    CATCHUP_REQ,
+    CKPT_MARK,
+    RecoveryConfig,
+    RecoveryManager,
+)
+from repro.recovery.watermark import WatermarkTracker
+
+__all__ = [
+    "CATCHUP_REP",
+    "CATCHUP_REQ",
+    "CKPT_MARK",
+    "CheckpointStore",
+    "FragmentCheckpoint",
+    "RecoveryConfig",
+    "RecoveryManager",
+    "WatermarkTracker",
+    "apply_checkpoint",
+    "build_checkpoint",
+]

@@ -1,0 +1,585 @@
+"""Recovery policy engine: checkpoint cadence, pruning, delta catch-up.
+
+One :class:`RecoveryManager` per :class:`FragmentedDatabase` owns the
+three decisions the checkpoint subsystem has to make:
+
+* **when to checkpoint** — every ``checkpoint_every`` installs per
+  (node, fragment), on demand via :meth:`checkpoint_now`, or from the
+  ``repro checkpoint`` CLI;
+* **what may be pruned** — each checkpoint gossips a ``ckpt-mark``
+  over the reliable broadcast; every replica prunes its archive,
+  admission buffer, and WAL prefix behind the cluster low-watermark
+  (min mark across replicas), never above its *own* durable
+  checkpoint, so any replica can always serve checkpoint + retained
+  tail to a rejoiner.  A replica that has been down or unreachable
+  past ``grace`` stops pinning the watermark (§4.4's long-partition
+  case: the rejoiner will need a shipped checkpoint instead);
+* **how a rejoiner catches up** — cursor-based anti-entropy replacing
+  the all-peers full-archive exchange: the rejoiner advertises its
+  per-fragment cursors to one chosen donor per fragment; the donor
+  answers with exactly the missing sequence range, or a checkpoint
+  plus tail when the cursor is below its compaction horizon.  Replies
+  flow through ``movement.admit`` so FIFO, dedup, and lineage hold.
+
+Everything here is *middleware* state in the crash-stop model — the
+manager survives node crashes the same way the network does; only the
+per-node :class:`CheckpointStore` and WAL are "durable at the node".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import DesignError
+from repro.net.message import Message
+from repro.obs import taxonomy
+from repro.recovery.checkpoint import (
+    FragmentCheckpoint,
+    apply_checkpoint,
+    build_checkpoint,
+)
+from repro.recovery.watermark import WatermarkTracker
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.node import DatabaseNode
+    from repro.core.system import FragmentedDatabase
+    from repro.core.transaction import QuasiTransaction
+    from repro.sim.simulator import EventHandle
+
+#: Broadcast body type for checkpoint-cursor gossip.
+CKPT_MARK = "ckpt-mark"
+#: Unicast kinds for the cursor-based catch-up exchange.
+CATCHUP_REQ = "catchup-req"
+CATCHUP_REP = "catchup-rep"
+
+# Rough per-entry struct sizes for the retained-bytes gauge.  These are
+# bookkeeping estimates (a quasi is ~a dict of versions plus ids, a WAL
+# record wraps one, a checkpointed object is one Version), not measured
+# allocations — the gauge exists to show *trends* (bounded vs growing),
+# and a consistent estimate does that.
+_QT_BYTES = 48
+_WRITE_BYTES = 32
+_WAL_RECORD_BYTES = 64
+_CKPT_OBJECT_BYTES = 40
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryConfig:
+    """Policy knobs for the checkpoint / compaction / catch-up subsystem.
+
+    ``checkpoint_every=None`` (default) disarms automatic checkpoints
+    and therefore all pruning — marks are only gossiped when someone
+    checkpoints.  ``grace=None`` means a downed replica pins the
+    watermark forever (nothing is pruned past its cursor); a float is
+    the §4.4 partition-awareness: after that much sim time down or
+    unreachable, the replica stops counting toward the minimum and
+    must expect a shipped checkpoint on rejoin.  ``catchup_retry`` /
+    ``catchup_attempts`` bound the rejoiner's donor rotation when a
+    chosen donor is itself down or cannot serve the range.
+    """
+
+    checkpoint_every: int | None = None
+    grace: float | None = 60.0
+    prune: bool = True
+    truncate_wal: bool = True
+    catchup_retry: float = 30.0
+    catchup_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise DesignError("checkpoint_every must be >= 1 (or None)")
+        if self.grace is not None and self.grace < 0:
+            raise DesignError("grace must be >= 0 (or None)")
+        if self.catchup_retry <= 0:
+            raise DesignError("catchup_retry must be positive")
+        if self.catchup_attempts < 1:
+            raise DesignError("catchup_attempts must be >= 1")
+
+    @property
+    def armed(self) -> bool:
+        """True when automatic checkpointing (and thus pruning) is on."""
+        return self.checkpoint_every is not None
+
+
+@dataclass
+class _Catchup:
+    """Per-rejoiner catch-up state: what is still owed, whom we asked."""
+
+    outstanding: set[str]
+    tried: dict[str, set[str]] = field(default_factory=dict)
+    attempts: int = 0
+    timer: "EventHandle | None" = None
+
+
+class RecoveryManager:
+    """Checkpoint cadence, watermark pruning, and rejoin catch-up."""
+
+    def __init__(self, config: RecoveryConfig | None = None) -> None:
+        self.config = config or RecoveryConfig()
+        self.tracker = WatermarkTracker()
+        self.system: "FragmentedDatabase | None" = None
+        self._installs_since: dict[tuple[str, str], int] = {}
+        self._suspect_since: dict[str, float] = {}
+        self._pending: dict[str, _Catchup] = {}
+
+    # -- wiring -------------------------------------------------------------
+
+    def attach(self, system: "FragmentedDatabase") -> None:
+        """Bind to the system: message handlers, counters, gauges."""
+        self.system = system
+        metrics = system.metrics
+        self._c_checkpoints = metrics.counter("recovery.checkpoints")
+        self._c_wal_truncated = metrics.counter("recovery.wal_truncated")
+        self._c_pruned = metrics.counter("recovery.archive_pruned")
+        self._c_requests = metrics.counter("recovery.catchup_requests")
+        self._c_delta_qts = metrics.counter("recovery.delta_qts_shipped")
+        self._c_delta_objects = metrics.counter(
+            "recovery.delta_objects_shipped"
+        )
+        self._c_ckpts_shipped = metrics.counter("recovery.checkpoints_shipped")
+        self._c_snapshot_objects = metrics.counter(
+            "recovery.snapshot_objects_shipped"
+        )
+        metrics.gauge("recovery.archive_entries", self._archive_entries)
+        metrics.gauge("recovery.wal_records", self._wal_records)
+        metrics.gauge("recovery.buffer_entries", self._buffer_entries)
+        metrics.gauge("recovery.checkpoint_objects", self._checkpoint_objects)
+        metrics.gauge("recovery.retained_bytes", self._retained_bytes)
+        for node in system.nodes.values():
+            self.register_node(node)
+
+    def register_node(self, node: "DatabaseNode") -> None:
+        """Install this manager's message handlers on one node."""
+        node.register_unicast(
+            CATCHUP_REQ, lambda msg, n=node: self._on_catchup_req(n, msg)
+        )
+        node.register_unicast(
+            CATCHUP_REP, lambda msg, n=node: self._on_catchup_rep(n, msg)
+        )
+        node.register_broadcast(CKPT_MARK, self._on_mark)
+
+    # -- gauges -------------------------------------------------------------
+
+    def _archive_entries(self) -> int:
+        return sum(
+            len(entries)
+            for node in self.system.nodes.values()
+            for entries in node.streams.archive.values()
+        )
+
+    def _wal_records(self) -> int:
+        return sum(len(node.wal) for node in self.system.nodes.values())
+
+    def _buffer_entries(self) -> int:
+        return sum(
+            len(parked)
+            for node in self.system.nodes.values()
+            for parked in node.streams.buffer.values()
+        )
+
+    def _checkpoint_objects(self) -> int:
+        return sum(
+            node.checkpoints.object_count()
+            for node in self.system.nodes.values()
+        )
+
+    def _retained_bytes(self) -> int:
+        qt_bytes = 0
+        for node in self.system.nodes.values():
+            for entries in node.streams.archive.values():
+                for quasi in entries.values():
+                    qt_bytes += _QT_BYTES + _WRITE_BYTES * len(quasi.writes)
+        return (
+            qt_bytes
+            + _WAL_RECORD_BYTES * self._wal_records()
+            + _CKPT_OBJECT_BYTES * self._checkpoint_objects()
+        )
+
+    # -- checkpoint cadence -------------------------------------------------
+
+    def note_install(self, node: "DatabaseNode", quasi: "QuasiTransaction") -> None:
+        """Install hook: count toward the node's every-K checkpoint policy."""
+        every = self.config.checkpoint_every
+        if every is None:
+            return
+        key = (node.name, quasi.fragment)
+        count = self._installs_since.get(key, 0) + 1
+        if count >= every and self.checkpoint_now(node, quasi.fragment):
+            self._installs_since[key] = 0
+        else:
+            self._installs_since[key] = count
+
+    def checkpoint_now(
+        self, node: "DatabaseNode", fragment: str, gossip: bool = True
+    ) -> FragmentCheckpoint | None:
+        """Take and persist a checkpoint at ``node``; gossip its mark.
+
+        Also the on-demand / CLI entry point.  Truncates the node's WAL
+        behind the new checkpoint (policy permitting) and prunes behind
+        the watermark, which the fresh mark may have advanced.  Returns
+        ``None`` (deferring to a later install) while the fragment's
+        apply queue is non-empty: the stream cursor can run ahead of the
+        store there (a corrective M0 fast-forwards it while the carried
+        catch-up is still queued), and a snapshot stamped with that
+        cursor would claim writes it does not contain.
+        """
+        system = self.system
+        if node.apply_queue.depth(fragment) > 0:
+            return None
+        ckpt = build_checkpoint(system, node, fragment)
+        node.checkpoints.put(ckpt)
+        self._c_checkpoints.inc()
+        if node.tracer.enabled:
+            node.tracer.emit(
+                taxonomy.RECOVERY_CHECKPOINT,
+                node=node.name,
+                fragment=fragment,
+                upto=ckpt.upto,
+                epoch=ckpt.epoch,
+                objects=len(ckpt.snapshot),
+            )
+        self._truncate_wal(node, ckpt)
+        self.tracker.note(fragment, node.name, ckpt.upto)
+        if gossip:
+            system.broadcast.broadcast(
+                node.name,
+                {
+                    "type": CKPT_MARK,
+                    "fragment": fragment,
+                    "node": node.name,
+                    "upto": ckpt.upto,
+                },
+                kind="ckpt",
+            )
+        self._prune(node, fragment)
+        return ckpt
+
+    def _truncate_wal(
+        self, node: "DatabaseNode", ckpt: FragmentCheckpoint
+    ) -> None:
+        if not self.config.truncate_wal:
+            return
+        dropped = node.wal.truncate(
+            ckpt.fragment, ckpt.upto, ckpt.epoch, frozenset(ckpt.snapshot)
+        )
+        if dropped:
+            self._c_wal_truncated.inc(dropped)
+            if node.tracer.enabled:
+                node.tracer.emit(
+                    taxonomy.RECOVERY_WAL_TRUNCATE,
+                    node=node.name,
+                    fragment=ckpt.fragment,
+                    dropped=dropped,
+                    remaining=len(node.wal),
+                )
+
+    # -- watermark + pruning ------------------------------------------------
+
+    def _on_mark(
+        self, node: "DatabaseNode", sender: str, body: dict[str, Any]
+    ) -> None:
+        """Broadcast handler: a peer checkpointed; maybe prune here."""
+        fragment = body["fragment"]
+        self.tracker.note(fragment, body["node"], body["upto"])
+        self._prune(node, fragment)
+
+    def _suspect(self, fragment: str, name: str) -> bool:
+        """Down, or unreachable from the fragment's stream source."""
+        system = self.system
+        node = system.nodes[name]
+        if node.down:
+            return True
+        try:
+            home = system.agent_of(fragment).home_node
+        except DesignError:
+            return False
+        if home == name or system.nodes[home].down:
+            return False
+        return not system.topology.reachable(home, name)
+
+    def _excluded(self, fragment: str, replicas: list[str]) -> set[str]:
+        """Replicas past the grace period that stop pinning the watermark."""
+        grace = self.config.grace
+        if grace is None:
+            return set()
+        now = self.system.sim.now
+        out: set[str] = set()
+        for name in replicas:
+            if self._suspect(fragment, name):
+                since = self._suspect_since.setdefault(name, now)
+                if now - since >= grace:
+                    out.add(name)
+            else:
+                self._suspect_since.pop(name, None)
+        return out
+
+    def watermark(self, fragment: str) -> int:
+        """The current cluster low-watermark for ``fragment``."""
+        replicas = [
+            name
+            for name in self.system.nodes
+            if self.system.replicates(name, fragment)
+        ]
+        excluded = self._excluded(fragment, replicas)
+        return self.tracker.watermark(fragment, replicas, excluded)
+
+    def _prune(self, node: "DatabaseNode", fragment: str) -> None:
+        """Prune one replica's archive behind the watermark.
+
+        The floor is clamped to the replica's *own* durable checkpoint:
+        checkpoint ∪ retained archive must always cover the stream from
+        seq 0, or the replica could not serve a far-behind rejoiner.
+        A replica with no checkpoint therefore never prunes.
+        """
+        if not self.config.prune:
+            return
+        own = node.checkpoints.get(fragment)
+        if own is None:
+            return
+        floor = min(self.watermark(fragment), own.upto)
+        if floor <= 0:
+            return
+        dropped = node.streams.prune(fragment, floor)
+        if dropped:
+            self._c_pruned.inc(dropped)
+            if node.tracer.enabled:
+                node.tracer.emit(
+                    taxonomy.RECOVERY_PRUNE,
+                    node=node.name,
+                    fragment=fragment,
+                    below=floor,
+                    dropped=dropped,
+                )
+
+    # -- crash / recover hooks ----------------------------------------------
+
+    def node_crashed(self, node: "DatabaseNode") -> None:
+        """Pipeline hook: start the grace clock, drop volatile counters."""
+        self._suspect_since.setdefault(node.name, self.system.sim.now)
+        self._cancel_pending(node.name)
+        for key in [k for k in self._installs_since if k[0] == node.name]:
+            del self._installs_since[key]
+
+    def node_recovered(self, node: "DatabaseNode") -> None:
+        """Pipeline hook: the node is back; it pins the watermark again."""
+        self._suspect_since.pop(node.name, None)
+
+    # -- catch-up (rejoiner side) -------------------------------------------
+
+    def catch_up(self, node: "DatabaseNode") -> None:
+        """Start cursor-based anti-entropy for a freshly recovered node.
+
+        One donor per fragment (grouped into one request per donor),
+        bounded retries rotating donors if a reply never comes or a
+        donor could not serve the range.
+        """
+        system = self.system
+        self._cancel_pending(node.name)
+        fragments = [
+            fragment.name
+            for fragment in system.catalog
+            if system.replicates(node.name, fragment.name)
+        ]
+        if not fragments or len(system.nodes) < 2:
+            return
+        state = _Catchup(
+            outstanding=set(fragments),
+            tried={fragment: set() for fragment in fragments},
+        )
+        self._pending[node.name] = state
+        self._send_requests(node, state)
+
+    def _pick_donor(
+        self, node: "DatabaseNode", fragment: str, tried: set[str]
+    ) -> str | None:
+        """Best untried peer replica: up and reachable first, by name."""
+        system = self.system
+        best: tuple[tuple[bool, bool, str], str] | None = None
+        for name in system.nodes:
+            if name == node.name or name in tried:
+                continue
+            if not system.replicates(name, fragment):
+                continue
+            peer = system.nodes[name]
+            rank = (
+                peer.down,
+                not system.topology.reachable(node.name, name),
+                name,
+            )
+            if best is None or rank < best[0]:
+                best = (rank, name)
+        return None if best is None else best[1]
+
+    def _send_requests(self, node: "DatabaseNode", state: _Catchup) -> None:
+        system = self.system
+        state.attempts += 1
+        assignments: dict[str, dict[str, int]] = {}
+        for fragment in sorted(state.outstanding):
+            tried = state.tried[fragment]
+            donor = self._pick_donor(node, fragment, tried)
+            if donor is None and tried:
+                # Every replica has been tried; start the rotation over.
+                tried.clear()
+                donor = self._pick_donor(node, fragment, tried)
+            if donor is None:
+                # No peer replicates this fragment at all — this node's
+                # WAL/checkpoint is the whole truth; nothing owed.
+                state.outstanding.discard(fragment)
+                continue
+            tried.add(donor)
+            cursor = int(node.streams.next_expected.get(fragment, 0))
+            assignments.setdefault(donor, {})[fragment] = cursor
+        for donor, cursors in sorted(assignments.items()):
+            self._c_requests.inc()
+            if node.tracer.enabled:
+                node.tracer.emit(
+                    taxonomy.RECOVERY_CATCHUP_REQUEST,
+                    node=node.name,
+                    donor=donor,
+                    cursors=dict(sorted(cursors.items())),
+                    attempt=state.attempts,
+                )
+            system.network.send(
+                node.name,
+                donor,
+                CATCHUP_REQ,
+                {"requester": node.name, "cursors": cursors},
+            )
+        if state.outstanding and state.attempts < self.config.catchup_attempts:
+            state.timer = system.sim.schedule(
+                self.config.catchup_retry,
+                lambda: self._retry(node.name),
+                label=f"catchup-retry {node.name}",
+            )
+        else:
+            state.timer = None
+
+    def _retry(self, name: str) -> None:
+        state = self._pending.get(name)
+        if state is None or not state.outstanding:
+            return
+        node = self.system.nodes[name]
+        if node.down:
+            return
+        self._send_requests(node, state)
+
+    def _cancel_pending(self, name: str) -> None:
+        state = self._pending.pop(name, None)
+        if state is not None and state.timer is not None:
+            state.timer.cancel()
+            state.timer = None
+
+    # -- catch-up (donor side) ----------------------------------------------
+
+    def _horizon(self, donor: "DatabaseNode", fragment: str) -> int:
+        """The donor's compaction horizon: lowest contiguous archived seq.
+
+        Walking down from ``next_expected`` keeps the answer correct
+        even if the archive has unrelated holes (it never should, but
+        the serve decision must not depend on that).
+        """
+        archive = donor.streams.archive.get(fragment) or {}
+        low = donor.streams.next_expected.get(fragment, 0)
+        while low - 1 in archive:
+            low -= 1
+        return low
+
+    def _build_part(
+        self, donor: "DatabaseNode", requester: str, fragment: str, cursor: int
+    ) -> dict[str, Any]:
+        """One fragment's slice of a catch-up reply.
+
+        Ships ``[cursor, next_expected)`` from the archive when the
+        cursor is at or above the compaction horizon; below it, ships
+        the donor's checkpoint plus the tail above the checkpoint.  If
+        neither covers the gap (no checkpoint and a pruned archive —
+        only possible when the donor itself is mid-rejoin), the part is
+        marked unserved and the requester's retry rotates donors.
+        """
+        streams = donor.streams
+        upto = streams.next_expected.get(fragment, 0)
+        horizon = self._horizon(donor, fragment)
+        checkpoint: FragmentCheckpoint | None = None
+        if cursor >= horizon:
+            start = cursor
+        else:
+            checkpoint = donor.checkpoints.get(fragment)
+            if checkpoint is None or checkpoint.upto < horizon:
+                return {
+                    "checkpoint": None,
+                    "qts": [],
+                    "served": False,
+                    "horizon": horizon,
+                }
+            start = max(checkpoint.upto, cursor)
+        archive = streams.archive.get(fragment) or {}
+        qts = [archive[seq] for seq in range(start, upto)]
+        if checkpoint is not None:
+            self._c_ckpts_shipped.inc()
+            self._c_snapshot_objects.inc(len(checkpoint.snapshot))
+            if donor.tracer.enabled:
+                donor.tracer.emit(
+                    taxonomy.RECOVERY_CATCHUP_SNAPSHOT,
+                    node=requester,
+                    donor=donor.name,
+                    fragment=fragment,
+                    upto=checkpoint.upto,
+                    objects=len(checkpoint.snapshot),
+                )
+        if qts:
+            self._c_delta_qts.inc(len(qts))
+            self._c_delta_objects.inc(sum(len(q.writes) for q in qts))
+            if donor.tracer.enabled:
+                donor.tracer.emit(
+                    taxonomy.RECOVERY_CATCHUP_DELTA,
+                    node=requester,
+                    donor=donor.name,
+                    fragment=fragment,
+                    start=start,
+                    count=len(qts),
+                )
+        return {
+            "checkpoint": checkpoint,
+            "qts": qts,
+            "served": True,
+            "horizon": horizon,
+        }
+
+    def _on_catchup_req(self, donor: "DatabaseNode", message: Message) -> None:
+        requester = message.payload["requester"]
+        parts = {
+            fragment: self._build_part(donor, requester, fragment, int(cursor))
+            for fragment, cursor in message.payload["cursors"].items()
+            if self.system.replicates(donor.name, fragment)
+        }
+        self.system.network.send(
+            donor.name,
+            requester,
+            CATCHUP_REP,
+            {"donor": donor.name, "fragments": parts},
+        )
+
+    def _on_catchup_rep(self, node: "DatabaseNode", message: Message) -> None:
+        system = self.system
+        state = self._pending.get(node.name)
+        for fragment, part in message.payload["fragments"].items():
+            checkpoint = part["checkpoint"]
+            if checkpoint is not None:
+                if apply_checkpoint(node, checkpoint, persist=True):
+                    self._truncate_wal(node, checkpoint)
+                # The rejoiner's durable cursor jumped: mark it so peers
+                # stop pinning the watermark on its stale cursor.
+                self.tracker.note(fragment, node.name, checkpoint.upto)
+            for quasi in part["qts"]:
+                system.movement.admit(node, quasi)
+            if part["served"] and state is not None:
+                state.outstanding.discard(fragment)
+        if state is not None and not state.outstanding:
+            self._cancel_pending(node.name)
+            if node.tracer.enabled:
+                node.tracer.emit(
+                    taxonomy.RECOVERY_CATCHUP_DONE,
+                    node=node.name,
+                    attempts=state.attempts,
+                )

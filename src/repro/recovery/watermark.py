@@ -1,0 +1,56 @@
+"""The cluster low-watermark: what every replica has checkpointed.
+
+Replicas gossip ``(fragment, node, upto)`` marks whenever they take a
+checkpoint; the tracker keeps the highest mark heard per replica and
+answers the *low-watermark* question — the minimum checkpointed cursor
+across a replica set.  Everything strictly below the watermark is
+reflected in every replica's durable checkpoint, so archives, stream
+logs, and WAL prefixes below it may be pruned without ever stranding a
+rejoiner: any replica can still serve its checkpoint plus the retained
+tail.
+
+A replica nobody has heard a mark from defaults to cursor 0, which
+pins the watermark at 0 — no pruning until every replica has
+checkpointed at least once.  Partition-awareness (excluding a node
+that has been down or unreachable past a grace period) is the
+:class:`~repro.recovery.manager.RecoveryManager`'s decision; the
+tracker just applies the exclusion set it is given.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable
+
+
+class WatermarkTracker:
+    """Highest checkpoint mark heard per (fragment, replica)."""
+
+    def __init__(self) -> None:
+        self._cursors: dict[str, dict[str, int]] = {}
+
+    def note(self, fragment: str, node: str, upto: int) -> None:
+        """Record a checkpoint mark; marks only ever move forward."""
+        marks = self._cursors.setdefault(fragment, {})
+        if upto > marks.get(node, 0):
+            marks[node] = upto
+
+    def cursor(self, fragment: str, node: str) -> int:
+        """The highest mark heard from ``node`` for ``fragment`` (0 if none)."""
+        return self._cursors.get(fragment, {}).get(node, 0)
+
+    def watermark(
+        self,
+        fragment: str,
+        replicas: Iterable[str],
+        excluded: Collection[str] = frozenset(),
+    ) -> int:
+        """Min checkpointed cursor over ``replicas`` minus ``excluded``.
+
+        Returns 0 (prune nothing) when every replica is excluded —
+        a fully-partitioned replica set must not license any pruning.
+        """
+        marks = self._cursors.get(fragment, {})
+        counted = [
+            marks.get(name, 0) for name in replicas if name not in excluded
+        ]
+        return min(counted) if counted else 0

@@ -56,13 +56,24 @@ def drain_buffer(node: "DatabaseNode", fragment: str) -> None:
     """Admit consecutively-numbered quasi-transactions parked in the buffer."""
     streams = node.streams
     buffer = streams.buffer[fragment]
+    if not buffer:
+        return
     while True:
         key = (streams.epoch[fragment], streams.next_expected[fragment])
         quasi = buffer.pop(key, None)
         if quasi is None:
-            return
+            break
         streams.next_expected[fragment] = quasi.stream_seq + 1
         node.enqueue_install(quasi)
+    # Entries the cursor has moved past can never admit (they are
+    # duplicates of a prefix the replica already holds).  They appear
+    # when a checkpoint apply or a move snapshot fast-forwards the
+    # cursor over parked messages — drop them rather than strand them
+    # in memory.  Future-epoch parks (corrective protocol, waiting for
+    # their M0) sort above the cursor and stay.
+    key = (streams.epoch[fragment], streams.next_expected[fragment])
+    for stale in [k for k in buffer if k < key]:
+        del buffer[stale]
 
 
 class AdmissionPolicy:

@@ -225,7 +225,9 @@ class ReplicationPipeline:
         """Crash-stop hook: disengage the replica, suspend its batcher."""
         self.backpressure.node_cleared(node)
         self.batcher.suspend(node.name)
+        self.system.recovery.node_crashed(node)
 
     def node_recovered(self, node: "DatabaseNode") -> None:
         """Recovery hook: flush any batch that was pending at crash time."""
         self.batcher.flush(node.name, "recovery")
+        self.system.recovery.node_recovered(node)

@@ -31,6 +31,7 @@ class StreamLog:
         "installed_sources",
         "archive",
         "arrived_at",
+        "pruned_below",
     )
 
     def __init__(self) -> None:
@@ -50,6 +51,10 @@ class StreamLog:
         #: consumed by the apply queue for the admission-wait histogram
         #: (delivery -> queue entry, reorder buffering included).
         self.arrived_at: dict[str, float] = {}
+        #: fragment -> lowest stream seq still retained in the archive
+        #: (everything below was compacted behind the watermark and is
+        #: covered by this replica's durable checkpoint).
+        self.pruned_below: dict[str, int] = {}
 
     def seen(self, quasi: QuasiTransaction) -> bool:
         """True if this quasi-transaction was already installed here."""
@@ -72,6 +77,33 @@ class StreamLog:
         )
         self.epoch[fragment] = max(self.epoch[fragment], quasi.epoch)
 
+    def prune(self, fragment: str, below: int) -> int:
+        """Compact stream state below a watermark; returns entries dropped.
+
+        Drops archived quasi-transactions with ``stream_seq < below``
+        (their source txns leave the dedup set too — ordered admission
+        already rejects anything under the cursor before consulting
+        it), plus admission-buffer strays the cursor has passed.  The
+        caller guarantees ``below`` is covered by this replica's
+        durable checkpoint, so the replica can still serve any rejoiner
+        from checkpoint + retained tail.
+        """
+        floor = max(below, self.pruned_below.get(fragment, 0))
+        entries = self.archive.get(fragment)
+        dropped = 0
+        if entries is not None:
+            for seq in [s for s in entries if s < floor]:
+                self.installed_sources.discard(entries.pop(seq).source_txn)
+                dropped += 1
+        parked = self.buffer.get(fragment)
+        if parked:
+            cursor = (self.epoch[fragment], self.next_expected[fragment])
+            for key in [k for k in parked if k < cursor]:
+                del parked[key]
+                dropped += 1
+        self.pruned_below[fragment] = floor
+        return dropped
+
     def clear(self) -> None:
         """Crash-stop: the whole log is volatile."""
         self.next_expected.clear()
@@ -80,3 +112,4 @@ class StreamLog:
         self.installed_sources.clear()
         self.archive.clear()
         self.arrived_at.clear()
+        self.pruned_below.clear()

@@ -10,7 +10,7 @@ Two consumers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 
@@ -21,7 +21,8 @@ class LogRecord:
     ``writes`` maps object name to the written value; ``reads`` maps
     object name to the value observed.  ``meta`` carries workload
     payload (e.g. the banking operation descriptor) that merge rules
-    may need when re-executing.
+    may need when re-executing.  ``seq`` is the log position the record
+    received at append time (-1 before it is appended anywhere).
     """
 
     txn_id: str
@@ -30,6 +31,7 @@ class LogRecord:
     writes: dict[str, Any]
     reads: dict[str, Any] = field(default_factory=dict)
     meta: dict[str, Any] = field(default_factory=dict)
+    seq: int = -1
 
 
 class UpdateLog:
@@ -38,21 +40,46 @@ class UpdateLog:
     def __init__(self, node: str = "") -> None:
         self.node = node
         self._records: list[LogRecord] = []
+        self._next_seq = 0
 
-    def append(self, record: LogRecord) -> None:
-        """Append one record."""
-        self._records.append(record)
+    def append(self, record: LogRecord) -> LogRecord:
+        """Append one record, assigning its log sequence number.
+
+        Returns the stored (sequenced) record; callers that keep a
+        cursor should remember ``record.seq + 1``.
+        """
+        stored = replace(record, seq=self._next_seq)
+        self._next_seq += 1
+        self._records.append(stored)
+        return stored
 
     def records(self) -> list[LogRecord]:
         """All records, oldest first (copy)."""
         return list(self._records)
 
-    def since(self, timestamp: float) -> list[LogRecord]:
-        """Records with ``timestamp`` strictly greater than the bound."""
-        return [r for r in self._records if r.timestamp > timestamp]
+    def since(self, cursor: int) -> list[LogRecord]:
+        """Records at log position ``cursor`` or later.
+
+        Cursors are integer sequence numbers, not timestamps: the sim's
+        zero-latency loopback events routinely stamp several records
+        with the *same* float timestamp, so a strictly-greater
+        timestamp filter silently skipped equal-timestamp records.  A
+        seq cursor is exact — ``since(last.seq + 1)`` is "everything
+        after ``last``", with no ties to break.
+        """
+        return [r for r in self._records if r.seq >= cursor]
+
+    def cursor(self) -> int:
+        """The cursor one past the newest record (``since(cursor())`` = [])."""
+        return self._next_seq
 
     def truncate(self) -> int:
-        """Discard all records; returns how many were dropped."""
+        """Discard all records; returns how many were dropped.
+
+        The sequence counter is *not* reset: cursors handed out before
+        the truncation stay valid (they simply match nothing until new
+        records arrive).
+        """
         dropped = len(self._records)
         self._records.clear()
         return dropped

@@ -75,9 +75,21 @@ class ObjectStore:
         }
         return {name: version.value for name, version in selected.items()}
 
-    def version_snapshot(self) -> dict[str, Version]:
-        """Full versioned snapshot (for consistency comparison)."""
-        return dict(self._data)
+    def version_snapshot(
+        self, names: Iterable[str] | None = None
+    ) -> dict[str, Version]:
+        """Versioned snapshot (for consistency comparison and checkpoints).
+
+        ``names`` restricts the snapshot to those objects (a fragment's
+        members, say); absent names are skipped rather than raised so a
+        partial replica can be checkpointed with the same object list
+        as a full one.
+        """
+        if names is None:
+            return dict(self._data)
+        return {
+            name: self._data[name] for name in names if name in self._data
+        }
 
     def diff_common(self, other: "ObjectStore") -> list[str]:
         """Object names whose values differ, over the common objects only.

@@ -48,12 +48,19 @@ class WalRecord:
 
 @dataclass
 class WriteAheadLog:
-    """A node's durable, append-only recovery log."""
+    """A node's durable, append-only recovery log.
+
+    "Append-only" has one sanctioned exception: :meth:`truncate` drops
+    the prefix a durable checkpoint has made redundant — the disk
+    analogue is log segment deletion after a fuzzy checkpoint, and it
+    is what keeps the WAL bounded over a long-lived run.
+    """
 
     node: str = ""
     _records: list[WalRecord] = field(default_factory=list)
     appends: int = 0
     replays: int = 0
+    truncations: int = 0
 
     def append_load(self, obj: str, value: Any) -> None:
         """Record an initial-load value."""
@@ -64,6 +71,39 @@ class WriteAheadLog:
         """Record an applied quasi-transaction (origin or replica)."""
         self._records.append(WalRecord("install", quasi=quasi))
         self.appends += 1
+
+    def truncate(
+        self,
+        fragment: str,
+        below_seq: int,
+        epoch: int = 0,
+        objects: frozenset[str] | set[str] = frozenset(),
+    ) -> int:
+        """Drop records a checkpoint at ``(epoch, below_seq)`` supersedes.
+
+        Removes install records of ``fragment`` strictly below the
+        checkpoint cursor and load records for ``objects`` (the
+        checkpoint snapshot carries their authoritative versions).
+        Records of other fragments are untouched.  Returns how many
+        records were dropped.
+        """
+        cursor = (epoch, below_seq)
+
+        def superseded(record: WalRecord) -> bool:
+            if record.kind == "load":
+                return record.obj in objects
+            quasi = record.quasi
+            return (
+                quasi.fragment == fragment
+                and (quasi.epoch, quasi.stream_seq) < cursor
+            )
+
+        kept = [r for r in self._records if not superseded(r)]
+        dropped = len(self._records) - len(kept)
+        if dropped:
+            self._records = kept
+            self.truncations += 1
+        return dropped
 
     def records(self) -> list[WalRecord]:
         """All records, oldest first (copy)."""

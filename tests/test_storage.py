@@ -104,12 +104,28 @@ class TestUpdateLog:
         assert len(log) == 2
         assert [r.txn_id for r in log] == ["T1", "T2"]
 
-    def test_since_filters_strictly(self):
+    def test_since_uses_seq_cursors(self):
+        # Cursors are sequence numbers, not timestamps: zero-latency
+        # loopback events stamp several records with the same float
+        # time, which a strictly-greater timestamp filter would skip.
         log = UpdateLog("n")
-        for t in (1.0, 2.0, 3.0):
-            log.append(LogRecord(f"T{t}", "n", t, {}))
-        assert [r.timestamp for r in log.since(1.5)] == [2.0, 3.0]
-        assert [r.timestamp for r in log.since(2.0)] == [3.0]
+        stored = [
+            log.append(LogRecord(f"T{i}", "n", 1.0, {})) for i in range(3)
+        ]
+        assert [r.seq for r in stored] == [0, 1, 2]
+        assert [r.txn_id for r in log.since(1)] == ["T1", "T2"]
+        assert [r.txn_id for r in log.since(stored[-1].seq + 1)] == []
+        assert log.since(log.cursor()) == []
+
+    def test_cursor_survives_truncate(self):
+        log = UpdateLog("n")
+        log.append(LogRecord("T1", "n", 1.0, {}))
+        cursor = log.cursor()
+        log.truncate()
+        assert log.cursor() == cursor
+        stored = log.append(LogRecord("T2", "n", 2.0, {}))
+        assert stored.seq == cursor
+        assert [r.txn_id for r in log.since(cursor)] == ["T2"]
 
     def test_records_returns_copy(self):
         log = UpdateLog("n")
