@@ -1,0 +1,244 @@
+"""E18 — end-to-end event throughput of the flattened hot path.
+
+Runs the same E15-class workload (one hot fragment, a mid-run
+partition and heal, a convergence probe) twice in one process:
+
+* **baseline** — the pre-flattening configuration: the legacy binary-
+  heap scheduler plus per-call Dijkstra path queries
+  (``topology.cache_paths = False``), reproducing the performance
+  profile this PR started from;
+* **flattened** — the shipping configuration: the calendar-queue /
+  event-wheel scheduler with the versioned path-latency cache.
+
+Both sides must finish with **bit-identical** final-state hashes and
+event counts — the throughput win is only admissible if the schedule is
+provably unchanged.  Results are recorded in ``BENCH_scale.json`` at
+the repo root; CI re-runs a reduced configuration and fails if the
+*relative* speedup (which is machine-independent, unlike absolute
+events/second) regresses more than ``tolerance`` against the committed
+file.  Run it directly with ``python -m repro.cli scale-bench``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+
+from repro.cc.ops import Read, Write
+from repro.core.properties import check_mutual_consistency
+from repro.core.system import FragmentedDatabase
+
+#: Default full-run shape (the reduced CI smoke passes smaller values).
+DEFAULT_NODES = 32
+DEFAULT_UPDATES = 400
+
+#: The committed benchmark record (repo root).
+BENCH_FILE = "BENCH_scale.json"
+
+#: CI regression tolerance on the relative speedup.
+DEFAULT_TOLERANCE = 0.20
+
+
+@contextmanager
+def _forced_scheduler(name: str):
+    """Force the scheduler for systems built inside the block.
+
+    :class:`FragmentedDatabase` constructs ``Simulator()`` with no
+    arguments, so the environment override is the one switch that
+    reaches it without threading a parameter through every layer.
+    """
+    previous = os.environ.get("REPRO_SIM_SCHEDULER")
+    os.environ["REPRO_SIM_SCHEDULER"] = name
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ["REPRO_SIM_SCHEDULER"]
+        else:
+            os.environ["REPRO_SIM_SCHEDULER"] = previous
+
+
+def state_hash(db: FragmentedDatabase) -> str:
+    """Digest of every replica's store: (node, obj, value, writer, vno)."""
+    digest = hashlib.sha256()
+    for name in sorted(db.nodes):
+        store = db.nodes[name].store
+        for obj in sorted(store.names):
+            version = store.read_version(obj)
+            digest.update(
+                f"{name}|{obj}|{version.value!r}|{version.writer}|"
+                f"{version.version_no}\n".encode()
+            )
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class SideResult:
+    """One side (baseline or flattened) of the A/B throughput run."""
+
+    scheduler: str
+    path_cache: bool
+    nodes: int
+    updates: int
+    committed: int
+    events_fired: int
+    messages_sent: int
+    elapsed_s: float
+    throughput_eps: float  # events fired per wall-clock second
+    mutually_consistent: bool
+    state: str
+
+
+def run_side(
+    nodes: int = DEFAULT_NODES,
+    updates: int = DEFAULT_UPDATES,
+    baseline: bool = False,
+) -> SideResult:
+    """Run the E18 workload once and time it.
+
+    ``baseline=True`` selects the heap scheduler and disables the
+    path-latency cache, reproducing pre-flattening behaviour in the
+    same process so the comparison is apples-to-apples.
+    """
+    scheduler = "heap" if baseline else "wheel"
+    with _forced_scheduler(scheduler):
+        db = FragmentedDatabase([f"N{i}" for i in range(nodes)])
+    db.topology.cache_paths = not baseline
+    db.add_agent("ag", home_node="N0")
+    db.add_fragment("F", agent="ag", objects=["x"])
+    db.load({"x": 0})
+    db.finalize()
+
+    def bump(_ctx):
+        value = yield Read("x")
+        yield Write("x", value + 1)
+
+    trackers = []
+    # The E15 phase structure, scaled: updates spread over t=0..60,
+    # half the mesh severed for t=10..80, convergence probed after.
+    step = 60.0 / updates
+    for i in range(updates):
+        db.sim.schedule_at(
+            i * step,
+            lambda: trackers.append(db.submit_update("ag", bump, writes=["x"])),
+        )
+    names = [f"N{i}" for i in range(nodes)]
+    half, other = names[: nodes // 2], names[nodes // 2 :]
+    db.sim.schedule_at(10.0, lambda: db.partitions.partition_now([half, other]))
+    heal_at = 80.0
+    db.sim.schedule_at(heal_at, db.partitions.heal_now)
+
+    def probe():
+        if db.sim.pending:
+            db.sim.schedule(0.25, probe)
+
+    db.sim.schedule_at(heal_at, probe)
+
+    start = time.perf_counter()
+    db.quiesce()
+    elapsed = time.perf_counter() - start
+
+    events = db.sim.events_fired
+    return SideResult(
+        scheduler=scheduler,
+        path_cache=not baseline,
+        nodes=nodes,
+        updates=updates,
+        committed=sum(1 for t in trackers if t.succeeded),
+        events_fired=events,
+        messages_sent=db.network.messages_sent,
+        elapsed_s=round(elapsed, 4),
+        throughput_eps=round(events / elapsed, 1) if elapsed > 0 else 0.0,
+        mutually_consistent=check_mutual_consistency(
+            db.nodes.values()
+        ).consistent,
+        state=state_hash(db),
+    )
+
+
+def run_scale_bench(
+    nodes: int = DEFAULT_NODES,
+    updates: int = DEFAULT_UPDATES,
+    repeats: int = 1,
+) -> dict:
+    """The full E18 A/B comparison; returns the ``BENCH_scale.json`` dict.
+
+    With ``repeats > 1`` each side runs that many times and the fastest
+    wall-clock sample wins (standard benchmarking practice: the minimum
+    is the least noise-contaminated estimate).  Determinism checks
+    apply to every repeat, not just the fastest.
+    """
+    baselines = [
+        run_side(nodes, updates, baseline=True) for _ in range(repeats)
+    ]
+    flattened = [
+        run_side(nodes, updates, baseline=False) for _ in range(repeats)
+    ]
+    states = {side.state for side in baselines + flattened}
+    events = {side.events_fired for side in baselines + flattened}
+    best_base = min(baselines, key=lambda side: side.elapsed_s)
+    best_flat = min(flattened, key=lambda side: side.elapsed_s)
+    speedup = (
+        best_flat.throughput_eps / best_base.throughput_eps
+        if best_base.throughput_eps
+        else 0.0
+    )
+    return {
+        "benchmark": "E18-scale-bench",
+        "nodes": nodes,
+        "updates": updates,
+        "repeats": repeats,
+        "baseline": asdict(best_base),
+        "flattened": asdict(best_flat),
+        "speedup": round(speedup, 2),
+        "state_match": len(states) == 1,
+        "events_match": len(events) == 1,
+    }
+
+
+def check_regression(
+    result: dict, committed: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> tuple[bool, str]:
+    """Gate a fresh result against the committed record.
+
+    Compares the *relative* speedup, not absolute events/second, so the
+    gate holds across machines of different speeds.  Determinism
+    failures (hash or event-count mismatch) always fail regardless of
+    throughput.
+    """
+    if not result.get("state_match"):
+        return False, "final-state hashes diverge between schedulers"
+    if not result.get("events_match"):
+        return False, "event counts diverge between schedulers"
+    committed_speedup = committed.get("speedup", 0.0)
+    floor = committed_speedup * (1.0 - tolerance)
+    speedup = result.get("speedup", 0.0)
+    if speedup < floor:
+        return False, (
+            f"speedup regressed: {speedup:.2f}x vs committed "
+            f"{committed_speedup:.2f}x (floor {floor:.2f}x at "
+            f"{tolerance:.0%} tolerance)"
+        )
+    return True, (
+        f"speedup {speedup:.2f}x (committed {committed_speedup:.2f}x, "
+        f"floor {floor:.2f}x)"
+    )
+
+
+def load_committed(path: str = BENCH_FILE) -> dict | None:
+    """The committed benchmark record, or None if absent."""
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def write_result(result: dict, path: str = BENCH_FILE) -> None:
+    """Write the benchmark record as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")

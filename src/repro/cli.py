@@ -499,6 +499,60 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scale_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.scale_bench import (
+        check_regression,
+        load_committed,
+        run_scale_bench,
+        write_result,
+    )
+
+    result = run_scale_bench(
+        nodes=args.nodes, updates=args.updates, repeats=args.repeats
+    )
+    base = result["baseline"]
+    flat = result["flattened"]
+    print(
+        format_table(
+            ["side", "scheduler", "path cache", "events", "elapsed s",
+             "events/s", "MC"],
+            [
+                ["baseline", base["scheduler"], base["path_cache"],
+                 base["events_fired"], base["elapsed_s"],
+                 base["throughput_eps"], base["mutually_consistent"]],
+                ["flattened", flat["scheduler"], flat["path_cache"],
+                 flat["events_fired"], flat["elapsed_s"],
+                 flat["throughput_eps"], flat["mutually_consistent"]],
+            ],
+            title=(
+                f"E18 — scale bench: {args.nodes} nodes, "
+                f"{args.updates} updates, speedup {result['speedup']}x"
+            ),
+        )
+    )
+    print(f"state hashes match:  {result['state_match']}")
+    print(f"event counts match:  {result['events_match']}")
+    if not (result["state_match"] and result["events_match"]):
+        print("error: schedulers diverged — determinism contract broken",
+              file=sys.stderr)
+        return 1
+    if args.check:
+        committed = load_committed(args.check)
+        if committed is None:
+            print(f"error: no committed benchmark at {args.check}",
+                  file=sys.stderr)
+            return 1
+        ok, message = check_regression(result, committed, args.tolerance)
+        print(("OK: " if ok else "REGRESSION: ") + message)
+        if args.json:
+            write_result(result, args.json)
+        return 0 if ok else 1
+    if args.json:
+        write_result(result, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -657,6 +711,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_batching_args(metrics)
     _add_fault_args(metrics)
     metrics.set_defaults(func=cmd_metrics)
+
+    scale = sub.add_parser(
+        "scale-bench",
+        help="E18 heap-vs-wheel throughput A/B with determinism check",
+    )
+    scale.add_argument("--nodes", type=int, default=32)
+    scale.add_argument("--updates", type=int, default=400)
+    scale.add_argument(
+        "--repeats", type=int, default=1,
+        help="timing repeats per side; fastest sample wins",
+    )
+    scale.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the result record (BENCH_scale.json format) here",
+    )
+    scale.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="compare against a committed record; exit 1 on regression",
+    )
+    scale.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed relative-speedup regression for --check (default 0.20)",
+    )
+    scale.set_defaults(func=cmd_scale_bench)
     return parser
 
 

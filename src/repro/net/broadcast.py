@@ -106,9 +106,10 @@ class ReliableBroadcast:
         self._next_send_seq[sender] += 1
         self._c_sent.inc()
         payload = SeqPayload(sender, seq, kind, body)
+        send = self.network.send  # hoisted: one lookup per fan-out, not per peer
         for dst in self._deliver:
             if dst != sender:
-                self.network.send(sender, dst, kind, payload)
+                send(sender, dst, kind, payload)
         # Local synchronous delivery keeps the sender's own replica the
         # first to reflect its broadcast, as the paper assumes.
         self._process(sender, payload)

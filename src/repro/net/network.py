@@ -99,6 +99,28 @@ class Network:
         self.faults = None
         self.reliable = None
         self._down = False
+        # Interned event labels per (kind, src, dst): building the
+        # delivery label with an f-string on every send shows up in
+        # profiles at E15 scale, and the distinct-label population is
+        # tiny (kinds x channels), so memoize the strings.
+        self._labels: dict[tuple[str, str, str], str] = {}
+        self._loop_labels: dict[tuple[str, str], str] = {}
+
+    def _label(self, kind: str, src: str, dst: str) -> str:
+        label = self._labels.get((kind, src, dst))
+        if label is None:
+            label = self._labels[(kind, src, dst)] = (
+                f"deliver {kind} {src}->{dst}"
+            )
+        return label
+
+    def _loop_label(self, kind: str, node: str) -> str:
+        label = self._loop_labels.get((kind, node))
+        if label is None:
+            label = self._loop_labels[(kind, node)] = (
+                f"deliver {kind} {node}->{node} loopback"
+            )
+        return label
 
     # -- wiring ---------------------------------------------------------
 
@@ -129,7 +151,7 @@ class Network:
             self.sim.schedule(
                 0.0,
                 lambda: self._deliver_local(message),
-                label=f"deliver {kind} {src}->{dst} loopback",
+                label=self._loop_label(kind, src),
             )
             return message
         if self.reliable is not None:
@@ -256,7 +278,7 @@ class Network:
         self.sim.schedule_at(
             at,
             lambda: self._deliver(message),
-            label=f"deliver {message.kind} {message.src}->{message.dst}",
+            label=self._label(message.kind, message.src, message.dst),
         )
 
     def _deliver(self, message: Message) -> None:
@@ -269,14 +291,15 @@ class Network:
             return
         self.messages_delivered += 1
         self._c_delivered.inc()
-        self._h_delay.observe(self.sim.now - message.sent_at)
+        delay = self.sim.now - message.sent_at
+        self._h_delay.observe(delay)
         if self.tracer.enabled:
             self.tracer.emit(
                 taxonomy.MESSAGE_DELIVER,
                 src=message.src,
                 dst=message.dst,
                 kind=message.kind,
-                delay=self.sim.now - message.sent_at,
+                delay=delay,
             )
         if self.reliable is not None and self.reliable.intercept(message):
             return

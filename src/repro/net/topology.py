@@ -9,9 +9,16 @@ from repro.errors import NetworkError
 
 
 class Link:
-    """An undirected link with a latency and an up/down state."""
+    """An undirected link with a latency and an up/down state.
 
-    __slots__ = ("a", "b", "latency", "up")
+    ``up`` is a property: flipping it bumps a generation counter shared
+    with the owning :class:`Topology`, which invalidates its path-
+    latency cache.  Partition managers and fault injectors all set
+    ``link.up`` directly, so the setter is the one choke point every
+    reachability change passes through.
+    """
+
+    __slots__ = ("a", "b", "latency", "_up", "_version")
 
     def __init__(self, a: str, b: str, latency: float) -> None:
         if latency < 0:
@@ -19,7 +26,21 @@ class Link:
         self.a = a
         self.b = b
         self.latency = latency
-        self.up = True
+        self._up = True
+        # Shared generation cell; re-bound to the topology's cell when
+        # the link is added to one.  A standalone link gets its own.
+        self._version = [0]
+
+    @property
+    def up(self) -> bool:
+        """Whether the link currently carries traffic."""
+        return self._up
+
+    @up.setter
+    def up(self, value: bool) -> None:
+        if value != self._up:
+            self._up = value
+            self._version[0] += 1
 
     def endpoints(self) -> frozenset[str]:
         """The unordered endpoint pair, used as the link's key."""
@@ -38,6 +59,17 @@ class Topology:
         self._nodes: dict[str, None] = {}
         self._links: dict[frozenset[str], Link] = {}
         self._adj: dict[str, list[Link]] = {}
+        # Path-latency memo, invalidated wholesale whenever the graph's
+        # generation (bumped by link up/down flips and structural edits)
+        # moves past the generation the memo was built at.  ``None``
+        # results (disconnected pairs) are cached too — during a
+        # partition those are exactly the hot queries.
+        self._version = [0]
+        self._path_cache: dict[tuple[str, str], float | None] = {}
+        self._cache_version = -1
+        #: Set False to recompute every path query from scratch — only
+        #: used by the scale benchmark to reproduce pre-cache behavior.
+        self.cache_paths = True
         for node in nodes:
             self.add_node(node)
 
@@ -76,6 +108,7 @@ class Topology:
         if node not in self._nodes:
             self._nodes[node] = None
             self._adj[node] = []
+            self._version[0] += 1
 
     def add_link(self, a: str, b: str, latency: float = 1.0) -> None:
         """Add an undirected link; both endpoints must already exist."""
@@ -88,9 +121,11 @@ class Topology:
         if key in self._links:
             raise NetworkError(f"duplicate link {a}-{b}")
         link = Link(a, b, latency)
+        link._version = self._version  # share the generation cell
         self._links[key] = link
         self._adj[a].append(link)
         self._adj[b].append(link)
+        self._version[0] += 1
 
     # -- link state ----------------------------------------------------
 
@@ -154,7 +189,29 @@ class Topology:
         return self.path_latency(src, dst) is not None
 
     def path_latency(self, src: str, dst: str) -> float | None:
-        """Latency of the cheapest up-path, or None if disconnected."""
+        """Latency of the cheapest up-path, or None if disconnected.
+
+        Results are memoized per link-state generation: the network
+        layer asks this question twice per message (admission check at
+        send, re-check at delivery), which made per-call Dijkstra the
+        single hottest function in E15-class runs.  Any link flip or
+        structural edit invalidates the whole memo.
+        """
+        if not self.cache_paths:
+            return self._path_latency_uncached(src, dst)
+        if self._cache_version != self._version[0]:
+            self._path_cache.clear()
+            self._cache_version = self._version[0]
+        key = (src, dst)
+        cache = self._path_cache
+        if key in cache:
+            return cache[key]
+        latency = self._path_latency_uncached(src, dst)
+        cache[key] = latency
+        cache[(dst, src)] = latency  # undirected: symmetric by definition
+        return latency
+
+    def _path_latency_uncached(self, src: str, dst: str) -> float | None:
         for end in (src, dst):
             if end not in self._nodes:
                 raise NetworkError(f"unknown node {end!r}")

@@ -13,8 +13,14 @@ summaries, suitable for table rendering or JSON serialization.
 
 from __future__ import annotations
 
+import random
 from collections.abc import Callable, Mapping
 from typing import Any
+
+#: Samples kept verbatim per histogram before reservoir sampling kicks
+#: in.  Small runs (everything in the test suite) stay exact; E18-scale
+#: runs hold a bounded, statistically representative subset.
+RESERVOIR_SIZE = 4096
 
 
 class Counter:
@@ -53,30 +59,76 @@ class Gauge:
 
 
 class Histogram:
-    """A value distribution with percentile summaries.
+    """A value distribution with percentile summaries, bounded in memory.
 
-    Values are kept verbatim (simulation runs are bounded).  The sorted
-    view percentiles need is cached and invalidated on ``observe``, so
-    repeated ``percentile``/``summary`` calls between observations sort
-    at most once — these sit on the per-install latency hot path.
+    The first :data:`RESERVOIR_SIZE` samples are kept verbatim, so
+    small runs (and every percentile assertion in the test suite) are
+    exact.  Beyond that the sample list becomes an Algorithm-R
+    reservoir: each further sample replaces a random held one with
+    probability ``k/n``, keeping a uniform subset regardless of stream
+    length — always-on per-install latency histograms no longer hold
+    millions of floats at E18 scale.  The replacement RNG is seeded
+    from the histogram name, so runs stay reproducible.
+
+    ``count``/``mean``/``min``/``max`` are exact over the full stream
+    (tracked incrementally); percentiles are exact until the reservoir
+    engages and estimates from the sample after.
+
+    The sorted view percentiles need is cached and invalidated on
+    ``observe``, so repeated ``percentile``/``summary`` calls between
+    observations sort at most once — these sit on the per-install
+    latency hot path.
     """
 
-    __slots__ = ("name", "values", "_sorted")
+    __slots__ = (
+        "name",
+        "values",
+        "_sorted",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+        "_rng",
+    )
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.values: list[float] = []
         self._sorted: list[float] | None = None
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._rng: random.Random | None = None
 
     def observe(self, value: float) -> None:
         """Record one sample (invalidates the cached sorted view)."""
-        self.values.append(value)
+        self._count += 1
+        self._sum += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if self._count <= RESERVOIR_SIZE:
+            self.values.append(value)
+        else:
+            rng = self._rng
+            if rng is None:
+                rng = self._rng = random.Random(self.name)
+            # random() * n instead of randrange(n): one float draw, no
+            # rejection loop — the tiny modulo bias is irrelevant for a
+            # sampling reservoir and this runs once per observation.
+            slot = int(rng.random() * self._count)
+            if slot < RESERVOIR_SIZE:
+                self.values[slot] = value
+            else:
+                return  # sample dropped: cached sorted view still valid
         self._sorted = None
 
     @property
     def count(self) -> int:
-        """Number of recorded samples."""
-        return len(self.values)
+        """Number of recorded samples (the true total, not the held subset)."""
+        return self._count
 
     def _ordered(self) -> list[float]:
         if self._sorted is None:
@@ -84,7 +136,11 @@ class Histogram:
         return self._sorted
 
     def percentile(self, p: float) -> float | None:
-        """Nearest-rank percentile, ``p`` in [0, 100]; None when empty."""
+        """Nearest-rank percentile, ``p`` in [0, 100]; None when empty.
+
+        Exact until the stream exceeds :data:`RESERVOIR_SIZE`, then
+        estimated from the reservoir.
+        """
         if not self.values:
             return None
         ordered = self._ordered()
@@ -92,8 +148,9 @@ class Histogram:
         return ordered[min(n - 1, max(0, round(p / 100.0 * n) - 1))]
 
     def summary(self) -> dict[str, float | int | None]:
-        """count / mean / min / p50 / p90 / p99 / max."""
-        if not self.values:
+        """count / mean / min / p50 / p90 / p99 / max (count and the
+        moments exact; percentiles reservoir-estimated at scale)."""
+        if not self._count:
             return {
                 "count": 0,
                 "mean": None,
@@ -110,17 +167,17 @@ class Histogram:
             return ordered[min(n - 1, max(0, round(p / 100.0 * n) - 1))]
 
         return {
-            "count": n,
-            "mean": sum(ordered) / n,
-            "min": ordered[0],
+            "count": self._count,
+            "mean": self._sum / self._count,
+            "min": self._min,
             "p50": rank(50),
             "p90": rank(90),
             "p99": rank(99),
-            "max": ordered[-1],
+            "max": self._max,
         }
 
     def __repr__(self) -> str:
-        return f"Histogram({self.name}, n={len(self.values)})"
+        return f"Histogram({self.name}, n={self._count})"
 
 
 class MetricsRegistry:

@@ -30,9 +30,12 @@ DEFAULT_RING_SIZE = 65536
 DEFAULT_FLUSH_EVERY = 256
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEvent:
-    """One structured trace record."""
+    """One structured trace record.
+
+    Slotted: enabled-tracer runs allocate one of these per recorded
+    event, and the ring buffer can hold tens of thousands."""
 
     time: float
     type: str

@@ -189,5 +189,5 @@ class FragmentApplyQueue:
         system.fire_install_hooks(node, quasi)
         system.movement.after_install(node, quasi)
         self._pump(quasi.fragment)
-        if self.depth(quasi.fragment) <= system.pipeline.config.resume_depth:
-            system.pipeline.backpressure.release(node, quasi.fragment)
+        if self.depth(quasi.fragment) <= pipeline.config.resume_depth:
+            pipeline.backpressure.release(node, quasi.fragment)

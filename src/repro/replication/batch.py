@@ -69,6 +69,9 @@ class QtBatcher:
         self.pipeline = pipeline
         self._pending: dict[str, list[QuasiTransaction]] = {}
         self._timers: dict[str, EventHandle] = {}
+        # Interned per-origin flush-timer labels: a window-batched run
+        # arms one timer per batch, so the f-string shows up at scale.
+        self._flush_labels: dict[str, str] = {}
 
     def pending_count(self) -> int:
         """Quasi-transactions accumulated but not yet broadcast."""
@@ -86,10 +89,13 @@ class QtBatcher:
             self.flush(origin, "count")
         elif origin not in self._timers:
             sim = self.pipeline.system.sim
+            label = self._flush_labels.get(origin)
+            if label is None:
+                label = self._flush_labels[origin] = f"batch flush {origin}"
             self._timers[origin] = sim.schedule(
                 config.batch_window,
                 lambda: self.flush(origin, "window"),
-                label=f"batch flush {origin}",
+                label=label,
             )
 
     def flush(self, origin: str, sealed_by: str) -> None:

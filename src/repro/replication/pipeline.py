@@ -190,15 +190,18 @@ class ReplicationPipeline:
                 txns=[quasi.source_txn for quasi in batch.qts],
             )
         arrived_at = node.streams.arrived_at
+        replicates = system.replicates
+        admit = system.movement.admit
+        name = node.name
         for quasi in batch.qts:
-            if not system.replicates(node.name, quasi.fragment):
+            if not replicates(name, quasi.fragment):
                 node.quasi_skipped += 1
                 node._c_qt_skipped.inc()
                 continue
             # Arrival timestamp feeds the admission-wait histogram when
             # (if ever) the quasi reaches this node's apply queue.
             arrived_at.setdefault(quasi.source_txn, now)
-            system.movement.admit(node, quasi)
+            admit(node, quasi)
 
     # -- update gating -----------------------------------------------------
 

@@ -6,7 +6,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 
@@ -14,6 +14,10 @@ class Event:
     at scheduling time, so two events at the same instant fire in the
     order they were scheduled.  The callback and its metadata do not
     participate in ordering.
+
+    The class carries ``slots`` — events are the most-allocated object
+    in a run, and the wheel scheduler touches ``time``/``seq``/
+    ``cancelled`` on every hop.
     """
 
     time: float
@@ -27,11 +31,14 @@ class Event:
 class EventHandle:
     """Cancellation handle returned by :meth:`Simulator.schedule`.
 
-    Cancellation is lazy: the event stays in the heap but is skipped by
-    the run loop.  This keeps scheduling O(log n) with no heap surgery.
-    The optional ``on_cancel`` callback lets the simulator keep its
-    pending-event count exact without scanning the heap.
+    Cancellation is lazy: the event stays in its queue structure but is
+    skipped by the run loop.  This keeps scheduling O(log n) (heap) or
+    O(1) (wheel) with no queue surgery.  The optional ``on_cancel``
+    callback lets the simulator keep its pending-event count exact —
+    and trigger tombstone compaction — without scanning the queue.
     """
+
+    __slots__ = ("_event", "_on_cancel")
 
     def __init__(
         self,

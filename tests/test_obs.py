@@ -121,6 +121,67 @@ class TestMetricsRegistry:
         assert summary == registry.histogram("h").summary()
 
 
+class TestHistogramReservoir:
+    """Bounded memory above RESERVOIR_SIZE; exact behaviour below it."""
+
+    def test_exact_below_threshold(self):
+        from repro.obs.metrics import RESERVOIR_SIZE
+
+        hist = MetricsRegistry().histogram("h")
+        for value in range(RESERVOIR_SIZE):
+            hist.observe(float(value))
+        # Still verbatim: every sample held, percentiles exact.
+        assert len(hist.values) == RESERVOIR_SIZE
+        assert hist.count == RESERVOIR_SIZE
+        assert hist.percentile(50) == RESERVOIR_SIZE // 2 - 1
+
+    def test_memory_bounded_above_threshold(self):
+        from repro.obs.metrics import RESERVOIR_SIZE
+
+        hist = MetricsRegistry().histogram("h")
+        total = RESERVOIR_SIZE * 4
+        for value in range(total):
+            hist.observe(float(value))
+        assert len(hist.values) == RESERVOIR_SIZE  # bounded
+        assert hist.count == total  # true total, not the held subset
+
+    def test_moments_exact_at_scale(self):
+        from repro.obs.metrics import RESERVOIR_SIZE
+
+        hist = MetricsRegistry().histogram("h")
+        total = RESERVOIR_SIZE * 3
+        for value in range(1, total + 1):
+            hist.observe(float(value))
+        summary = hist.summary()
+        assert summary["count"] == total
+        assert summary["min"] == 1.0
+        assert summary["max"] == float(total)
+        assert summary["mean"] == pytest.approx((total + 1) / 2)
+
+    def test_percentiles_representative_at_scale(self):
+        from repro.obs.metrics import RESERVOIR_SIZE
+
+        hist = MetricsRegistry().histogram("h")
+        total = RESERVOIR_SIZE * 5
+        for value in range(total):
+            hist.observe(float(value))
+        # Uniform stream: the reservoir's p50 should sit near the true
+        # median.  A generous 10% band keeps this robust to the seed.
+        p50 = hist.percentile(50)
+        assert abs(p50 - total / 2) < total * 0.10
+
+    def test_reservoir_deterministic_per_name(self):
+        from repro.obs.metrics import RESERVOIR_SIZE
+
+        def fill(name):
+            hist = MetricsRegistry().histogram(name)
+            for value in range(RESERVOIR_SIZE * 2):
+                hist.observe(float(value))
+            return list(hist.values)
+
+        assert fill("same") == fill("same")  # seeded from the name
+
+
 class TestTracer:
     def test_disabled_tracer_records_nothing(self):
         tracer = Tracer()

