@@ -1,11 +1,13 @@
-"""E18 — event throughput of the flattened hot path (heap vs wheel).
+"""E18 — event throughput of the flattened hot path.
 
 The acceptance bar for the flattening PR: the shipping configuration
-(event-wheel scheduler + versioned path-latency cache) must push at
-least 5x the end-to-end event throughput of the pre-flattening
-configuration (binary heap + per-call Dijkstra) on the same E15-class
-workload, with **bit-identical** final-state hashes and event counts —
-a speedup that changes the schedule is no speedup at all.
+(versioned path-latency cache on) must push several times the
+end-to-end event throughput of the baseline (per-call Dijkstra) on the
+same E15-class workload, with **bit-identical** final-state hashes and
+event counts — a speedup that changes the schedule is no speedup at
+all.  (The original A/B also swapped the scheduler core; since the
+binary heap's removal both sides run the event-wheel, so the measured
+ratio isolates the path-cache win and the bar is set accordingly.)
 
 The committed record lives in ``BENCH_scale.json`` at the repo root;
 regenerate it with ``python -m repro.cli scale-bench --json
@@ -19,7 +21,7 @@ from repro.analysis.scale_bench import run_scale_bench
 
 NODES = 32
 UPDATES = 400
-MIN_SPEEDUP = 5.0
+MIN_SPEEDUP = 4.0
 #: Timing repeats per side; the fastest sample wins, which keeps the
 #: ratio stable on noisy CI machines.
 REPEATS = 3
@@ -34,13 +36,12 @@ def test_e18_scale_bench(benchmark, report):
     flat = result["flattened"]
     report(
         format_table(
-            ["side", "scheduler", "path cache", "events", "elapsed s",
-             "events/s"],
+            ["side", "path cache", "events", "elapsed s", "events/s"],
             [
-                ["baseline", base["scheduler"], base["path_cache"],
+                ["baseline", base["path_cache"],
                  base["events_fired"], base["elapsed_s"],
                  base["throughput_eps"]],
-                ["flattened", flat["scheduler"], flat["path_cache"],
+                ["flattened", flat["path_cache"],
                  flat["events_fired"], flat["elapsed_s"],
                  flat["throughput_eps"]],
             ],

@@ -72,7 +72,12 @@ from repro.net.partition import PartitionSpec
 from repro.net.topology import Topology
 from repro.obs import MetricsRegistry, TraceEvent, Tracer
 from repro.recovery import FragmentCheckpoint, RecoveryConfig
-from repro.replication import PipelineConfig, QtBatch, ReplicationPipeline
+from repro.replication import (
+    PipelineConfig,
+    QtBatch,
+    QuorumConfig,
+    ReplicationPipeline,
+)
 
 __version__ = "1.0.0"
 
@@ -101,6 +106,7 @@ __all__ = [
     "PredicateSuite",
     "QtBatch",
     "QuasiTransaction",
+    "QuorumConfig",
     "ReplicationPipeline",
     "Read",
     "ReadAccessGraph",

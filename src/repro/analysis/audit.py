@@ -22,10 +22,17 @@ order is causal order) and verifies:
   exactly one place at a time: departures only from the current home,
   arrivals only for an in-flight move, and no commits minted while the
   token is on the road;
-* **agreement** — all nodes agree on the fragment's install order: a
-  stream slot ``(fragment, epoch, seq)`` holds the same transaction
-  everywhere, and any two transactions installed by two nodes appear in
-  the same relative order at both.
+* **agreement** — the fragment's replica set agrees on its install
+  order: a stream slot ``(fragment, epoch, seq)`` holds the same
+  transaction everywhere, and any two transactions installed by two
+  nodes appear in the same relative order at both (under partial
+  replication only replica-set members install, so the pairwise
+  comparison is per replica set by construction);
+* **replication** — installs land only at replica-set members: the
+  ``system.catalog`` event records each fragment's replica set, and an
+  install of the fragment at any other node is a propagation-scoping
+  bug (a multicast that leaked outside the set).  Skipped for traces
+  predating the catalog's ``replicas`` field, never silently assumed.
 
 Not every protocol promises every invariant.  The instant-move
 baseline (``none``) exists to *demonstrate* stream-order divergence,
@@ -58,6 +65,7 @@ ALL_CHECKS = (
     "initiation",
     "token_uniqueness",
     "agreement",
+    "replication",
 )
 
 #: Checks a protocol deliberately does not promise (Section 4.4 matrix).
@@ -188,6 +196,10 @@ class _Auditor:
         self.fragment_agent: dict[str, str] = {}
         self.fragment_objects: dict[str, set[str]] = {}
         self.fragment_prefixes: dict[str, tuple[str, ...]] = {}
+        # fragment -> replica set; None for traces whose catalog predates
+        # the ``replicas`` field (the check is then skipped, see finish()).
+        self.fragment_replicas: dict[str, set[str] | None] = {}
+        self.replicas_known = False
         # Token state machine: agent -> home node / in-flight move.
         self.agent_home: dict[str, str] = {}
         self.in_transit: dict[str, tuple[str, str]] = {}  # agent -> (src, dst)
@@ -224,6 +236,12 @@ class _Auditor:
             self.fragment_agent[name] = spec.get("agent")
             self.fragment_objects[name] = set(spec.get("objects") or ())
             self.fragment_prefixes[name] = tuple(spec.get("prefixes") or ())
+            replicas = spec.get("replicas")
+            if replicas is None:
+                self.fragment_replicas.setdefault(name, None)
+            else:
+                self.fragment_replicas[name] = set(replicas)
+                self.replicas_known = True
         for agent, home in (event.get("agents") or {}).items():
             self.agent_home.setdefault(agent, home)
 
@@ -242,6 +260,18 @@ class _Auditor:
             )
             return
         self.report.installs += 1
+
+        # Replica-set membership: the install must land inside the
+        # fragment's replica set recorded by the catalog.
+        if checks["replication"].checked:
+            replicas = self.fragment_replicas.get(fragment)
+            if replicas is not None and node not in replicas:
+                checks["replication"].add(
+                    f"transaction {txn} of fragment {fragment} installed "
+                    f"at node {node}, outside its replica set "
+                    f"{sorted(replicas)}",
+                    event,
+                )
 
         # Exactly-once per (txn, node).
         key = (txn, node)
@@ -383,6 +413,14 @@ class _Auditor:
         if check.checked:
             for fragment, by_node in sorted(self.order.items()):
                 self._check_agreement(fragment, by_node)
+        replication = self.report.checks["replication"]
+        if replication.checked and not self.replicas_known:
+            replication.checked = False
+            replication.reason = (
+                "no replica-set info in the system.catalog event"
+                if self.catalog_seen
+                else "no system.catalog event in trace"
+            )
         return self.report
 
     def _check_agreement(

@@ -35,6 +35,7 @@ from repro.analysis.audit import audit_events
 from repro.analysis.torture import GUARANTEES, PROTOCOLS, _try_move
 from repro.cc.ops import Read, Write
 from repro.core.system import FragmentedDatabase
+from repro.core.transaction import RequestStatus, scripted_body
 from repro.net.faults import CrashEpisode, FaultPlan, LinkFlap, LossBurst
 from repro.net.partition import PartitionSpec
 from repro.net.reliable import ReliableConfig
@@ -73,6 +74,14 @@ class NemesisConfig:
     reliable: ReliableConfig | bool | None = None
     checkpoint_every: int | None = None
     recovery_grace: float | None = 60.0
+    #: ``replication_factor`` < n_nodes restricts every fragment to a
+    #: rendezvous-placed replica set of that size; ``n_quorum_reads``
+    #: schedules that many read-only transactions at nodes *outside*
+    #: the fragment's replica set, exercising the version-vote fallback
+    #: under whatever faults the plan draws.  Both default off, leaving
+    #: existing seeds' schedules untouched.
+    replication_factor: int | None = None
+    n_quorum_reads: int = 0
 
     def message_faults_only(self) -> bool:
         """True when the plan perturbs messages but never connectivity.
@@ -113,6 +122,9 @@ class NemesisResult:
     archive_pruned: int = 0
     snapshots_shipped: int = 0
     delta_qts_shipped: int = 0
+    quorum_reads: int = 0
+    quorum_served: int = 0
+    quorum_timeouts: int = 0
 
     def respects_guarantees(self) -> bool:
         """True iff the run satisfied its protocol's promised matrix.
@@ -227,6 +239,7 @@ def run_nemesis(
         faults=None if empty else plan,
         reliable=config.reliable,
         recovery=recovery,
+        replication_factor=config.replication_factor,
     )
     db.enable_tracing(
         trace_path,
@@ -272,6 +285,38 @@ def run_nemesis(
             workload_rng.uniform(0.0, config.horizon * 0.7),
             lambda d=destination: _try_move(db, d),
         )
+
+    read_trackers = []
+
+    def submit_read(index: int) -> None:
+        # Prefer a reader outside the replica set (the quorum-read
+        # path); when the fragment is fully replicated every node is a
+        # replica and the read stays local — still a valid probe.
+        replicas = set(db.replica_set("F"))
+        outside = [name for name in nodes if name not in replicas]
+        pool = outside or nodes
+        reader = pool[index % len(pool)]
+        if db.nodes[reader].down:
+            return  # a crashed reader cannot submit (rail, not a draw)
+        obj = workload_rng.choice(objects)
+        read_trackers.append(
+            db.submit_readonly(
+                "ag",
+                scripted_body([("r", obj)]),
+                at=reader,
+                reads=[obj],
+                txn_id=f"Q{index}",
+            )
+        )
+
+    if config.n_quorum_reads:
+        for index in range(config.n_quorum_reads):
+            db.sim.schedule_at(
+                workload_rng.uniform(
+                    config.horizon * 0.1, config.horizon * 0.9
+                ),
+                lambda i=index: submit_read(i),
+            )
     db.quiesce()
     audit = audit_events(
         (event.as_dict() for event in db.tracer),
@@ -312,5 +357,10 @@ def run_nemesis(
         ),
         delta_qts_shipped=int(
             db.metrics.value("recovery.delta_qts_shipped") or 0
+        ),
+        quorum_reads=len(read_trackers),
+        quorum_served=sum(1 for t in read_trackers if t.succeeded),
+        quorum_timeouts=sum(
+            1 for t in read_trackers if t.status is RequestStatus.TIMED_OUT
         ),
     )

@@ -3,12 +3,16 @@
 Runs the same E15-class workload (one hot fragment, a mid-run
 partition and heal, a convergence probe) twice in one process:
 
-* **baseline** — the pre-flattening configuration: the legacy binary-
-  heap scheduler plus per-call Dijkstra path queries
-  (``topology.cache_paths = False``), reproducing the performance
-  profile this PR started from;
-* **flattened** — the shipping configuration: the calendar-queue /
-  event-wheel scheduler with the versioned path-latency cache.
+* **baseline** — per-call Dijkstra path queries
+  (``topology.cache_paths = False``), the one pre-flattening
+  configuration still reachable now that the legacy binary-heap
+  scheduler has been removed;
+* **flattened** — the shipping configuration: the versioned
+  path-latency cache on.
+
+(Earlier records also swapped the scheduler core between sides; since
+the heap's removal both sides run the calendar-queue / event-wheel
+scheduler, so the measured speedup isolates the path-cache win.)
 
 Both sides must finish with **bit-identical** final-state hashes and
 event counts — the throughput win is only admissible if the schedule is
@@ -25,7 +29,6 @@ import hashlib
 import json
 import os
 import time
-from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 
 from repro.cc.ops import Read, Write
@@ -41,25 +44,6 @@ BENCH_FILE = "BENCH_scale.json"
 
 #: CI regression tolerance on the relative speedup.
 DEFAULT_TOLERANCE = 0.20
-
-
-@contextmanager
-def _forced_scheduler(name: str):
-    """Force the scheduler for systems built inside the block.
-
-    :class:`FragmentedDatabase` constructs ``Simulator()`` with no
-    arguments, so the environment override is the one switch that
-    reaches it without threading a parameter through every layer.
-    """
-    previous = os.environ.get("REPRO_SIM_SCHEDULER")
-    os.environ["REPRO_SIM_SCHEDULER"] = name
-    try:
-        yield
-    finally:
-        if previous is None:
-            del os.environ["REPRO_SIM_SCHEDULER"]
-        else:
-            os.environ["REPRO_SIM_SCHEDULER"] = previous
 
 
 def state_hash(db: FragmentedDatabase) -> str:
@@ -80,7 +64,6 @@ def state_hash(db: FragmentedDatabase) -> str:
 class SideResult:
     """One side (baseline or flattened) of the A/B throughput run."""
 
-    scheduler: str
     path_cache: bool
     nodes: int
     updates: int
@@ -100,13 +83,11 @@ def run_side(
 ) -> SideResult:
     """Run the E18 workload once and time it.
 
-    ``baseline=True`` selects the heap scheduler and disables the
-    path-latency cache, reproducing pre-flattening behaviour in the
+    ``baseline=True`` disables the path-latency cache, reproducing the
+    still-reachable part of the pre-flattening configuration in the
     same process so the comparison is apples-to-apples.
     """
-    scheduler = "heap" if baseline else "wheel"
-    with _forced_scheduler(scheduler):
-        db = FragmentedDatabase([f"N{i}" for i in range(nodes)])
+    db = FragmentedDatabase([f"N{i}" for i in range(nodes)])
     db.topology.cache_paths = not baseline
     db.add_agent("ag", home_node="N0")
     db.add_fragment("F", agent="ag", objects=["x"])
@@ -144,7 +125,6 @@ def run_side(
 
     events = db.sim.events_fired
     return SideResult(
-        scheduler=scheduler,
         path_cache=not baseline,
         nodes=nodes,
         updates=updates,
@@ -211,9 +191,9 @@ def check_regression(
     throughput.
     """
     if not result.get("state_match"):
-        return False, "final-state hashes diverge between schedulers"
+        return False, "final-state hashes diverge between configurations"
     if not result.get("events_match"):
-        return False, "event counts diverge between schedulers"
+        return False, "event counts diverge between configurations"
     committed_speedup = committed.get("speedup", 0.0)
     floor = committed_speedup * (1.0 - tolerance)
     speedup = result.get("speedup", 0.0)

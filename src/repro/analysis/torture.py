@@ -173,6 +173,11 @@ def _try_move(db: FragmentedDatabase, destination: str) -> None:
         return
     if db.nodes[destination].down:
         return  # never move the agent onto a crashed node
+    if any(
+        not db.replicates(destination, fragment)
+        for fragment in agent.fragments
+    ):
+        return  # the agent only runs where its fragments are replicated
     db.move_agent("ag", destination, transport_delay=2.0)
 
 

@@ -241,6 +241,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         n_partitions=args.partitions,
         checkpoint_every=args.checkpoint_every,
         recovery_grace=args.recovery_grace,
+        replication_factor=args.replication_factor,
+        n_quorum_reads=args.quorum_reads,
     )
     protocols = [args.protocol] if args.protocol else list(PROTOCOLS)
     seeds = (
@@ -514,13 +516,13 @@ def cmd_scale_bench(args: argparse.Namespace) -> int:
     flat = result["flattened"]
     print(
         format_table(
-            ["side", "scheduler", "path cache", "events", "elapsed s",
+            ["side", "path cache", "events", "elapsed s",
              "events/s", "MC"],
             [
-                ["baseline", base["scheduler"], base["path_cache"],
+                ["baseline", base["path_cache"],
                  base["events_fired"], base["elapsed_s"],
                  base["throughput_eps"], base["mutually_consistent"]],
-                ["flattened", flat["scheduler"], flat["path_cache"],
+                ["flattened", flat["path_cache"],
                  flat["events_fired"], flat["elapsed_s"],
                  flat["throughput_eps"], flat["mutually_consistent"]],
             ],
@@ -533,7 +535,7 @@ def cmd_scale_bench(args: argparse.Namespace) -> int:
     print(f"state hashes match:  {result['state_match']}")
     print(f"event counts match:  {result['events_match']}")
     if not (result["state_match"] and result["events_match"]):
-        print("error: schedulers diverged — determinism contract broken",
+        print("error: configurations diverged — determinism contract broken",
               file=sys.stderr)
         return 1
     if args.check:
@@ -551,6 +553,69 @@ def cmd_scale_bench(args: argparse.Namespace) -> int:
         write_result(result, args.json)
         print(f"wrote {args.json}")
     return 0
+
+
+def cmd_partial_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.partial_bench import (
+        check_gates,
+        load_committed,
+        run_partial_bench,
+        write_result,
+    )
+
+    result = run_partial_bench(
+        nodes=args.nodes,
+        fragments=args.fragments,
+        updates=args.updates,
+        factors=tuple(args.factors),
+        seed=args.seed,
+    )
+    rows = []
+    baseline = result["baseline"]
+    for point in result["points"] + [baseline]:
+        ratio = (
+            point["qt_messages"] / baseline["qt_messages"]
+            if baseline["qt_messages"]
+            else 0.0
+        )
+        rows.append([
+            point["k"],
+            point["qt_messages"],
+            f"{ratio:.2f}",
+            f"{point['k'] / result['nodes']:.2f}",
+            point["storage_ratio"],
+            f"{point['quorum_served']}/{point['quorum_reads']}",
+            point["mutually_consistent"],
+            point["audit_ok"],
+        ])
+    print(
+        format_table(
+            ["k", "qt msgs", "vs bcast", "k/N", "storage", "quorum",
+             "MC", "audit"],
+            rows,
+            title=(
+                f"E19 — partial replication: {args.nodes} nodes, "
+                f"{args.fragments} fragments, {args.updates} updates"
+            ),
+        )
+    )
+    committed = None
+    if args.check:
+        committed = load_committed(args.check)
+        if committed is None:
+            print(f"error: no committed benchmark at {args.check}",
+                  file=sys.stderr)
+            return 1
+    ok, problems = check_gates(result, committed, args.tolerance)
+    for problem in problems:
+        print("GATE FAILED: " + problem, file=sys.stderr)
+    if ok:
+        print("all gates OK: multicast volume scales with k, storage "
+              "tracks k/N, quorum reads served")
+    if args.json:
+        write_result(result, args.json)
+        print(f"wrote {args.json}")
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -620,6 +685,18 @@ def build_parser() -> argparse.ArgumentParser:
         dest="recovery_grace",
         help="how long a downed/unreachable replica pins the compaction "
         "watermark (with --checkpoint-every)",
+    )
+    chaos.add_argument(
+        "--replication-factor", type=int, default=None, metavar="K",
+        dest="replication_factor",
+        help="restrict every fragment to a rendezvous-placed replica "
+        "set of K nodes (default: full replication)",
+    )
+    chaos.add_argument(
+        "--quorum-reads", type=int, default=0, metavar="N",
+        dest="quorum_reads",
+        help="schedule N read-only transactions at nodes outside the "
+        "fragment's replica set (version-vote quorum reads)",
     )
     chaos.add_argument("--trace", default=None, help=trace_help)
     _add_fault_args(chaos)
@@ -714,7 +791,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     scale = sub.add_parser(
         "scale-bench",
-        help="E18 heap-vs-wheel throughput A/B with determinism check",
+        help="E18 path-cache throughput A/B with determinism check",
     )
     scale.add_argument("--nodes", type=int, default=32)
     scale.add_argument("--updates", type=int, default=400)
@@ -735,6 +812,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed relative-speedup regression for --check (default 0.20)",
     )
     scale.set_defaults(func=cmd_scale_bench)
+
+    partial = sub.add_parser(
+        "partial-bench",
+        help="E19 message volume and storage vs replication factor k",
+    )
+    partial.add_argument("--nodes", type=int, default=12)
+    partial.add_argument("--fragments", type=int, default=8)
+    partial.add_argument("--updates", type=int, default=160)
+    partial.add_argument("--seed", type=int, default=19)
+    partial.add_argument(
+        "--factors", type=int, nargs="+", default=[2, 3, 5], metavar="K",
+        help="replication factors to sweep (full replication is always "
+        "run as the baseline)",
+    )
+    partial.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the result record (BENCH_partial.json format) here",
+    )
+    partial.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="verify the scaling gates and exact match against a "
+        "committed record; exit 1 on failure",
+    )
+    partial.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="slack on the (k/N)-scaling gates for --check (default 0.10)",
+    )
+    partial.set_defaults(func=cmd_partial_bench)
     return parser
 
 

@@ -114,7 +114,12 @@ class CorrectiveMoveProtocol(MovementProtocol):
                     if seq < installed_upto
                 ]
                 self.m0_broadcasts += 1
-                system.broadcast.broadcast(
+                # M0 only concerns the fragment's replicas: it opens the
+                # new epoch on the same FIFO stream the fragment's
+                # quasi-transactions ride (full replication keeps the
+                # classic broadcast-to-all channel).
+                targets, stream = system.propagation_plan(fragment)
+                system.broadcast.multicast(
                     to_node,
                     {
                         "type": M0_TYPE,
@@ -124,6 +129,8 @@ class CorrectiveMoveProtocol(MovementProtocol):
                         "qts": carried,
                     },
                     kind="m0",
+                    targets=targets,
+                    stream=stream,
                 )
                 token.payload["epoch"] = new_epoch
                 token.payload["next_seq"] = installed_upto

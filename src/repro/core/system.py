@@ -63,6 +63,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.recovery.manager import RecoveryConfig, RecoveryManager
 from repro.replication.pipeline import PipelineConfig, ReplicationPipeline
+from repro.replication.quorum import QuorumConfig, QuorumReadManager
 from repro.sim.rng import SeededRng
 from repro.sim.simulator import Simulator
 from repro.storage.store import ObjectStore
@@ -108,9 +109,13 @@ class FragmentedDatabase:
         faults: FaultPlan | None = None,
         reliable: ReliableConfig | bool | None = None,
         recovery: RecoveryConfig | None = None,
+        replication_factor: int | None = None,
+        quorum: QuorumConfig | None = None,
     ) -> None:
         if len(node_names) < 1:
             raise DesignError("at least one node required")
+        if replication_factor is not None and replication_factor < 1:
+            raise DesignError("replication_factor must be >= 1 (or None)")
         self.sim = Simulator()
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(clock=lambda: self.sim.now)
@@ -187,8 +192,17 @@ class FragmentedDatabase:
         self.trackers: list[RequestTracker] = []
         # Partial replication (paper's conclusion: "databases that are
         # not fully replicated"): fragment -> replicating nodes.  Absent
-        # entries mean full replication of that fragment.
+        # entries mean full replication of that fragment.  With a
+        # ``replication_factor`` k < N every new fragment gets a
+        # deterministic rendezvous-hashed replica set of size k (agent
+        # home always included); ``set_replication`` overrides per
+        # fragment either way.
         self.replication: dict[str, set[str]] = {}
+        self.replication_factor = replication_factor
+        # Quorum-read service for fragments the submission node does not
+        # replicate (always attached; it only acts on non-local reads).
+        self.quorum = QuorumReadManager(quorum)
+        self.quorum.attach(self)
         self._install_hooks: list[tuple[str, InstallHook]] = []
         self.corrective_hooks: list[CorrectiveHook] = []
         self._txn_counter = 0
@@ -249,6 +263,7 @@ class FragmentedDatabase:
                     "objects": sorted(fragment.objects),
                     "prefixes": sorted(fragment.prefixes),
                     "agent": self._fragment_agent.get(fragment.name),
+                    "replicas": list(self.replica_set(fragment.name)),
                 }
                 for fragment in self.catalog
             },
@@ -328,7 +343,33 @@ class FragmentedDatabase:
         token = Token(name, owner.home_node)
         owner.grant(token)
         self._fragment_agent[name] = agent
+        if (
+            self.replication_factor is not None
+            and self.replication_factor < len(self.nodes)
+        ):
+            self.replication[name] = self._assign_replicas(
+                name, owner.home_node, self.replication_factor
+            )
         return fragment
+
+    def _assign_replicas(self, fragment: str, home: str, k: int) -> set[str]:
+        """Deterministic rendezvous-hash placement of ``k`` replicas.
+
+        The agent's home node is always a member (it executes the
+        fragment's updates locally); the remaining ``k - 1`` slots go to
+        the highest-scoring nodes under a per-(fragment, node) hash, so
+        placement is stable across runs, independent of insertion
+        order, and spreads fragments evenly across the cluster.
+        """
+        scored = sorted(
+            (name for name in self.nodes if name != home),
+            key=lambda name: (
+                hashlib.sha256(f"{fragment}|{name}".encode()).digest(),
+                name,
+            ),
+            reverse=True,
+        )
+        return {home, *scored[: k - 1]}
 
     def set_replication(self, fragment: str, nodes: Iterable[str]) -> None:
         """Restrict a fragment's replicas to the given nodes.
@@ -357,6 +398,29 @@ class FragmentedDatabase:
         """True if ``node`` holds a replica of ``fragment``."""
         restricted = self.replication.get(fragment)
         return restricted is None or node in restricted
+
+    def replica_set(self, fragment: str) -> tuple[str, ...]:
+        """The sorted replica set of ``fragment`` (all nodes if full)."""
+        restricted = self.replication.get(fragment)
+        if restricted is None:
+            return tuple(sorted(self.nodes))
+        return tuple(sorted(restricted))
+
+    def propagation_plan(self, fragment: str) -> tuple[tuple[str, ...] | None, str]:
+        """``(targets, stream)`` for fragment-scoped group messages.
+
+        A fully replicated fragment propagates on the classic
+        broadcast-to-all channel (``targets=None``, stream ``""``) —
+        the paper's wire behaviour, bit-identical to previous releases.
+        A fragment with a restricted replica set multicasts to exactly
+        that set on its own FIFO stream, so message volume scales with
+        the replication factor k, not the cluster size N, and
+        non-members see no sequence gaps.
+        """
+        restricted = self.replication.get(fragment)
+        if restricted is None:
+            return None, ""
+        return tuple(sorted(restricted)), f"f:{fragment}"
 
     def declare_reads(
         self,
@@ -433,6 +497,15 @@ class FragmentedDatabase:
         if not spec.update:
             node = self.nodes[at or agent.home_node]
             tracker = self._new_tracker(spec, node.name, on_done)
+            # Declared reads of fragments this node does not replicate
+            # go through the quorum-read service (version vote over the
+            # replica set) before the body executes locally.  This also
+            # serves reads when the fragment's agent node is down — a
+            # read quorum of the surviving replicas suffices.
+            remote = self.quorum.remote_fragments(node.name, spec)
+            if remote:
+                self.quorum.begin_read(node, spec, tracker, remote)
+                return tracker
             self.strategy.begin_readonly(self, node, spec, tracker)
             return tracker
 

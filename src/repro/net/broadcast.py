@@ -20,7 +20,7 @@ consistency breaks without guarantee (2).
 from __future__ import annotations
 
 from collections import defaultdict
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 from typing import Any
 
@@ -34,12 +34,21 @@ DeliverFn = Callable[[str, int, Any], None]
 
 @dataclass(frozen=True, slots=True)
 class SeqPayload:
-    """Wire format: sender's broadcast sequence number plus payload."""
+    """Wire format: sender's broadcast sequence number plus payload.
+
+    ``stream`` names the FIFO channel the sequence number lives on.
+    The default stream ``""`` is the classic broadcast-to-all channel;
+    per-fragment multicast (partial replication) runs each fragment on
+    its own stream so that messages a node never receives (it is not in
+    the replica set) cannot leave gaps in the sequence space of the
+    messages it does.
+    """
 
     sender: str
     seq: int
     kind: str
     body: Any
+    stream: str = ""
 
 
 class ReliableBroadcast:
@@ -59,13 +68,13 @@ class ReliableBroadcast:
         self.tracer = network.tracer
         self.metrics = network.metrics
         self._deliver: dict[str, DeliverFn] = {}
-        self._next_send_seq: dict[str, int] = defaultdict(int)
-        # Per (receiver, sender): next expected sequence number.
-        self._next_expected: dict[tuple[str, str], int] = defaultdict(int)
-        # Per (receiver, sender): out-of-order buffer seq -> payload.
+        self._next_send_seq: dict[tuple[str, str], int] = defaultdict(int)
+        # Per (receiver, sender, stream): next expected sequence number.
+        self._next_expected: dict[tuple[str, str, str], int] = defaultdict(int)
+        # Per (receiver, sender, stream): out-of-order buffer seq -> payload.
         # Channel dicts are created on first buffering and popped once
         # drained empty, so the dict does not grow with channel count.
-        self._buffer: dict[tuple[str, str], dict[int, SeqPayload]] = {}
+        self._buffer: dict[tuple[str, str, str], dict[int, SeqPayload]] = {}
         self.out_of_order_buffered = 0
         self.duplicates_dropped = 0
         self._c_sent = self.metrics.counter("bcast.sent")
@@ -87,14 +96,14 @@ class ReliableBroadcast:
         if register:
             self.network.register(node, self.handle_message)
 
-    def next_seq(self, sender: str) -> int:
-        """The sequence number :meth:`broadcast` will assign next.
+    def next_seq(self, sender: str, stream: str = "") -> int:
+        """The sequence number the next send on ``stream`` will assign.
 
         Lets the batcher stamp the wire identity on lineage spans
         *before* the broadcast runs the sender's own synchronous
         delivery.
         """
-        return self._next_send_seq[sender]
+        return self._next_send_seq[(sender, stream)]
 
     def broadcast(self, sender: str, body: Any, kind: str = "bcast") -> int:
         """Broadcast ``body`` from ``sender``; returns its sequence number.
@@ -102,21 +111,57 @@ class ReliableBroadcast:
         The sender's callback runs synchronously before the method
         returns; remote deliveries are scheduled network events.
         """
-        seq = self._next_send_seq[sender]
-        self._next_send_seq[sender] += 1
+        return self.multicast(sender, body, kind=kind)
+
+    def multicast(
+        self,
+        sender: str,
+        body: Any,
+        kind: str = "bcast",
+        targets: Iterable[str] | None = None,
+        stream: str = "",
+    ) -> int:
+        """Send ``body`` to ``targets`` on a FIFO ``stream``.
+
+        ``targets=None`` means every attached node — a broadcast.  A
+        restricted target set (partial replication's replica sets) must
+        always be paired with its own ``stream``: FIFO sequencing is per
+        ``(sender, stream)`` channel, so a receiver only sees gaps for
+        messages it was genuinely never sent if those messages live on
+        streams it is not a member of.  Callers are responsible for
+        keeping the target set of a given stream stable.
+
+        The sender, if a member of the target set, hears its own message
+        synchronously before the method returns (the paper's
+        home-node-executes-first model); remote deliveries are scheduled
+        network events.
+        """
+        seq = self._next_send_seq[(sender, stream)]
+        self._next_send_seq[(sender, stream)] = seq + 1
         self._c_sent.inc()
-        payload = SeqPayload(sender, seq, kind, body)
+        payload = SeqPayload(sender, seq, kind, body, stream)
         send = self.network.send  # hoisted: one lookup per fan-out, not per peer
-        for dst in self._deliver:
-            if dst != sender:
+        if targets is None:
+            for dst in self._deliver:
+                if dst != sender:
+                    send(sender, dst, kind, payload)
+            # Local synchronous delivery keeps the sender's own replica
+            # the first to reflect its broadcast, as the paper assumes.
+            self._process(sender, payload)
+            return seq
+        deliver_local = False
+        attached = self._deliver
+        for dst in targets:
+            if dst == sender:
+                deliver_local = True
+            elif dst in attached:
                 send(sender, dst, kind, payload)
-        # Local synchronous delivery keeps the sender's own replica the
-        # first to reflect its broadcast, as the paper assumes.
-        self._process(sender, payload)
+        if deliver_local:
+            self._process(sender, payload)
         return seq
 
     def unicast_replay(self, src: str, dst: str, payload_seq: int, body: Any,
-                       kind: str = "replay") -> None:
+                       kind: str = "replay", stream: str = "") -> None:
         """Re-send a previously broadcast payload to one node.
 
         Used by the majority-commit move protocol (Section 4.4.1) when a
@@ -124,7 +169,7 @@ class ReliableBroadcast:
         goes through the same FIFO machinery, so duplicates (a replay of
         something that later arrives via the held original) are dropped.
         """
-        payload = SeqPayload(src, payload_seq, kind, body)
+        payload = SeqPayload(src, payload_seq, kind, body, stream)
         self.network.send(src, dst, kind, payload)
 
     # -- receive path ---------------------------------------------------
@@ -142,7 +187,7 @@ class ReliableBroadcast:
         if not self.fifo:
             self._deliver[receiver](payload.sender, payload.seq, payload.body)
             return
-        key = (receiver, payload.sender)
+        key = (receiver, payload.sender, payload.stream)
         expected = self._next_expected[key]
         if payload.seq < expected:
             self._note_duplicate(receiver, payload)
@@ -163,6 +208,7 @@ class ReliableBroadcast:
                     receiver=receiver,
                     sender=payload.sender,
                     seq=payload.seq,
+                    stream=payload.stream,
                     expected=expected,
                     **batch_span_fields(payload),
                 )

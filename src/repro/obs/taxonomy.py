@@ -66,6 +66,14 @@ BACKPRESSURE_RELEASE = "replication.backpressure.release"  # queue drained
 BACKPRESSURE_THROTTLE = "replication.backpressure.throttle"  # submit deferred
 BACKPRESSURE_RESUME = "replication.backpressure.resume"  # deferred re-gated
 
+# -- quorum reads (repro.replication.quorum) --------------------------
+# Reads of fragments the submitting node does not replicate: a version
+# vote over the fragment's replica set, resolved at read-quorum size.
+QUORUM_READ_BEGIN = "quorum.read.begin"  # fan-out to the replica set
+QUORUM_READ_REPLY = "quorum.read.reply"  # one replica's version vote
+QUORUM_READ_RESOLVE = "quorum.read.resolve"  # quorum reached, versions chosen
+QUORUM_READ_TIMEOUT = "quorum.read.timeout"  # quorum not reached in time
+
 # -- agent movement (repro.core.movement) -----------------------------
 TOKEN_MOVE_REQUESTED = "token.move.requested"
 TOKEN_MOVE_DEPART = "token.move.depart"

@@ -242,7 +242,11 @@ class RecoveryManager:
         self._truncate_wal(node, ckpt)
         self.tracker.note(fragment, node.name, ckpt.upto)
         if gossip:
-            system.broadcast.broadcast(
+            # Only the fragment's replicas prune on its marks; under
+            # partial replication the gossip multicasts to exactly that
+            # set (non-replicas hold nothing to prune).
+            targets, stream = system.propagation_plan(fragment)
+            system.broadcast.multicast(
                 node.name,
                 {
                     "type": CKPT_MARK,
@@ -251,6 +255,8 @@ class RecoveryManager:
                     "upto": ckpt.upto,
                 },
                 kind="ckpt",
+                targets=targets,
+                stream=stream,
             )
         self._prune(node, fragment)
         return ckpt

@@ -15,6 +15,7 @@ from repro.replication.apply import FragmentApplyQueue
 from repro.replication.backpressure import BackpressureController
 from repro.replication.batch import QtBatch, QtBatcher
 from repro.replication.pipeline import PipelineConfig, ReplicationPipeline
+from repro.replication.quorum import QuorumConfig, QuorumReadManager
 from repro.replication.stream import StreamLog
 
 __all__ = [
@@ -27,6 +28,8 @@ __all__ = [
     "PipelineConfig",
     "QtBatch",
     "QtBatcher",
+    "QuorumConfig",
+    "QuorumReadManager",
     "ReplicationPipeline",
     "StreamLog",
     "drain_buffer",

@@ -67,11 +67,15 @@ class QtBatcher:
 
     def __init__(self, pipeline: "ReplicationPipeline") -> None:
         self.pipeline = pipeline
-        self._pending: dict[str, list[QuasiTransaction]] = {}
-        self._timers: dict[str, EventHandle] = {}
-        # Interned per-origin flush-timer labels: a window-batched run
+        # Accumulation is per (origin, fragment): a batch is always a
+        # run of one fragment's stream, so it can multicast to exactly
+        # that fragment's replica set (partial replication) instead of
+        # the whole cluster.
+        self._pending: dict[tuple[str, str], list[QuasiTransaction]] = {}
+        self._timers: dict[tuple[str, str], EventHandle] = {}
+        # Interned per-key flush-timer labels: a window-batched run
         # arms one timer per batch, so the f-string shows up at scale.
-        self._flush_labels: dict[str, str] = {}
+        self._flush_labels: dict[tuple[str, str], str] = {}
 
     def pending_count(self) -> int:
         """Quasi-transactions accumulated but not yet broadcast."""
@@ -81,48 +85,60 @@ class QtBatcher:
         """Accept one freshly committed quasi-transaction from ``origin``."""
         config = self.pipeline.config
         if not config.batching:
-            self._send(origin, [quasi], "direct")
+            self._send(origin, quasi.fragment, [quasi], "direct")
             return
-        pending = self._pending.setdefault(origin, [])
+        key = (origin, quasi.fragment)
+        pending = self._pending.setdefault(key, [])
         pending.append(quasi)
         if len(pending) >= config.batch_size:
-            self.flush(origin, "count")
-        elif origin not in self._timers:
+            self._flush_key(key, "count")
+        elif key not in self._timers:
             sim = self.pipeline.system.sim
-            label = self._flush_labels.get(origin)
+            label = self._flush_labels.get(key)
             if label is None:
-                label = self._flush_labels[origin] = f"batch flush {origin}"
-            self._timers[origin] = sim.schedule(
+                label = self._flush_labels[key] = (
+                    f"batch flush {origin}/{quasi.fragment}"
+                )
+            self._timers[key] = sim.schedule(
                 config.batch_window,
-                lambda: self.flush(origin, "window"),
+                lambda: self._flush_key(key, "window"),
                 label=label,
             )
 
     def flush(self, origin: str, sealed_by: str) -> None:
-        """Seal and broadcast ``origin``'s pending batch, if any."""
-        timer = self._timers.pop(origin, None)
+        """Seal and send every pending batch of ``origin``, if any."""
+        for key in sorted(k for k in self._pending if k[0] == origin):
+            self._flush_key(key, sealed_by)
+
+    def _flush_key(self, key: tuple[str, str], sealed_by: str) -> None:
+        """Seal and send one (origin, fragment) pending batch."""
+        origin, fragment = key
+        timer = self._timers.pop(key, None)
         if timer is not None:
             timer.cancel()
-        pending = self._pending.get(origin)
+        pending = self._pending.get(key)
         if not pending:
-            self._pending.pop(origin, None)
+            self._pending.pop(key, None)
             return
         if self.pipeline.system.nodes[origin].down:
             # Middleware holds the batch across the crash; the pipeline
             # re-flushes it when the origin recovers (sealed_by
             # "recovery").  Leave the pending list in place.
             return
-        del self._pending[origin]
-        self._send(origin, pending, sealed_by)
+        del self._pending[key]
+        self._send(origin, fragment, pending, sealed_by)
 
     def suspend(self, origin: str) -> None:
-        """Origin crashed: stop the flush timer, keep the pending batch."""
-        timer = self._timers.pop(origin, None)
-        if timer is not None:
-            timer.cancel()
+        """Origin crashed: stop the flush timers, keep the pending batches."""
+        for key in [k for k in self._timers if k[0] == origin]:
+            self._timers.pop(key).cancel()
 
     def _send(
-        self, origin: str, qts: list[QuasiTransaction], sealed_by: str
+        self,
+        origin: str,
+        fragment: str,
+        qts: list[QuasiTransaction],
+        sealed_by: str,
     ) -> None:
         pipeline = self.pipeline
         system = pipeline.system
@@ -149,12 +165,13 @@ class QtBatcher:
                 sealed_by=sealed_by,
                 txns=[quasi.source_txn for quasi in batch.qts],
             )
+        targets, stream = system.propagation_plan(fragment)
         if system.tracer.enabled:
             # Stamp the wire identity on the member spans *before* the
-            # broadcast: the sender's own delivery runs synchronously
-            # inside broadcast(), and downstream emit sites read the
-            # span.  next_seq() is what broadcast() will assign.
-            seq = system.broadcast.next_seq(origin)
+            # multicast: the sender's own delivery runs synchronously
+            # inside multicast(), and downstream emit sites read the
+            # span.  next_seq() is what multicast() will assign.
+            seq = system.broadcast.next_seq(origin, stream)
             for quasi in batch.qts:
                 if quasi.span is not None:
                     quasi.span.batch_id = batch.batch_id
@@ -164,10 +181,16 @@ class QtBatcher:
                 origin=origin,
                 batch_id=batch.batch_id,
                 seq=seq,
+                stream=stream,
                 sealed_by=sealed_by,
                 count=len(batch),
+                targets=None if targets is None else list(targets),
                 txns=[quasi.source_txn for quasi in batch.qts],
             )
-        system.broadcast.broadcast(
-            origin, {"type": QTB_TYPE, "batch": batch}, kind="qt"
+        system.broadcast.multicast(
+            origin,
+            {"type": QTB_TYPE, "batch": batch},
+            kind="qt",
+            targets=targets,
+            stream=stream,
         )

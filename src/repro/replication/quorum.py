@@ -1,0 +1,346 @@
+"""Quorum reads for fragments the submitting node does not replicate.
+
+Under partial replication a node holds only the fragments in whose
+replica sets it appears; a read-only transaction submitted elsewhere
+can no longer run against the local store.  The quorum-read service
+implements the read half of Kumar & Agarwal's quorum-consensus
+protocol adapted to the paper's update model:
+
+1. the submitting node fans a version request to every member of the
+   fragment's replica set;
+2. each live, reachable replica answers with the versions it currently
+   holds for the requested objects (its *vote*);
+3. once ``read_quorum`` votes are in (default: a majority of the
+   replica set), the highest version of each object wins the vote —
+   versions are totally ordered along the fragment's update stream, so
+   the winner is the newest state any quorum member has installed;
+4. the transaction body then executes at the submitting node with the
+   voted versions pinned via ``spec.meta['remote_versions']`` (the
+   same override channel the Section 4.1 remote-lock strategy uses).
+
+Because a majority is enough, reads keep being served when the
+fragment's agent node is crashed or partitioned away — the
+availability property the §4.4 protocols buy for updates extends to
+non-local reads.  The staleness bound: the voted version is at least
+as new as anything a majority of the replica set has installed, and
+version numbers observed by repeated quorum reads are monotone as long
+as quorums intersect (``2 * read_quorum > k``).
+
+The service is *not* a write quorum — updates still propagate through
+the replication pipeline — so a quorum read can trail the agent's own
+replica by in-flight propagation, exactly like a local read at any
+non-agent replica always could.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.transaction import RequestStatus, RequestTracker, TransactionSpec
+from repro.errors import DesignError
+from repro.net.message import Message
+from repro.obs import taxonomy
+from repro.storage.values import Version
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.node import DatabaseNode
+    from repro.core.system import FragmentedDatabase
+    from repro.sim.simulator import EventHandle
+
+#: Unicast kinds for the version-vote exchange.
+QREAD_REQ = "qread-req"
+QREAD_REP = "qread-rep"
+
+
+@dataclass(frozen=True, slots=True)
+class QuorumConfig:
+    """Policy knobs for the quorum-read service.
+
+    ``read_quorum=None`` (default) means a majority of each fragment's
+    replica set (``k // 2 + 1``); an explicit value is clamped to the
+    replica-set size.  ``timeout`` bounds how long a read waits for its
+    quorum before finishing ``TIMED_OUT`` — unreachable replicas never
+    answer, so the timer is what converts a lost quorum into a visible
+    outcome instead of a hung tracker.
+    """
+
+    read_quorum: int | None = None
+    timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.read_quorum is not None and self.read_quorum < 1:
+            raise DesignError("read_quorum must be >= 1 (or None)")
+        if self.timeout <= 0:
+            raise DesignError("timeout must be positive")
+
+
+@dataclass
+class _PendingRead:
+    """One in-flight quorum read: votes gathered, quorums still owed."""
+
+    spec: TransactionSpec
+    tracker: RequestTracker
+    node: str
+    #: fragment -> objects requested from that fragment's replica set.
+    objects: dict[str, list[str]]
+    #: fragment -> votes still required before the fragment resolves.
+    needed: dict[str, int]
+    #: fragment -> replier -> {object: version} vote.
+    votes: dict[str, dict[str, dict[str, Version]]] = field(
+        default_factory=dict
+    )
+    timer: "EventHandle | None" = None
+    done: bool = False
+
+
+class QuorumReadManager:
+    """Fan-out, vote collection, and version resolution for quorum reads."""
+
+    def __init__(self, config: QuorumConfig | None = None) -> None:
+        self.config = config or QuorumConfig()
+        self.system: "FragmentedDatabase | None" = None
+        self._pending: dict[str, _PendingRead] = {}
+        self._counter = 0
+
+    # -- wiring -------------------------------------------------------------
+
+    def attach(self, system: "FragmentedDatabase") -> None:
+        """Bind to the system: message handlers, counters, gauges."""
+        self.system = system
+        metrics = system.metrics
+        self._c_reads = metrics.counter("quorum.reads")
+        self._c_fanout = metrics.counter("quorum.requests_sent")
+        self._c_replies = metrics.counter("quorum.replies")
+        self._c_served = metrics.counter("quorum.served")
+        self._c_timeouts = metrics.counter("quorum.timeouts")
+        self._c_late = metrics.counter("quorum.late_replies")
+        metrics.gauge("quorum.pending_now", lambda: len(self._pending))
+        for node in system.nodes.values():
+            self.register_node(node)
+
+    def register_node(self, node: "DatabaseNode") -> None:
+        """Install the version-vote message handlers on one node."""
+        node.register_unicast(
+            QREAD_REQ, lambda msg, n=node: self._on_request(n, msg)
+        )
+        node.register_unicast(
+            QREAD_REP, lambda msg, n=node: self._on_reply(n, msg)
+        )
+
+    # -- submission-side API ------------------------------------------------
+
+    def remote_fragments(
+        self, node: str, spec: TransactionSpec
+    ) -> dict[str, list[str]]:
+        """Declared read objects grouped by non-local fragment.
+
+        Empty when every declared read is locally replicated (the
+        common case — reads stay a purely local operation, exactly as
+        before partial replication).
+        """
+        system = self.system
+        remote: dict[str, list[str]] = {}
+        for obj in spec.reads:
+            fragment = system.catalog.fragment_of(obj)
+            if not system.replicates(node, fragment):
+                remote.setdefault(fragment, []).append(obj)
+        return remote
+
+    def quorum_size(self, fragment: str) -> int:
+        """Votes required to resolve a read of ``fragment``."""
+        k = len(self.system.replica_set(fragment))
+        if self.config.read_quorum is None:
+            return k // 2 + 1
+        return min(self.config.read_quorum, k)
+
+    def begin_read(
+        self,
+        node: "DatabaseNode",
+        spec: TransactionSpec,
+        tracker: RequestTracker,
+        remote: dict[str, list[str]],
+    ) -> None:
+        """Start the version vote for one read-only transaction."""
+        system = self.system
+        self._c_reads.inc()
+        self._counter += 1
+        req_id = f"q{self._counter}"
+        state = _PendingRead(
+            spec=spec,
+            tracker=tracker,
+            node=node.name,
+            objects={f: sorted(objs) for f, objs in remote.items()},
+            needed={f: self.quorum_size(f) for f in remote},
+        )
+        self._pending[req_id] = state
+        if system.tracer.enabled:
+            system.tracer.emit(
+                taxonomy.QUORUM_READ_BEGIN,
+                txn=spec.txn_id,
+                req=req_id,
+                node=node.name,
+                fragments={
+                    f: {
+                        "objects": state.objects[f],
+                        "quorum": state.needed[f],
+                        "replicas": list(system.replica_set(f)),
+                    }
+                    for f in sorted(remote)
+                },
+            )
+        send = system.network.send
+        for fragment in sorted(remote):
+            request = {
+                "req": req_id,
+                "requester": node.name,
+                "fragment": fragment,
+                "objects": state.objects[fragment],
+            }
+            for replica in system.replica_set(fragment):
+                if replica == node.name:
+                    continue
+                self._c_fanout.inc()
+                send(node.name, replica, QREAD_REQ, request)
+        state.timer = system.sim.schedule(
+            self.config.timeout,
+            lambda: self._timeout(req_id),
+            label=f"quorum-read timeout {node.name}",
+        )
+
+    # -- replica side -------------------------------------------------------
+
+    def _on_request(self, node: "DatabaseNode", message: Message) -> None:
+        """A replica votes with the versions it currently holds."""
+        payload = message.payload
+        store = node.store
+        versions = {
+            obj: store.read_version(obj)
+            for obj in payload["objects"]
+            if store.exists(obj)
+        }
+        self.system.network.send(
+            node.name,
+            payload["requester"],
+            QREAD_REP,
+            {
+                "req": payload["req"],
+                "fragment": payload["fragment"],
+                "node": node.name,
+                "versions": versions,
+            },
+        )
+
+    # -- requester side -----------------------------------------------------
+
+    def _on_reply(self, node: "DatabaseNode", message: Message) -> None:
+        payload = message.payload
+        state = self._pending.get(payload["req"])
+        if state is None or state.done:
+            self._c_late.inc()
+            return
+        fragment = payload["fragment"]
+        if fragment not in state.needed:
+            return
+        votes = state.votes.setdefault(fragment, {})
+        if payload["node"] in votes:
+            return  # duplicate vote (retransmission)
+        votes[payload["node"]] = payload["versions"]
+        self._c_replies.inc()
+        if self.system.tracer.enabled:
+            self.system.tracer.emit(
+                taxonomy.QUORUM_READ_REPLY,
+                txn=state.spec.txn_id,
+                req=payload["req"],
+                fragment=fragment,
+                replica=payload["node"],
+                versions={
+                    obj: version.version_no
+                    for obj, version in payload["versions"].items()
+                },
+            )
+        if all(
+            len(state.votes.get(f, ())) >= needed
+            for f, needed in state.needed.items()
+        ):
+            self._resolve(payload["req"], state)
+
+    def _resolve(self, req_id: str, state: _PendingRead) -> None:
+        """Quorum reached on every fragment: vote and run the body."""
+        system = self.system
+        state.done = True
+        del self._pending[req_id]
+        if state.timer is not None:
+            state.timer.cancel()
+            state.timer = None
+        overrides: dict[str, Version] = dict(
+            state.spec.meta.get("remote_versions") or {}
+        )
+        for fragment, objects in state.objects.items():
+            votes = state.votes[fragment]
+            for obj in objects:
+                best: Version | None = None
+                for vote in votes.values():
+                    version = vote.get(obj)
+                    if version is None:
+                        continue
+                    if best is None or version.newer_than(best):
+                        best = version
+                if best is not None:
+                    overrides[obj] = best
+        state.spec.meta["remote_versions"] = overrides
+        self._c_served.inc()
+        if system.tracer.enabled:
+            system.tracer.emit(
+                taxonomy.QUORUM_READ_RESOLVE,
+                txn=state.spec.txn_id,
+                req=req_id,
+                node=state.node,
+                versions={
+                    obj: version.version_no
+                    for obj, version in sorted(overrides.items())
+                },
+                voters={
+                    f: sorted(votes) for f, votes in sorted(state.votes.items())
+                },
+            )
+        node = system.nodes[state.node]
+        if node.down:
+            # The requester crashed while the vote was in flight; its
+            # volatile scheduler state is gone, so the read cannot run.
+            state.tracker.finish(
+                RequestStatus.TIMED_OUT,
+                system.sim.now,
+                reason="quorum read requester crashed",
+            )
+            return
+        system.strategy.begin_readonly(system, node, state.spec, state.tracker)
+
+    def _timeout(self, req_id: str) -> None:
+        state = self._pending.pop(req_id, None)
+        if state is None or state.done:
+            return
+        state.done = True
+        state.timer = None
+        self._c_timeouts.inc()
+        missing = {
+            fragment: needed - len(state.votes.get(fragment, ()))
+            for fragment, needed in state.needed.items()
+            if len(state.votes.get(fragment, ())) < needed
+        }
+        if self.system.tracer.enabled:
+            self.system.tracer.emit(
+                taxonomy.QUORUM_READ_TIMEOUT,
+                txn=state.spec.txn_id,
+                req=req_id,
+                node=state.node,
+                missing=missing,
+            )
+        state.tracker.finish(
+            RequestStatus.TIMED_OUT,
+            self.system.sim.now,
+            reason=(
+                f"quorum read timed out waiting for "
+                f"{sorted(missing)} ({missing})"
+            ),
+        )

@@ -1,29 +1,28 @@
 """The discrete-event run loop.
 
-Two interchangeable scheduling cores live here:
+The scheduling core is a calendar-queue / event-wheel built for the
+dense zero- and small-delay traffic that batching, loopback delivery,
+and the install pipeline generate.  Near-term events land in per-tick
+buckets with O(1) appends; far timers park in an overflow heap and
+migrate as the wheel reaches their bucket.  Same-instant events fire as
+one *run* batched through a FIFO deque, so a zero-delay cascade never
+touches a heap at all.
 
-* ``"wheel"`` (default) — a calendar-queue / event-wheel scheduler
-  built for the dense zero- and small-delay traffic that batching,
-  loopback delivery, and the install pipeline generate.  Near-term
-  events land in per-tick buckets with O(1) appends; far timers park in
-  an overflow heap and migrate as the wheel reaches their bucket.
-  Same-instant events fire as one *run* batched through a FIFO deque,
-  so a zero-delay cascade never touches a heap at all.
-* ``"heap"`` — the original single binary heap, kept behind a flag for
-  one release so the determinism suite can prove the wheel equivalent
-  on real workloads (see ``tests/test_scheduler_equivalence.py``).
+Events fire in exactly ``(time, scheduling-order)`` order — the hard
+determinism contract that golden traces, the lineage auditor, and chaos
+seeds are built on — and cancelled-event tombstones are compacted once
+they outnumber live events, so cancel-heavy workloads (retransmit
+timers under chaos) keep bounded queues.
 
-Both cores fire events in exactly ``(time, scheduling-order)`` order —
-the hard determinism contract that golden traces, the lineage auditor,
-and chaos seeds are built on — and both compact cancelled-event
-tombstones once they outnumber live events, so cancel-heavy workloads
-(retransmit timers under chaos) keep bounded queues.
+(The original binary-heap core, kept behind ``REPRO_SIM_SCHEDULER=heap``
+for one release while ``tests/test_scheduler_equivalence.py`` proved the
+wheel fired identical schedules, has been removed; the wheel is the only
+core.)
 """
 
 from __future__ import annotations
 
 import heapq
-import os
 from collections import Counter, deque
 from collections.abc import Callable
 
@@ -31,12 +30,6 @@ from repro.errors import SimulationError
 from repro.obs.taxonomy import SIM_FIRE
 from repro.obs.trace import Tracer
 from repro.sim.events import Event, EventHandle
-
-#: Scheduler core used when ``Simulator(scheduler=None)`` — overridable
-#: per process via the ``REPRO_SIM_SCHEDULER`` environment variable
-#: (``"wheel"`` or ``"heap"``).  The heap core is deprecated and will be
-#: removed one release after the wheel ships.
-DEFAULT_SCHEDULER = "wheel"
 
 #: Tombstone floor: compaction never triggers below this many cancelled
 #: entries, so tiny runs never pay a rebuild.
@@ -65,10 +58,6 @@ class Simulator:
 
     Parameters
     ----------
-    scheduler:
-        ``"wheel"`` (default) or ``"heap"``; ``None`` reads
-        ``REPRO_SIM_SCHEDULER`` falling back to
-        :data:`DEFAULT_SCHEDULER`.
     wheel_width:
         Simulated-time span of one wheel bucket.
     wheel_slots:
@@ -88,22 +77,13 @@ class Simulator:
     def __init__(
         self,
         tracer: Tracer | None = None,
-        scheduler: str | None = None,
         wheel_width: float = 1.0,
         wheel_slots: int = 1024,
     ) -> None:
-        if scheduler is None:
-            scheduler = os.environ.get("REPRO_SIM_SCHEDULER", DEFAULT_SCHEDULER)
-        if scheduler not in ("wheel", "heap"):
-            raise SimulationError(
-                f"unknown scheduler {scheduler!r} (expected 'wheel' or 'heap')"
-            )
         if wheel_width <= 0:
             raise SimulationError("wheel_width must be positive")
         if wheel_slots < 2:
             raise SimulationError("wheel_slots must be >= 2")
-        self.scheduler = scheduler
-        self._is_heap = scheduler == "heap"
         self._now = 0.0
         self._seq = 0
         self._running = False
@@ -115,9 +95,6 @@ class Simulator:
         #: (1 = every event).  Sampling only thins the firehose channel;
         #: all other trace events stay exact.
         self.fire_trace_every = 1
-        # -- heap core state --
-        self._queue: list[Event] = []
-        # -- wheel core state --
         self._width = wheel_width
         self._slots = wheel_slots
         self._wheel: list[list[Event]] = [[] for _ in range(wheel_slots)]
@@ -159,8 +136,6 @@ class Simulator:
         regression tests assert it stays bounded under cancel-heavy
         workloads.
         """
-        if self._is_heap:
-            return len(self._queue)
         n = self._wheel_len + len(self._overflow) + len(self._run_batch)
         if self._local is not None:
             n += len(self._local)
@@ -193,10 +168,7 @@ class Simulator:
         event = Event(self._now + delay, self._seq, callback, label)
         self._seq += 1
         self._pending += 1
-        if self._is_heap:
-            heapq.heappush(self._queue, event)
-        else:
-            self._wheel_insert(event)
+        self._wheel_insert(event)
         return EventHandle(event, on_cancel=self._on_cancel)
 
     def schedule_at(
@@ -232,24 +204,19 @@ class Simulator:
             raise SimulationError("run() called re-entrantly from a callback")
         self._running = True
         try:
-            if self._is_heap:
-                self._run_heap(until, max_events)
+            try:
+                self._run_wheel(until, max_events)
+            finally:
+                # Rebase on every exit (drain, ``until``, or an
+                # exception out of a callback): park any still-
+                # bucketed events in the time-keyed overflow heap
+                # and realign the cursor with the clock.  This keeps
+                # the wheel's one invariant — every bucketed event's
+                # index lies in [cursor, cursor + slots) — without
+                # special-casing how the loop stopped.
                 if until is not None and self._now < until:
                     self._now = until
-            else:
-                try:
-                    self._run_wheel(until, max_events)
-                finally:
-                    # Rebase on every exit (drain, ``until``, or an
-                    # exception out of a callback): park any still-
-                    # bucketed events in the time-keyed overflow heap
-                    # and realign the cursor with the clock.  This keeps
-                    # the wheel's one invariant — every bucketed event's
-                    # index lies in [cursor, cursor + slots) — without
-                    # special-casing how the loop stopped.
-                    if until is not None and self._now < until:
-                        self._now = until
-                    self._rebase_wheel()
+                self._rebase_wheel()
         finally:
             self._running = False
 
@@ -264,43 +231,6 @@ class Simulator:
                 f"cannot advance backwards (now={self._now}, target={time})"
             )
         self.run(until=time)
-
-    # -- heap core --------------------------------------------------------
-
-    def _run_heap(self, until: float | None, max_events: int) -> None:
-        budget = max_events
-        # Labels of recently fired events, recorded only once the
-        # budget is nearly spent so the normal path pays nothing.
-        recent: list[str] | None = None
-        # No local alias for the queue: tombstone compaction (triggered
-        # from cancellations inside callbacks) rebuilds self._queue.
-        while self._queue:
-            queue = self._queue
-            event = queue[0]
-            if event.cancelled:
-                heapq.heappop(queue)
-                self._cancelled -= 1
-                continue
-            if until is not None and event.time > until:
-                break
-            heapq.heappop(queue)
-            self._now = event.time
-            event.fired = True
-            self._pending -= 1
-            self._fired += 1
-            tracer = self._tracer
-            if tracer is not None and tracer.enabled:
-                every = self.fire_trace_every
-                if every <= 1 or self._fired % every == 0:
-                    tracer.emit(SIM_FIRE, label=event.label)
-            if recent is None and budget <= 2048:
-                recent = []
-            if recent is not None:
-                recent.append(event.label or "<unlabelled>")
-            event.callback()
-            budget -= 1
-            if budget <= 0:
-                self._raise_exhausted(max_events, recent)
 
     # -- wheel core -------------------------------------------------------
 
@@ -324,6 +254,8 @@ class Simulator:
 
     def _run_wheel(self, until: float | None, max_events: int) -> None:
         budget = max_events
+        # Labels of recently fired events, recorded only once the
+        # budget is nearly spent so the normal path pays nothing.
         recent: list[str] | None = None
         width = self._width
         slots = self._slots
@@ -436,14 +368,14 @@ class Simulator:
         """Park all bucketed events in the overflow heap and realign the
         cursor with the clock.
 
-        Called whenever a ``run()`` on the wheel core returns.  Between
-        runs the only invariant that matters is "every queued event is
-        keyed by its absolute time"; the overflow heap provides it
-        unconditionally, and the next run migrates events back into
-        buckets as the wheel reaches them.  Without this, a premature
-        exit (``until`` hit, budget exhausted, a callback raising) can
-        leave the cursor ahead of the clock, where a later zero-delay
-        insert would land in a bucket the scan has already passed.
+        Called whenever a ``run()`` returns.  Between runs the only
+        invariant that matters is "every queued event is keyed by its
+        absolute time"; the overflow heap provides it unconditionally,
+        and the next run migrates events back into buckets as the wheel
+        reaches them.  Without this, a premature exit (``until`` hit,
+        budget exhausted, a callback raising) can leave the cursor ahead
+        of the clock, where a later zero-delay insert would land in a
+        bucket the scan has already passed.
         """
         if self._wheel_len:
             overflow = self._overflow
@@ -483,28 +415,22 @@ class Simulator:
 
     def _compact(self) -> None:
         removed = 0
-        if self.scheduler == "heap":
-            live = [event for event in self._queue if not event.cancelled]
-            removed = len(self._queue) - len(live)
-            heapq.heapify(live)
-            self._queue = live
-        else:
-            for index, slot in enumerate(self._wheel):
-                if not slot:
-                    continue
-                live_slot = [event for event in slot if not event.cancelled]
-                dropped = len(slot) - len(live_slot)
-                if dropped:
-                    self._wheel[index] = live_slot
-                    self._wheel_len -= dropped
-                    removed += dropped
-            live_over = [
-                entry for entry in self._overflow if not entry[2].cancelled
-            ]
-            removed += len(self._overflow) - len(live_over)
-            heapq.heapify(live_over)
-            self._overflow = live_over
-            # The transient run/local structures are left alone: they
-            # are drained within the current bucket anyway, and their
-            # tombstones keep their _cancelled accounting until popped.
+        for index, slot in enumerate(self._wheel):
+            if not slot:
+                continue
+            live_slot = [event for event in slot if not event.cancelled]
+            dropped = len(slot) - len(live_slot)
+            if dropped:
+                self._wheel[index] = live_slot
+                self._wheel_len -= dropped
+                removed += dropped
+        live_over = [
+            entry for entry in self._overflow if not entry[2].cancelled
+        ]
+        removed += len(self._overflow) - len(live_over)
+        heapq.heapify(live_over)
+        self._overflow = live_over
+        # The transient run/local structures are left alone: they are
+        # drained within the current bucket anyway, and their tombstones
+        # keep their _cancelled accounting until popped.
         self._cancelled -= removed

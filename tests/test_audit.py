@@ -255,6 +255,42 @@ class TestCorruptedTraces:
         first = report.checks["agreement"].violations[0]
         assert "slot" in first.message or "disagree" in first.message
 
+    def test_install_outside_replica_set_trips_replication(
+        self, clean_events
+    ):
+        def corrupt(events):
+            # The catalog claims F lives on A and B only; the trace's
+            # installs at C are now replication-discipline violations.
+            index = _first_of(events, taxonomy.SYSTEM_CATALOG)
+            events[index]["fragments"]["F"]["replicas"] = ["A", "B"]
+
+        report = self.corrupt_and_audit(clean_events, corrupt)
+        assert not report.checks["replication"].ok
+        first = report.checks["replication"].violations[0]
+        assert "outside its replica set" in first.message
+        assert first.event["node"] == "C"
+        # The other per-node checks still hold at C — FIFO order and
+        # slot agreement are about *how* installs happened, replication
+        # about *where*.
+        assert report.checks["fifo_order"].ok
+        assert report.checks["agreement"].ok
+
+    def test_catalog_without_replicas_skips_replication_check(
+        self, clean_events
+    ):
+        def corrupt(events):
+            # A trace recorded by an older release: no replica-set info.
+            index = _first_of(events, taxonomy.SYSTEM_CATALOG)
+            for spec in events[index]["fragments"].values():
+                spec.pop("replicas", None)
+
+        events = copy.deepcopy(clean_events)
+        corrupt(events)
+        report = audit_events(events, protocol="with-data")
+        assert report.ok
+        assert not report.checks["replication"].checked
+        assert "replica-set" in report.checks["replication"].reason
+
 
 class TestTraceFileRoundTrip:
     def test_audit_trace_groups_by_run(self, tmp_path, clean_events):

@@ -64,3 +64,30 @@ class TestCli:
         out = capsys.readouterr().out
         assert "trace summary" in out
         assert "message.send" in out
+
+    def test_partial_bench_reduced_run(self, capsys, tmp_path):
+        path = str(tmp_path / "bench.json")
+        assert main([
+            "partial-bench", "--nodes", "6", "--fragments", "3",
+            "--updates", "30", "--factors", "2", "3", "--json", path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "E19" in out
+        assert "all gates OK" in out
+        # The record it just wrote gates cleanly (and, being fully
+        # deterministic, matches an immediate re-run exactly).
+        assert main([
+            "partial-bench", "--nodes", "6", "--fragments", "3",
+            "--updates", "30", "--factors", "2", "3", "--check", path,
+        ]) == 0
+
+    def test_chaos_with_partial_replication(self, capsys):
+        assert main([
+            "chaos", "--seed", "5", "--protocol", "with-seqno",
+            "--replication-factor", "2", "--quorum-reads", "3",
+            "--bursts", "0", "--flaps", "0", "--crashes", "0",
+            "--partitions", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "with-seqno" in out
+        assert "OK" in out

@@ -194,13 +194,17 @@ class TestPartialReplication:
         assert not db.nodes["C"].store.exists("x")
         assert db.nodes["C"].store.exists("y")  # G fully replicated
 
-    def test_updates_skip_non_replicating_nodes(self):
+    def test_updates_multicast_only_to_replica_set(self):
         db = self.make_db()
+        before = db.network.messages_by_kind.get("qt", 0)
         db.submit_update("ag", write_body("x", 7), writes=["x"])
         db.quiesce()
         assert db.nodes["B"].store.read("x") == 7
         assert not db.nodes["C"].store.exists("x")
-        assert db.nodes["C"].quasi_skipped == 1
+        # C is not in F's replica set: it never even receives the
+        # quasi-transaction (multicast, not broadcast-then-skip).
+        assert db.nodes["C"].quasi_skipped == 0
+        assert db.network.messages_by_kind.get("qt", 0) - before == 1
 
     def test_mutual_consistency_over_common_objects(self):
         db = self.make_db()
@@ -210,12 +214,26 @@ class TestPartialReplication:
         report = db.mutual_consistency()
         assert report.consistent  # C's missing x is not divergence
 
-    def test_reading_at_non_replicating_node_fails_loudly(self):
+    def test_reading_at_non_replicating_node_uses_quorum(self):
+        db = self.make_db()
+        db.submit_update("ag", write_body("x", 7), writes=["x"])
+        db.quiesce()
+        observed = []
+        tracker = db.submit_readonly(
+            "other",
+            scripted_body([("r", "x")], collect=observed),
+            at="C",
+            reads=["x"],
+        )
+        db.quiesce()
+        assert tracker.succeeded
+        assert observed == [("x", 7)]
+        assert db.metrics.value("quorum.served") == 1
+
+    def test_undeclared_nonlocal_read_still_fails_loudly(self):
         db = self.make_db()
         with pytest.raises(ReproError):
-            db.submit_readonly(
-                "other", scripted_body([("r", "x")]), at="C", reads=["x"]
-            )
+            db.submit_readonly("other", scripted_body([("r", "x")]), at="C")
 
     def test_replica_set_must_include_agent_home(self):
         db = FragmentedDatabase(["A", "B"])

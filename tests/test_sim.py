@@ -170,9 +170,8 @@ class TestCancellation:
 class TestTombstoneCompaction:
     """Cancelled events must not accumulate in the queue structures."""
 
-    @pytest.mark.parametrize("scheduler", ["heap", "wheel"])
-    def test_cancel_heavy_workload_bounded_queue(self, scheduler):
-        sim = Simulator(scheduler=scheduler)
+    def test_cancel_heavy_workload_bounded_queue(self):
+        sim = Simulator()
         # A chaos-style retransmit pattern: arm a timer, cancel it on
         # the (simulated) ack, repeat.  Without compaction the queue
         # grows with the cancellation history; with it, queue_len stays
@@ -192,9 +191,8 @@ class TestTombstoneCompaction:
         assert peak < 500
         assert sim.queue_len < 200
 
-    @pytest.mark.parametrize("scheduler", ["heap", "wheel"])
-    def test_live_events_survive_compaction(self, scheduler):
-        sim = Simulator(scheduler=scheduler)
+    def test_live_events_survive_compaction(self):
+        sim = Simulator()
         fired = []
         keep = [
             sim.schedule(float(i + 1), lambda i=i: fired.append(i))
@@ -208,9 +206,8 @@ class TestTombstoneCompaction:
         sim.run()
         assert fired == list(range(10))
 
-    @pytest.mark.parametrize("scheduler", ["heap", "wheel"])
-    def test_cancel_during_run_compacts_safely(self, scheduler):
-        sim = Simulator(scheduler=scheduler)
+    def test_cancel_during_run_compacts_safely(self):
+        sim = Simulator()
         fired = []
         handles = []
 
@@ -272,7 +269,7 @@ class TestWheelScheduler:
     """Behaviour specific to the calendar-queue core."""
 
     def test_far_timers_overflow_and_fire(self):
-        sim = Simulator(scheduler="wheel", wheel_slots=16, wheel_width=1.0)
+        sim = Simulator(wheel_slots=16, wheel_width=1.0)
         fired = []
         sim.schedule(2.0, lambda: fired.append("near"))
         sim.schedule(1000.0, lambda: fired.append("far"))
@@ -282,7 +279,7 @@ class TestWheelScheduler:
         assert sim.now == 10_000.0
 
     def test_callback_scheduling_into_current_bucket(self):
-        sim = Simulator(scheduler="wheel", wheel_width=10.0)
+        sim = Simulator(wheel_width=10.0)
         fired = []
 
         def first():
@@ -298,7 +295,7 @@ class TestWheelScheduler:
                          "same-bucket"]
 
     def test_until_mid_bucket_preserves_leftovers(self):
-        sim = Simulator(scheduler="wheel", wheel_width=10.0)
+        sim = Simulator(wheel_width=10.0)
         fired = []
         for t in (1.0, 2.0, 3.0, 8.0, 9.0):
             sim.schedule(t, lambda t=t: fired.append(t))
@@ -310,17 +307,18 @@ class TestWheelScheduler:
         sim.run()
         assert fired == [1.0, 2.0, 3.0, "immediate", 8.0, 9.0]
 
-    def test_rejects_unknown_scheduler(self):
+    def test_rejects_bad_wheel_geometry(self):
         with pytest.raises(SimulationError):
-            Simulator(scheduler="btree")
+            Simulator(wheel_width=0.0)
+        with pytest.raises(SimulationError):
+            Simulator(wheel_slots=1)
 
-    def test_env_var_selects_scheduler(self, monkeypatch):
-        monkeypatch.setenv("REPRO_SIM_SCHEDULER", "heap")
-        assert Simulator().scheduler == "heap"
-        monkeypatch.setenv("REPRO_SIM_SCHEDULER", "wheel")
-        assert Simulator().scheduler == "wheel"
-        # An explicit argument beats the environment.
-        assert Simulator(scheduler="heap").scheduler == "heap"
+    def test_heap_fallback_is_gone(self):
+        # The REPRO_SIM_SCHEDULER=heap escape hatch was removed after
+        # its deprecation release; the constructor no longer takes a
+        # scheduler selector at all.
+        with pytest.raises(TypeError):
+            Simulator(scheduler="heap")
 
 
 class TestTrace:
