@@ -31,8 +31,18 @@ order is causal order) and verifies:
 * **replication** — installs land only at replica-set members: the
   ``system.catalog`` event records each fragment's replica set, and an
   install of the fragment at any other node is a propagation-scoping
-  bug (a multicast that leaked outside the set).  Skipped for traces
-  predating the catalog's ``replicas`` field, never silently assumed.
+  bug (a multicast that leaked outside the set).  The replica set is
+  the one *in force at install time*: ``system.reconfig`` events move
+  it forward mid-trace, so an online join/leave re-scopes the check
+  from that point on.  Skipped for traces predating the catalog's
+  ``replicas`` field, never silently assumed;
+* **epoch-fencing** — stream epochs fence minting rights (the
+  availability supervisor's failover safety argument): commits are
+  never minted in an epoch older than the newest one opened for the
+  fragment (a fenced-out ex-home kept writing), no two nodes mint in
+  the same ``(fragment, epoch)`` without a token arrival between them
+  (split brain), and membership epochs on ``system.reconfig`` events
+  strictly increase per fragment.
 
 Not every protocol promises every invariant.  The instant-move
 baseline (``none``) exists to *demonstrate* stream-order divergence,
@@ -66,6 +76,7 @@ ALL_CHECKS = (
     "token_uniqueness",
     "agreement",
     "replication",
+    "epoch_fencing",
 )
 
 #: Checks a protocol deliberately does not promise (Section 4.4 matrix).
@@ -143,6 +154,8 @@ class AuditReport:
     #: checkpoints catch-up donors shipped to below-horizon rejoiners.
     checkpoints: int = 0
     snapshots_shipped: int = 0
+    epoch_cuts: int = 0
+    reconfigurations: int = 0
     checks: dict[str, CheckResult] = field(default_factory=dict)
 
     @property
@@ -170,6 +183,8 @@ class AuditReport:
             "installs": self.installs,
             "checkpoints": self.checkpoints,
             "snapshots_shipped": self.snapshots_shipped,
+            "epoch_cuts": self.epoch_cuts,
+            "reconfigurations": self.reconfigurations,
             "violation_count": self.violation_count,
             "checks": {
                 name: self.checks[name].as_dict()
@@ -200,6 +215,14 @@ class _Auditor:
         # the ``replicas`` field (the check is then skipped, see finish()).
         self.fragment_replicas: dict[str, set[str] | None] = {}
         self.replicas_known = False
+        # Epoch fencing: membership epoch in force (catalog + reconfig
+        # events), newest stream epoch opened per fragment, and which
+        # node holds minting rights per (fragment, stream epoch).  A
+        # token arrival hands minting rights on within an epoch, so
+        # arrivals clear the entries for the moved fragments.
+        self.membership_epoch: dict[str, int] = {}
+        self.max_epoch: dict[str, int] = {}
+        self.epoch_minter: dict[tuple[str, int], str] = {}
         # Token state machine: agent -> home node / in-flight move.
         self.agent_home: dict[str, str] = {}
         self.in_transit: dict[str, tuple[str, str]] = {}  # agent -> (src, dst)
@@ -225,6 +248,10 @@ class _Auditor:
             self._on_depart(event)
         elif etype == taxonomy.TOKEN_MOVE_ARRIVE:
             self._on_arrive(event)
+        elif etype == taxonomy.SYSTEM_RECONFIG:
+            self._on_reconfig(event)
+        elif etype == taxonomy.AVAIL_EPOCH_CUT:
+            self._on_epoch_cut(event)
         elif etype == taxonomy.RECOVERY_CHECKPOINT:
             self.report.checkpoints += 1
         elif etype == taxonomy.RECOVERY_CATCHUP_SNAPSHOT:
@@ -242,8 +269,61 @@ class _Auditor:
             else:
                 self.fragment_replicas[name] = set(replicas)
                 self.replicas_known = True
+            epoch = spec.get("epoch")
+            if epoch is not None:
+                self.membership_epoch[name] = int(epoch)
         for agent, home in (event.get("agents") or {}).items():
             self.agent_home.setdefault(agent, home)
+
+    def _on_reconfig(self, event: dict[str, Any]) -> None:
+        """An online replica-set change: re-scope replication, fence epochs."""
+        self.report.reconfigurations += 1
+        fragment = event.get("fragment")
+        if fragment is None:
+            return
+        replicas = event.get("replicas")
+        if replicas is not None:
+            self.fragment_replicas[fragment] = set(replicas)
+            self.replicas_known = True
+        epoch = event.get("epoch")
+        check = self.report.checks["epoch_fencing"]
+        if epoch is not None:
+            previous = self.membership_epoch.get(fragment)
+            if (
+                check.checked
+                and previous is not None
+                and int(epoch) <= previous
+            ):
+                check.add(
+                    f"reconfiguration of fragment {fragment} carries "
+                    f"membership epoch {epoch}, not above the previous "
+                    f"epoch {previous}",
+                    event,
+                )
+            self.membership_epoch[fragment] = int(epoch)
+
+    def _on_epoch_cut(self, event: dict[str, Any]) -> None:
+        """A failover opened a new stream epoch at the successor."""
+        self.report.epoch_cuts += 1
+        fragment = event.get("fragment")
+        epoch = event.get("epoch")
+        node = event.get("node")
+        if fragment is None or epoch is None:
+            return
+        epoch = int(epoch)
+        check = self.report.checks["epoch_fencing"]
+        if check.checked and epoch <= self.max_epoch.get(fragment, -1):
+            check.add(
+                f"epoch cut opened epoch {epoch} for fragment {fragment} "
+                f"at or below an already-open epoch "
+                f"{self.max_epoch[fragment]}",
+                event,
+            )
+        self.max_epoch[fragment] = max(
+            self.max_epoch.get(fragment, 0), epoch
+        )
+        if node is not None:
+            self.epoch_minter[(fragment, epoch)] = node
 
     # -- installs ---------------------------------------------------------
 
@@ -324,6 +404,26 @@ class _Auditor:
     ) -> None:
         checks = self.report.checks
         agent = event.get("agent")
+        epoch = int(event.get("epoch", 0))
+        fencing = checks["epoch_fencing"]
+        if fencing.checked:
+            newest = self.max_epoch.get(fragment, 0)
+            if epoch < newest:
+                fencing.add(
+                    f"commit {txn} minted at node {node} in stale epoch "
+                    f"{epoch} of fragment {fragment}, after epoch "
+                    f"{newest} was opened",
+                    event,
+                )
+            minter = self.epoch_minter.setdefault((fragment, epoch), node)
+            if minter != node:
+                fencing.add(
+                    f"commit {txn} minted at node {node} in epoch {epoch} "
+                    f"of fragment {fragment}, already minted at {minter} "
+                    f"with no token arrival in between",
+                    event,
+                )
+        self.max_epoch[fragment] = max(self.max_epoch.get(fragment, 0), epoch)
         if checks["token_uniqueness"].checked and agent in self.in_transit:
             src, dst = self.in_transit[agent]
             checks["token_uniqueness"].add(
@@ -405,6 +505,14 @@ class _Auditor:
                     event,
                 )
         self.agent_home[agent] = dst
+        # A legitimate arrival hands minting rights on: the new home may
+        # mint in the fragments' current epochs without tripping the
+        # two-minters fence.
+        fragments = event.get("fragments") or ()
+        if fragments:
+            moved = set(fragments)
+            for key in [k for k in self.epoch_minter if k[0] in moved]:
+                del self.epoch_minter[key]
 
     # -- whole-trace checks ------------------------------------------------
 

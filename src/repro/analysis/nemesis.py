@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 from repro.analysis.audit import audit_events
 from repro.analysis.torture import GUARANTEES, PROTOCOLS, _try_move
+from repro.availability import AvailabilityConfig
 from repro.cc.ops import Read, Write
 from repro.core.system import FragmentedDatabase
 from repro.core.transaction import RequestStatus, scripted_body
@@ -82,6 +83,15 @@ class NemesisConfig:
     #: existing seeds' schedules untouched.
     replication_factor: int | None = None
     n_quorum_reads: int = 0
+    #: ``n_agent_kills`` crash-stops the agent's *current home* (no
+    #: ``unless_agent_home`` rail — this knob exists to kill the home)
+    #: at drawn times; ``failover`` arms the availability supervisor so
+    #: a killed home is detected and the agent fails over to a live
+    #: replica.  Kill draws come after every other dimension's, guarded
+    #: by the count, so zeroed knobs leave existing seeds' schedules
+    #: bit-identical.
+    n_agent_kills: int = 0
+    failover: bool = False
 
     def message_faults_only(self) -> bool:
         """True when the plan perturbs messages but never connectivity.
@@ -93,7 +103,12 @@ class NemesisConfig:
         claim.  Bursts only raise the loss rate, so they are message
         faults too.
         """
-        return not (self.n_flaps or self.n_crashes or self.n_partitions)
+        return not (
+            self.n_flaps
+            or self.n_crashes
+            or self.n_partitions
+            or self.n_agent_kills
+        )
 
 
 @dataclass
@@ -125,6 +140,12 @@ class NemesisResult:
     quorum_reads: int = 0
     quorum_served: int = 0
     quorum_timeouts: int = 0
+    quorum_retries: int = 0
+    suspicions: int = 0
+    failovers: int = 0
+    epoch_cuts: int = 0
+    demotions: int = 0
+    updates_blocked: int = 0
 
     def respects_guarantees(self) -> bool:
         """True iff the run satisfied its protocol's promised matrix.
@@ -222,6 +243,16 @@ def run_nemesis(
     plan_rng = root.fork("plan")
     nodes = [f"N{i}" for i in range(config.n_nodes)]
     plan = build_fault_plan(plan_rng, nodes, config)
+    # Agent-kill draws come from the same plan stream, strictly after
+    # the FaultPlan's own dimensions and only when the knob is armed, so
+    # a config with n_agent_kills=0 replays existing seeds unchanged.
+    agent_kills: list[tuple[float, float]] = []
+    if config.n_agent_kills:
+        for _ in range(config.n_agent_kills):
+            at = plan_rng.uniform(
+                config.horizon * 0.15, config.horizon * 0.55
+            )
+            agent_kills.append((at, plan_rng.uniform(25.0, 45.0)))
     empty = not (
         plan.message_faults or plan.flaps or plan.crashes or plan.partitions
     )
@@ -240,6 +271,7 @@ def run_nemesis(
         reliable=config.reliable,
         recovery=recovery,
         replication_factor=config.replication_factor,
+        availability=AvailabilityConfig() if config.failover else None,
     )
     db.enable_tracing(
         trace_path,
@@ -251,6 +283,28 @@ def run_nemesis(
     db.add_fragment("F", agent="ag", objects=objects)
     db.load({obj: 0 for obj in objects})
     db.finalize()
+    if config.failover:
+        db.availability.start(until=config.horizon)
+
+    def kill_home(down_for: float) -> None:
+        # Kill whichever node is the agent's home *when the kill fires*
+        # (a scheduled move may have relocated it since the draw).
+        home = db.agents["ag"].home_node
+        if db.nodes[home].down:
+            return
+        db.fail_node(home)
+        db.sim.schedule(
+            down_for,
+            lambda name=home: (
+                db.recover_node(name) if db.nodes[name].down else None
+            ),
+            label=f"nemesis agent-kill recovery {home}",
+        )
+
+    for at, down_for in agent_kills:
+        db.sim.schedule_at(
+            at, lambda d=down_for: kill_home(d), label="nemesis agent-kill"
+        )
 
     trackers = []
 
@@ -363,4 +417,10 @@ def run_nemesis(
         quorum_timeouts=sum(
             1 for t in read_trackers if t.status is RequestStatus.TIMED_OUT
         ),
+        quorum_retries=int(db.metrics.value("quorum.retries") or 0),
+        suspicions=int(db.metrics.value("avail.suspicions") or 0),
+        failovers=int(db.metrics.value("avail.failovers") or 0),
+        epoch_cuts=int(db.metrics.value("avail.epoch_cuts") or 0),
+        demotions=int(db.metrics.value("avail.demotions") or 0),
+        updates_blocked=int(db.metrics.value("avail.updates_blocked") or 0),
     )

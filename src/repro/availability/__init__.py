@@ -1,0 +1,21 @@
+"""Availability supervisor: detection, failover, reconfiguration.
+
+The paper's Section 4.4 shows *how* an agent can move when its home
+node goes down; this package supplies the *who decides*: a per-agent
+heartbeat failure detector, automatic majority-vote token succession
+through the existing movement machinery, epoch cuts that fence the
+dead home's committed-but-unpropagated suffix, and online replica-set
+reconfiguration (add/remove a replica without stopping the fragment).
+"""
+
+from repro.availability.reconfig import Reconfigurator
+from repro.availability.supervisor import (
+    AvailabilityConfig,
+    AvailabilitySupervisor,
+)
+
+__all__ = [
+    "AvailabilityConfig",
+    "AvailabilitySupervisor",
+    "Reconfigurator",
+]

@@ -86,6 +86,7 @@ class HistoryRecorder:
         self._by_id: dict[str, CommittedTxn] = {}
         self.aborted: list[tuple[str, str]] = []  # (txn_id, reason)
         self.rejected: list[tuple[str, str]] = []  # (txn_id, reason)
+        self.orphaned: dict[str, str] = {}  # txn_id -> reason
 
     # -- recording ----------------------------------------------------------
 
@@ -106,16 +107,50 @@ class HistoryRecorder:
         """Record an availability loss: the system refused the request."""
         self.rejected.append((txn_id, reason))
 
+    def record_orphan(self, txn_id: str, reason: str) -> None:
+        """Mark a committed transaction as discarded by a failover cut.
+
+        The paper's Section 2 orphans made explicit: the transaction
+        committed at its home node but its effects were declared lost
+        by an epoch cut before propagating.  Serializability is judged
+        over the *surviving* history — an orphan's stream slot is
+        legitimately re-minted by the successor in the new epoch.
+        """
+        self.orphaned.setdefault(txn_id, reason)
+
     # -- queries ---------------------------------------------------------
 
     def transaction(self, txn_id: str) -> CommittedTxn:
         """Lookup by id; raises KeyError if unknown."""
         return self._by_id[txn_id]
 
+    @property
+    def surviving(self) -> list[CommittedTxn]:
+        """Committed transactions minus failover orphans.
+
+        Identical to ``committed`` (same list object, no copy) on runs
+        without epoch cuts, so the common path costs nothing.
+        """
+        if not self.orphaned:
+            return self.committed
+        return [t for t in self.committed if t.txn_id not in self.orphaned]
+
+    def observed_orphan(self, txn: CommittedTxn) -> bool:
+        """True if any of the transaction's reads saw a discarded write.
+
+        Such observations belong to the cut-off branch of history: the
+        version they name was re-minted with a different value by the
+        successor, so comparing them against surviving version numbers
+        would fabricate dependencies that never existed.
+        """
+        if not self.orphaned:
+            return False
+        return any(read.writer in self.orphaned for read in txn.reads)
+
     def updates_of_fragment(self, fragment: str) -> list[CommittedTxn]:
         """The set ``U(F_i)`` of the paper, in stream order."""
         selected = [
-            t for t in self.committed
+            t for t in self.surviving
             if t.fragment == fragment and t.is_update
         ]
         selected.sort(key=lambda t: (t.stream_seq if t.stream_seq is not None
@@ -130,7 +165,7 @@ class HistoryRecorder:
         broadcast.
         """
         order: dict[str, list[tuple[int, str]]] = defaultdict(list)
-        for txn in self.committed:
+        for txn in self.surviving:
             for write in txn.writes:
                 order[write.obj].append((write.version_no, txn.txn_id))
         for versions in order.values():

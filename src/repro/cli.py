@@ -243,6 +243,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         recovery_grace=args.recovery_grace,
         replication_factor=args.replication_factor,
         n_quorum_reads=args.quorum_reads,
+        n_agent_kills=args.kill_agent,
+        failover=args.failover,
     )
     protocols = [args.protocol] if args.protocol else list(PROTOCOLS)
     seeds = (
@@ -282,6 +284,15 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 print(
                     f"{protocol}@{seed}: audit: {result.audit_first}",
                     file=sys.stderr,
+                )
+            if config.failover:
+                print(
+                    f"{protocol}@{seed}: availability: "
+                    f"suspicions={result.suspicions} "
+                    f"failovers={result.failovers} "
+                    f"epoch_cuts={result.epoch_cuts} "
+                    f"demotions={result.demotions} "
+                    f"blocked={result.updates_blocked}"
                 )
     print(
         format_table(
@@ -618,6 +629,66 @@ def cmd_partial_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_failover_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.failover_bench import (
+        check_gates,
+        load_committed,
+        run_failover_bench,
+        write_result,
+    )
+
+    result = run_failover_bench(
+        nodes=args.nodes,
+        fragments=args.fragments,
+        updates=args.updates,
+        factor=args.factor,
+        seed=args.seed,
+    )
+    rows = []
+    for tag in ("supervised", "unsupervised"):
+        mode = result[tag]
+        rows.append([
+            tag,
+            f"{mode['committed']}/{mode['submitted']}",
+            mode["blocked"],
+            mode["attempts"],
+            mode["failovers"],
+            mode["demotions"],
+            round(mode["max_unavailability"], 1),
+            round(mode["mttr_max"], 1),
+            mode["audit_ok"],
+        ])
+    print(
+        format_table(
+            ["mode", "committed", "blocked", "attempts", "failovers",
+             "demotions", "max-unavail", "mttr-max", "audit"],
+            rows,
+            title=(
+                f"E20 — availability failover: {args.nodes} nodes, "
+                f"{args.fragments} fragments, k={args.factor}, "
+                f"seed {args.seed}"
+            ),
+        )
+    )
+    committed = None
+    if args.check:
+        committed = load_committed(args.check)
+        if committed is None:
+            print(f"error: no committed benchmark at {args.check}",
+                  file=sys.stderr)
+            return 1
+    ok, problems = check_gates(result, committed, args.tolerance)
+    for problem in problems:
+        print("GATE FAILED: " + problem, file=sys.stderr)
+    if ok:
+        print("all gates OK: supervised outages bounded, every update "
+              "completed, audit (incl. epoch fencing) clean")
+    if args.json:
+        write_result(result, args.json)
+        print(f"wrote {args.json}")
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -697,6 +768,17 @@ def build_parser() -> argparse.ArgumentParser:
         dest="quorum_reads",
         help="schedule N read-only transactions at nodes outside the "
         "fragment's replica set (version-vote quorum reads)",
+    )
+    chaos.add_argument(
+        "--kill-agent", type=int, default=0, metavar="N",
+        dest="kill_agent",
+        help="crash-stop the agent's current home node N times (no "
+        "home-node rail; pair with --failover for bounded outages)",
+    )
+    chaos.add_argument(
+        "--failover", action="store_true",
+        help="arm the availability supervisor: heartbeat failure "
+        "detection plus automatic agent failover to a live replica",
     )
     chaos.add_argument("--trace", default=None, help=trace_help)
     _add_fault_args(chaos)
@@ -840,6 +922,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="slack on the (k/N)-scaling gates for --check (default 0.10)",
     )
     partial.set_defaults(func=cmd_partial_bench)
+
+    failover = sub.add_parser(
+        "failover-bench",
+        help="E20 write availability under agent-home crashes, with and "
+        "without the availability supervisor",
+    )
+    failover.add_argument("--nodes", type=int, default=6)
+    failover.add_argument("--fragments", type=int, default=3)
+    failover.add_argument("--updates", type=int, default=36)
+    failover.add_argument(
+        "--factor", type=int, default=3,
+        help="replication factor for every fragment",
+    )
+    failover.add_argument("--seed", type=int, default=20)
+    failover.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the result record (BENCH_availability.json format) here",
+    )
+    failover.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="verify the availability gates and exact match against a "
+        "committed record; exit 1 on failure",
+    )
+    failover.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed MTTR regression for --check (default 0.20)",
+    )
+    failover.set_defaults(func=cmd_failover_bench)
     return parser
 
 

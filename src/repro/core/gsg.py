@@ -30,10 +30,21 @@ from repro.storage.values import INITIAL_WRITER
 
 
 def global_serialization_graph(recorder: HistoryRecorder) -> Digraph:
-    """The g.s.g. of Definition 8.2 over all committed transactions."""
+    """The g.s.g. of Definition 8.2 over the surviving transactions.
+
+    Failover orphans — commits an epoch cut discarded before they
+    propagated — are excluded, along with readers that observed an
+    orphaned version: both belong to the cut-off branch of history,
+    and their version numbers collide with the successor's re-minted
+    slots.
+    """
     graph = Digraph()
-    known = {txn.txn_id for txn in recorder.committed}
-    for txn in recorder.committed:
+    surviving = [
+        txn for txn in recorder.surviving
+        if not recorder.observed_orphan(txn)
+    ]
+    known = {txn.txn_id for txn in surviving}
+    for txn in surviving:
         graph.add_node(txn.txn_id)
     version_order = recorder.version_order()
 
@@ -44,7 +55,7 @@ def global_serialization_graph(recorder: HistoryRecorder) -> Digraph:
             if txn1 != txn2:
                 graph.add_edge(txn1, txn2)
 
-    for txn in recorder.committed:
+    for txn in surviving:
         for read in txn.reads:
             # wr edge: the version's writer precedes the reader.
             if read.writer != INITIAL_WRITER and read.writer != txn.txn_id:
@@ -108,7 +119,9 @@ def local_serialization_graph(
     readable = set(rag.reads_from(fragment))
     local: list[CommittedTxn] = []
     nonlocal_by_type: dict[str, list[CommittedTxn]] = {f: [] for f in readable}
-    for txn in recorder.committed:
+    for txn in recorder.surviving:
+        if recorder.observed_orphan(txn):
+            continue  # read from the branch a failover cut discarded
         txn_type = transaction_type(txn, agent_fragments)
         if txn_type == fragment:
             local.append(txn)

@@ -116,10 +116,12 @@ def check_property1(recorder: HistoryRecorder) -> PropertyReport:
     of stream order.
     """
     violations: list[str] = []
-    # 1. Unique stream positions per fragment (per epoch).
+    # 1. Unique stream positions per fragment (per epoch).  Failover
+    # orphans are excluded: an epoch cut rewinds the sequence space, so
+    # the successor legitimately re-mints a discarded slot.
     seen: dict[tuple[str, int], str] = {}
     fragments: set[str] = set()
-    for txn in recorder.committed:
+    for txn in recorder.surviving:
         if not txn.is_update or txn.fragment is None:
             continue
         fragments.add(txn.fragment)
@@ -134,6 +136,8 @@ def check_property1(recorder: HistoryRecorder) -> PropertyReport:
     # 2. Per node, installs of one fragment happen in stream order.
     per_node_fragment: dict[tuple[str, str], list[int]] = defaultdict(list)
     for record in recorder.installs:
+        if record.txn_id in recorder.orphaned:
+            continue  # installed, then discarded by the demotion
         per_node_fragment[(record.node, record.fragment)].append(
             record.stream_seq
         )
@@ -157,12 +161,14 @@ def check_property2(recorder: HistoryRecorder) -> PropertyReport:
     installation forbids.
     """
     writes_by_txn: dict[str, dict[str, int]] = defaultdict(dict)
-    for txn in recorder.committed:
+    for txn in recorder.surviving:
         for write in txn.writes:
             writes_by_txn[txn.txn_id][write.obj] = write.version_no
 
     violations: list[str] = []
-    for reader in recorder.committed:
+    for reader in recorder.surviving:
+        if recorder.observed_orphan(reader):
+            continue  # its observations belong to the cut-off branch
         read_versions = {read.obj: read.version_no for read in reader.reads}
         for source, source_writes in writes_by_txn.items():
             if source == reader.txn_id:

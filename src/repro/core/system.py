@@ -27,6 +27,10 @@ from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass
 from typing import Any
 
+from repro.availability.supervisor import (
+    AvailabilityConfig,
+    AvailabilitySupervisor,
+)
 from repro.cc.history import HistoryRecorder
 from repro.core.agent import Agent
 from repro.core.control.base import ControlStrategy
@@ -111,6 +115,7 @@ class FragmentedDatabase:
         recovery: RecoveryConfig | None = None,
         replication_factor: int | None = None,
         quorum: QuorumConfig | None = None,
+        availability: AvailabilityConfig | None = None,
     ) -> None:
         if len(node_names) < 1:
             raise DesignError("at least one node required")
@@ -199,10 +204,24 @@ class FragmentedDatabase:
         # fragment either way.
         self.replication: dict[str, set[str]] = {}
         self.replication_factor = replication_factor
+        # Online reconfiguration bookkeeping: per-fragment membership
+        # epoch (bumped by every replica-set change) and the joiners
+        # still syncing through catch-up (replicas that do not yet
+        # count toward quorums, succession majorities, or the
+        # compaction watermark).
+        self.replication_epoch: dict[str, int] = {}
+        self.syncing_replicas: dict[str, set[str]] = {}
         # Quorum-read service for fragments the submission node does not
         # replicate (always attached; it only acts on non-local reads).
         self.quorum = QuorumReadManager(quorum)
         self.quorum.attach(self)
+        # Availability supervisor: heartbeat failure detection, automatic
+        # agent failover, demotion, and online replica-set changes.  Its
+        # handlers are always wired (the demotion path must work even
+        # when detection is off); probing only runs between an explicit
+        # ``availability.start(until=...)`` and that deadline.
+        self.availability = AvailabilitySupervisor(availability)
+        self.availability.attach(self)
         self._install_hooks: list[tuple[str, InstallHook]] = []
         self.corrective_hooks: list[CorrectiveHook] = []
         self._txn_counter = 0
@@ -264,6 +283,7 @@ class FragmentedDatabase:
                     "prefixes": sorted(fragment.prefixes),
                     "agent": self._fragment_agent.get(fragment.name),
                     "replicas": list(self.replica_set(fragment.name)),
+                    "epoch": self.replication_epoch.get(fragment.name, 0),
                 }
                 for fragment in self.catalog
             },
@@ -406,6 +426,32 @@ class FragmentedDatabase:
             return tuple(sorted(self.nodes))
         return tuple(sorted(restricted))
 
+    def countable_replicas(self, fragment: str) -> tuple[str, ...]:
+        """Replica-set members that count toward quorums and majorities.
+
+        Excludes joiners still syncing through catch-up: a replica
+        that is downloading history can vouch for neither the present
+        (read quorums) nor a succession majority.
+        """
+        syncing = self.syncing_replicas.get(fragment)
+        replicas = self.replica_set(fragment)
+        if not syncing:
+            return replicas
+        return tuple(name for name in replicas if name not in syncing)
+
+    def add_replica(self, fragment: str, node: str) -> None:
+        """Add ``node`` to ``fragment``'s replica set while running.
+
+        Epoch-stamped online reconfiguration: the joiner syncs through
+        the catch-up path and counts toward quorums only once current.
+        See :class:`repro.availability.reconfig.Reconfigurator`.
+        """
+        self.availability.reconfig.add(fragment, node)
+
+    def remove_replica(self, fragment: str, node: str) -> None:
+        """Remove ``node`` from ``fragment``'s replica set while running."""
+        self.availability.reconfig.remove(fragment, node)
+
     def propagation_plan(self, fragment: str) -> tuple[tuple[str, ...] | None, str]:
         """``(targets, stream)`` for fragment-scoped group messages.
 
@@ -420,7 +466,15 @@ class FragmentedDatabase:
         restricted = self.replication.get(fragment)
         if restricted is None:
             return None, ""
-        return tuple(sorted(restricted)), f"f:{fragment}"
+        epoch = self.replication_epoch.get(fragment, 0)
+        if epoch == 0:
+            # Membership never changed: the PR 7 stream name, so seeded
+            # runs without reconfiguration stay bit-identical.
+            return tuple(sorted(restricted)), f"f:{fragment}"
+        # Each membership epoch gets its own FIFO stream: a joiner
+        # starts clean on the new stream instead of seeing a sequence
+        # gap for every pre-join message it never received.
+        return tuple(sorted(restricted)), f"f:{fragment}@e{epoch}"
 
     def declare_reads(
         self,
@@ -532,6 +586,19 @@ class FragmentedDatabase:
                 RequestStatus.REJECTED,
                 self.sim.now,
                 reason=f"token for {fragment!r} is in transit",
+            )
+            return
+        if node.down and self.availability.enabled:
+            # With the supervisor armed the outage is bounded (failover
+            # re-homes the agent), so reject loudly instead of letting
+            # the request hang — the client can resubmit after the MTTR
+            # window.  Without a supervisor, behaviour is unchanged.
+            self.recorder.record_rejection(spec.txn_id, "agent home down")
+            self.metrics.inc("avail.updates_blocked")
+            tracker.finish(
+                RequestStatus.REJECTED,
+                self.sim.now,
+                reason=f"agent home {node.name!r} is down",
             )
             return
         if self.pipeline.throttle_update(node, spec, tracker, fragment):

@@ -73,6 +73,7 @@ QUORUM_READ_BEGIN = "quorum.read.begin"  # fan-out to the replica set
 QUORUM_READ_REPLY = "quorum.read.reply"  # one replica's version vote
 QUORUM_READ_RESOLVE = "quorum.read.resolve"  # quorum reached, versions chosen
 QUORUM_READ_TIMEOUT = "quorum.read.timeout"  # quorum not reached in time
+QUORUM_READ_RETRY = "quorum.read.retry"  # lost quorum mid-flight, re-fanned
 
 # -- agent movement (repro.core.movement) -----------------------------
 TOKEN_MOVE_REQUESTED = "token.move.requested"
@@ -91,6 +92,18 @@ RECOVERY_CATCHUP_REQUEST = "recovery.catchup.request"  # cursors to donor
 RECOVERY_CATCHUP_DELTA = "recovery.catchup.delta"  # seq range shipped
 RECOVERY_CATCHUP_SNAPSHOT = "recovery.catchup.snapshot"  # ckpt shipped
 RECOVERY_CATCHUP_DONE = "recovery.catchup.done"  # rejoiner fully served
+
+# -- availability supervisor (repro.availability) ----------------------
+# Heartbeat failure detection, automatic agent failover, epoch cuts,
+# demotion of stale ex-homes, and online replica-set reconfiguration.
+AVAIL_SUSPECT = "avail.suspect"  # heartbeat misses crossed the threshold
+AVAIL_FAILOVER_BEGIN = "avail.failover.begin"  # succession poll started
+AVAIL_FAILOVER_DONE = "avail.failover.done"  # successor holds the token
+AVAIL_FAILOVER_ABORT = "avail.failover.abort"  # no quorum / raced a move
+AVAIL_EPOCH_CUT = "avail.epoch.cut"  # successor opened a new epoch
+AVAIL_DEMOTE = "avail.demote"  # stale ex-home discarded its suffix
+SYSTEM_RECONFIG = "system.reconfig"  # epoch-stamped replica-set change
+RECONFIG_SYNCED = "system.reconfig.synced"  # joiner caught up, counts now
 
 # -- partitions (repro.net.partition) ---------------------------------
 PARTITION_CUT = "partition.cut"

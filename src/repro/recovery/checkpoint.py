@@ -81,6 +81,17 @@ class CheckpointStore:
         """The newest checkpoint for ``fragment``, if any."""
         return self._latest.get(fragment)
 
+    def discard(self, fragment: str) -> bool:
+        """Drop the checkpoint for ``fragment``; True if one was held.
+
+        Two sanctioned callers: a replica leaving the fragment's set
+        (its frozen snapshot must not resurrect at recovery), and a
+        demoted ex-home whose checkpoint covers part of a failover
+        cut's discarded suffix (the snapshot folds stale writes in, so
+        it cannot seed any rebuild).
+        """
+        return self._latest.pop(fragment, None) is not None
+
     def all(self) -> list[FragmentCheckpoint]:
         """Every stored checkpoint, ordered by fragment name."""
         return [self._latest[f] for f in sorted(self._latest)]

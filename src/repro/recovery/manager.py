@@ -108,6 +108,10 @@ class _Catchup:
 
     outstanding: set[str]
     tried: dict[str, set[str]] = field(default_factory=dict)
+    #: fragments whose donor must ship a checkpoint even when the
+    #: cursor is above its compaction horizon (reconfiguration joins:
+    #: initial values the stream never rewrote live only in snapshots).
+    snapshot: set[str] = field(default_factory=set)
     attempts: int = 0
     timer: "EventHandle | None" = None
 
@@ -321,11 +325,17 @@ class RecoveryManager:
         return out
 
     def watermark(self, fragment: str) -> int:
-        """The current cluster low-watermark for ``fragment``."""
+        """The current cluster low-watermark for ``fragment``.
+
+        Joiners still syncing do not pin it: their cursor is *expected*
+        to trail (that is what the catch-up is for), and the snapshot
+        path serves them regardless of how far peers have compacted.
+        """
+        syncing = self.system.syncing_replicas.get(fragment, ())
         replicas = [
             name
             for name in self.system.nodes
-            if self.system.replicates(name, fragment)
+            if self.system.replicates(name, fragment) and name not in syncing
         ]
         excluded = self._excluded(fragment, replicas)
         return self.tracker.watermark(fragment, replicas, excluded)
@@ -373,27 +383,49 @@ class RecoveryManager:
 
     # -- catch-up (rejoiner side) -------------------------------------------
 
-    def catch_up(self, node: "DatabaseNode") -> None:
-        """Start cursor-based anti-entropy for a freshly recovered node.
+    def catch_up(
+        self,
+        node: "DatabaseNode",
+        fragments: list[str] | None = None,
+        want_snapshot: bool = False,
+    ) -> None:
+        """Start cursor-based anti-entropy for a node owed history.
 
         One donor per fragment (grouped into one request per donor),
         bounded retries rotating donors if a reply never comes or a
-        donor could not serve the range.
+        donor could not serve the range.  ``fragments=None`` — the
+        recovery path — covers everything the node replicates and
+        replaces any catch-up already in flight; an explicit list — a
+        reconfiguration join — merges into the in-flight state instead,
+        so a concurrent recovery is not cancelled.  ``want_snapshot``
+        asks donors for a checkpoint even above their compaction
+        horizon (joiners need initial values, not just the delta).
         """
         system = self.system
-        self._cancel_pending(node.name)
-        fragments = [
+        if fragments is None:
+            self._cancel_pending(node.name)
+        wanted = None if fragments is None else set(fragments)
+        names = [
             fragment.name
             for fragment in system.catalog
             if system.replicates(node.name, fragment.name)
+            and (wanted is None or fragment.name in wanted)
         ]
-        if not fragments or len(system.nodes) < 2:
+        if not names or len(system.nodes) < 2:
             return
-        state = _Catchup(
-            outstanding=set(fragments),
-            tried={fragment: set() for fragment in fragments},
-        )
-        self._pending[node.name] = state
+        state = self._pending.get(node.name) if wanted is not None else None
+        if state is None:
+            state = _Catchup(
+                outstanding=set(names),
+                tried={fragment: set() for fragment in names},
+            )
+            self._pending[node.name] = state
+        else:
+            for fragment in names:
+                state.outstanding.add(fragment)
+                state.tried.setdefault(fragment, set())
+        if want_snapshot:
+            state.snapshot.update(names)
         self._send_requests(node, state)
 
     def _pick_donor(
@@ -411,6 +443,9 @@ class RecoveryManager:
             rank = (
                 peer.down,
                 not system.topology.reachable(node.name, name),
+                # A joiner still syncing is a donor of last resort: its
+                # own history may be incomplete.
+                name in system.syncing_replicas.get(fragment, ()),
                 name,
             )
             if best is None or rank < best[0]:
@@ -446,12 +481,16 @@ class RecoveryManager:
                     cursors=dict(sorted(cursors.items())),
                     attempt=state.attempts,
                 )
-            system.network.send(
-                node.name,
-                donor,
-                CATCHUP_REQ,
-                {"requester": node.name, "cursors": cursors},
-            )
+            request: dict[str, Any] = {
+                "requester": node.name,
+                "cursors": cursors,
+            }
+            wants = sorted(state.snapshot & set(cursors))
+            if wants:
+                # Key present only for snapshot-seeded joins, so plain
+                # recovery requests stay byte-identical.
+                request["snapshot"] = wants
+            system.network.send(node.name, donor, CATCHUP_REQ, request)
         if state.outstanding and state.attempts < self.config.catchup_attempts:
             state.timer = system.sim.schedule(
                 self.config.catchup_retry,
@@ -492,7 +531,12 @@ class RecoveryManager:
         return low
 
     def _build_part(
-        self, donor: "DatabaseNode", requester: str, fragment: str, cursor: int
+        self,
+        donor: "DatabaseNode",
+        requester: str,
+        fragment: str,
+        cursor: int,
+        force_snapshot: bool = False,
     ) -> dict[str, Any]:
         """One fragment's slice of a catch-up reply.
 
@@ -502,12 +546,15 @@ class RecoveryManager:
         neither covers the gap (no checkpoint and a pruned archive —
         only possible when the donor itself is mid-rejoin), the part is
         marked unserved and the requester's retry rotates donors.
+        ``force_snapshot`` takes the checkpoint path even above the
+        horizon (reconfiguration joins: a delta from seq 0 replays
+        every write but carries no initial values).
         """
         streams = donor.streams
         upto = streams.next_expected.get(fragment, 0)
         horizon = self._horizon(donor, fragment)
         checkpoint: FragmentCheckpoint | None = None
-        if cursor >= horizon:
+        if cursor >= horizon and not force_snapshot:
             start = cursor
         else:
             checkpoint = donor.checkpoints.get(fragment)
@@ -554,8 +601,15 @@ class RecoveryManager:
 
     def _on_catchup_req(self, donor: "DatabaseNode", message: Message) -> None:
         requester = message.payload["requester"]
+        wants_snapshot = set(message.payload.get("snapshot") or ())
         parts = {
-            fragment: self._build_part(donor, requester, fragment, int(cursor))
+            fragment: self._build_part(
+                donor,
+                requester,
+                fragment,
+                int(cursor),
+                force_snapshot=fragment in wants_snapshot,
+            )
             for fragment, cursor in message.payload["cursors"].items()
             if self.system.replicates(donor.name, fragment)
         }
@@ -581,6 +635,7 @@ class RecoveryManager:
                 system.movement.admit(node, quasi)
             if part["served"] and state is not None:
                 state.outstanding.discard(fragment)
+                state.snapshot.discard(fragment)
         if state is not None and not state.outstanding:
             self._cancel_pending(node.name)
             if node.tracer.enabled:
@@ -589,3 +644,6 @@ class RecoveryManager:
                     node=node.name,
                     attempts=state.attempts,
                 )
+            # A reconfiguration joiner that just finished syncing now
+            # counts toward quorums (no-op for plain rejoiners).
+            self.system.availability.note_caught_up(node)

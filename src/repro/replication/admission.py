@@ -56,12 +56,17 @@ def drain_buffer(node: "DatabaseNode", fragment: str) -> None:
     """Admit consecutively-numbered quasi-transactions parked in the buffer."""
     streams = node.streams
     buffer = streams.buffer[fragment]
-    if not buffer:
+    if not buffer and not streams.pending_cut:
         return
     while True:
         key = (streams.epoch[fragment], streams.next_expected[fragment])
         quasi = buffer.pop(key, None)
         if quasi is None:
+            # A failover epoch cut parked until the cursor reached its
+            # start may activate here, unblocking new-epoch entries that
+            # sorted above the old-epoch cursor — re-drain under it.
+            if streams.maybe_cut(fragment):
+                continue
             break
         streams.next_expected[fragment] = quasi.stream_seq + 1
         node.enqueue_install(quasi)

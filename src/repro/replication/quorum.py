@@ -92,6 +92,9 @@ class _PendingRead:
     )
     timer: "EventHandle | None" = None
     done: bool = False
+    #: the one permitted re-fan after a mid-flight quorum loss (a
+    #: replica crashed, or a reconfiguration changed the set).
+    retried: bool = False
 
 
 class QuorumReadManager:
@@ -114,6 +117,7 @@ class QuorumReadManager:
         self._c_replies = metrics.counter("quorum.replies")
         self._c_served = metrics.counter("quorum.served")
         self._c_timeouts = metrics.counter("quorum.timeouts")
+        self._c_retries = metrics.counter("quorum.retries")
         self._c_late = metrics.counter("quorum.late_replies")
         metrics.gauge("quorum.pending_now", lambda: len(self._pending))
         for node in system.nodes.values():
@@ -148,8 +152,13 @@ class QuorumReadManager:
         return remote
 
     def quorum_size(self, fragment: str) -> int:
-        """Votes required to resolve a read of ``fragment``."""
-        k = len(self.system.replica_set(fragment))
+        """Votes required to resolve a read of ``fragment``.
+
+        Sized over the *countable* replicas: a joiner still syncing
+        through reconfiguration holds an incomplete copy, so it
+        neither votes nor inflates the majority it would have to join.
+        """
+        k = len(self.system.countable_replicas(fragment))
         if self.config.read_quorum is None:
             return k // 2 + 1
         return min(self.config.read_quorum, k)
@@ -184,7 +193,7 @@ class QuorumReadManager:
                     f: {
                         "objects": state.objects[f],
                         "quorum": state.needed[f],
-                        "replicas": list(system.replica_set(f)),
+                        "replicas": list(system.countable_replicas(f)),
                     }
                     for f in sorted(remote)
                 },
@@ -197,7 +206,7 @@ class QuorumReadManager:
                 "fragment": fragment,
                 "objects": state.objects[fragment],
             }
-            for replica in system.replica_set(fragment):
+            for replica in system.countable_replicas(fragment):
                 if replica == node.name:
                     continue
                 self._c_fanout.inc()
@@ -317,9 +326,13 @@ class QuorumReadManager:
         system.strategy.begin_readonly(system, node, state.spec, state.tracker)
 
     def _timeout(self, req_id: str) -> None:
-        state = self._pending.pop(req_id, None)
+        state = self._pending.get(req_id)
         if state is None or state.done:
             return
+        if not state.retried:
+            self._retry(req_id, state)
+            return
+        del self._pending[req_id]
         state.done = True
         state.timer = None
         self._c_timeouts.inc()
@@ -343,4 +356,60 @@ class QuorumReadManager:
                 f"quorum read timed out waiting for "
                 f"{sorted(missing)} ({missing})"
             ),
+        )
+
+    def _retry(self, req_id: str, state: _PendingRead) -> None:
+        """First deadline: the quorum may have been lost mid-flight.
+
+        A replica that crashed after the fan-out never votes, and a
+        failover or reconfiguration may have changed the replica set
+        under the read.  Re-size each owed fragment's quorum against
+        the *current* countable set, re-fan to members that have not
+        voted, and give the read one more timeout before it fails.
+        """
+        system = self.system
+        state.retried = True
+        state.timer = None
+        self._c_retries.inc()
+        owed = sorted(
+            fragment
+            for fragment, needed in state.needed.items()
+            if len(state.votes.get(fragment, ())) < needed
+        )
+        for fragment in owed:
+            state.needed[fragment] = self.quorum_size(fragment)
+            request = {
+                "req": req_id,
+                "requester": state.node,
+                "fragment": fragment,
+                "objects": state.objects[fragment],
+            }
+            for replica in system.countable_replicas(fragment):
+                if replica == state.node:
+                    continue
+                if replica in state.votes.get(fragment, {}):
+                    continue
+                self._c_fanout.inc()
+                system.network.send(state.node, replica, QREAD_REQ, request)
+        if system.tracer.enabled:
+            system.tracer.emit(
+                taxonomy.QUORUM_READ_RETRY,
+                txn=state.spec.txn_id,
+                req=req_id,
+                node=state.node,
+                fragments=owed,
+                quorums={f: state.needed[f] for f in owed},
+            )
+        if all(
+            len(state.votes.get(f, ())) >= needed
+            for f, needed in state.needed.items()
+        ):
+            # A shrunken replica set may have satisfied the read with
+            # the votes already gathered.
+            self._resolve(req_id, state)
+            return
+        state.timer = system.sim.schedule(
+            self.config.timeout,
+            lambda: self._timeout(req_id),
+            label=f"quorum-read retry timeout {state.node}",
         )

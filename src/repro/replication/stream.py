@@ -32,6 +32,7 @@ class StreamLog:
         "archive",
         "arrived_at",
         "pruned_below",
+        "pending_cut",
     )
 
     def __init__(self) -> None:
@@ -55,6 +56,13 @@ class StreamLog:
         #: (everything below was compacted behind the watermark and is
         #: covered by this replica's durable checkpoint).
         self.pruned_below: dict[str, int] = {}
+        #: fragment -> sorted ``(epoch, start_seq)`` failover epoch cuts
+        #: this replica has not reached yet: the cursor must first admit
+        #: the old-epoch prefix ``[cursor, start_seq)`` before each new
+        #: epoch activates (the successor's stream continues at
+        #: ``start_seq`` in the new epoch).  A list because a lagging
+        #: replica can learn of several successive failovers at once.
+        self.pending_cut: dict[str, list[tuple[int, int]]] = {}
 
     def seen(self, quasi: QuasiTransaction) -> bool:
         """True if this quasi-transaction was already installed here."""
@@ -104,6 +112,38 @@ class StreamLog:
         self.pruned_below[fragment] = floor
         return dropped
 
+    def park_cut(self, fragment: str, epoch: int, start: int) -> None:
+        """Remember an epoch cut whose start the cursor has not reached."""
+        cuts = self.pending_cut.setdefault(fragment, [])
+        if (epoch, start) not in cuts:
+            cuts.append((epoch, start))
+            cuts.sort()
+
+    def maybe_cut(self, fragment: str) -> bool:
+        """Activate a parked epoch cut once the cursor reaches its start.
+
+        Returns True when the earliest applicable cut activated (the
+        fragment's epoch advanced), so the caller can re-drain the
+        admission buffer for new-epoch entries parked behind it.  Cuts
+        a later epoch jump has superseded are discarded.
+        """
+        cuts = self.pending_cut.get(fragment)
+        while cuts:
+            epoch, start = cuts[0]
+            if self.epoch[fragment] >= epoch:
+                cuts.pop(0)
+                continue
+            if self.next_expected[fragment] < start:
+                return False
+            self.epoch[fragment] = epoch
+            cuts.pop(0)
+            if not cuts:
+                del self.pending_cut[fragment]
+            return True
+        if cuts is not None:
+            del self.pending_cut[fragment]
+        return False
+
     def clear(self) -> None:
         """Crash-stop: the whole log is volatile."""
         self.next_expected.clear()
@@ -113,3 +153,4 @@ class StreamLog:
         self.archive.clear()
         self.arrived_at.clear()
         self.pruned_below.clear()
+        self.pending_cut.clear()

@@ -61,6 +61,16 @@ class ObjectStore:
         """True if the object is present in this replica."""
         return name in self._data
 
+    def drop(self, name: str) -> bool:
+        """Remove an object from this replica; True if it was present.
+
+        Used when a node leaves a fragment's replica set: keeping the
+        (now frozen) copies around would read as divergence to the
+        mutual-consistency checker, when the node simply no longer
+        follows the fragment's stream.
+        """
+        return self._data.pop(name, None) is not None
+
     # -- inspection ---------------------------------------------------------
 
     @property

@@ -105,6 +105,36 @@ class WriteAheadLog:
             self.truncations += 1
         return dropped
 
+    def drop_stale_suffix(
+        self, fragment: str, epoch: int, from_seq: int
+    ) -> int:
+        """Drop ``fragment`` installs a failover epoch cut discarded.
+
+        A demoted ex-home holds a committed-but-unpropagated suffix —
+        install records with ``stream_seq >= from_seq`` minted in an
+        epoch *below* ``epoch`` (the cut's).  The cut declared those
+        updates lost (the paper's availability trade-off), so replaying
+        them after a second crash would resurrect state every other
+        replica has already superseded.  Returns how many records were
+        dropped.
+        """
+
+        def stale(record: WalRecord) -> bool:
+            quasi = record.quasi
+            return (
+                record.kind == "install"
+                and quasi.fragment == fragment
+                and quasi.epoch < epoch
+                and quasi.stream_seq >= from_seq
+            )
+
+        kept = [r for r in self._records if not stale(r)]
+        dropped = len(self._records) - len(kept)
+        if dropped:
+            self._records = kept
+            self.truncations += 1
+        return dropped
+
     def records(self) -> list[WalRecord]:
         """All records, oldest first (copy)."""
         self.replays += 1

@@ -1,0 +1,62 @@
+"""Rendezvous replica placement: determinism and minimal reshuffle.
+
+``FragmentedDatabase._assign_replicas`` places a fragment's ``k``
+replicas by rendezvous hashing over (fragment, node) pairs.  The
+property that makes rendezvous the right tool for *online* membership:
+growing the cluster by one node moves at most one replica per fragment
+(the newcomer either scores into the top ``k - 1`` or nothing changes),
+and the agent's home never moves at all.  A modulo-style placement
+would reshuffle almost every fragment on every cluster change, turning
+each node addition into a cluster-wide resync.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import FragmentedDatabase
+
+FRAGMENTS = ["F0", "F1", "F2", "ACCOUNTS", "warehouse-7"]
+
+
+@st.composite
+def clusters(draw):
+    n = draw(st.integers(min_value=3, max_value=8))
+    names = [f"N{i}" for i in range(n)]
+    k = draw(st.integers(min_value=2, max_value=n))
+    return names, k
+
+
+def placements(names, k, home):
+    db = FragmentedDatabase(names)
+    return {
+        fragment: db._assign_replicas(fragment, home, k)
+        for fragment in FRAGMENTS
+    }
+
+
+class TestRendezvousPlacement:
+    @given(clusters())
+    @settings(max_examples=50)
+    def test_deterministic_and_home_anchored(self, cluster):
+        names, k = cluster
+        first = placements(names, k, home=names[0])
+        second = placements(list(reversed(names)), k, home=names[0])
+        for fragment, replicas in first.items():
+            assert len(replicas) == k
+            assert names[0] in replicas  # home always a member
+            assert replicas <= set(names)
+            # Placement is a pure function of the (fragment, node)
+            # pairs — insertion order of the cluster is irrelevant.
+            assert second[fragment] == replicas
+
+    @given(clusters())
+    @settings(max_examples=50)
+    def test_adding_a_node_moves_at_most_one_replica(self, cluster):
+        names, k = cluster
+        before = placements(names, k, home=names[0])
+        after = placements(names + ["NX"], k, home=names[0])
+        for fragment in FRAGMENTS:
+            lost = before[fragment] - after[fragment]
+            gained = after[fragment] - before[fragment]
+            assert len(lost) <= 1
+            assert gained <= {"NX"}  # only the newcomer can displace
+            assert names[0] in after[fragment]  # the home never moves
