@@ -42,7 +42,14 @@ order is causal order) and verifies:
   fragment (a fenced-out ex-home kept writing), no two nodes mint in
   the same ``(fragment, epoch)`` without a token arrival between them
   (split brain), and membership epochs on ``system.reconfig`` events
-  strictly increase per fragment.
+  strictly increase per fragment;
+* **availability** — the accountant's books balance against the trace:
+  every blocked submission (a ``txn.reject`` whose reason is a downed
+  agent home or a token in transit) falls inside an unavailability
+  window that the :class:`~repro.obs.availability.AvailabilityAccountant`
+  derived from the same events — a reject with no accounted cause means
+  either the submission gate fired spuriously or the accountant lost a
+  window.
 
 Not every protocol promises every invariant.  The instant-move
 baseline (``none``) exists to *demonstrate* stream-order divergence,
@@ -66,6 +73,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 from repro.obs import taxonomy
+from repro.obs.availability import AvailabilityAccountant
 from repro.obs.summary import read_trace
 
 #: Check names, in report order.
@@ -77,6 +85,7 @@ ALL_CHECKS = (
     "agreement",
     "replication",
     "epoch_fencing",
+    "availability",
 )
 
 #: Checks a protocol deliberately does not promise (Section 4.4 matrix).
@@ -234,13 +243,20 @@ class _Auditor:
         # fragment -> node -> install order (txn ids).
         self.order: dict[str, dict[str, list[str]]] = {}
         self.install_event: dict[tuple[str, str, str], dict[str, Any]] = {}
+        # Embedded availability accountant: fed every event, queried at
+        # each blocked submission (file order is causal order, so the
+        # crash/departure that justifies the reject precedes it).
+        self.accountant = AvailabilityAccountant()
 
     # -- event dispatch ---------------------------------------------------
 
     def feed(self, event: dict[str, Any]) -> None:
         self.report.events += 1
+        self.accountant.feed(event)
         etype = event.get("type")
-        if etype == taxonomy.SYSTEM_CATALOG:
+        if etype == taxonomy.TXN_REJECT:
+            self._on_reject(event)
+        elif etype == taxonomy.SYSTEM_CATALOG:
             self._on_catalog(event)
         elif etype in _INSTALL_TYPES:
             self._on_install(event)
@@ -256,6 +272,34 @@ class _Auditor:
             self.report.checkpoints += 1
         elif etype == taxonomy.RECOVERY_CATCHUP_SNAPSHOT:
             self.report.snapshots_shipped += 1
+
+    def _on_reject(self, event: dict[str, Any]) -> None:
+        """A blocked submission must fall inside an accounted window."""
+        check = self.report.checks["availability"]
+        if not check.checked:
+            return
+        reason = str(event.get("reason") or "")
+        blocked = (
+            reason.startswith("agent home") and reason.endswith("is down")
+        ) or (reason.startswith("token for") and "in transit" in reason)
+        if not blocked:
+            return  # ordinary reject (validation, duplicate, ...)
+        if not self.accountant.catalog_seen:
+            check.checked = False
+            check.reason = "no system.catalog event in trace"
+            return
+        agent = event.get("agent")
+        fragments = self.accountant.agent_fragments.get(agent, ())
+        if not any(
+            self.accountant.unavailable(fragment, "write")
+            for fragment in fragments
+        ):
+            check.add(
+                f"submission {event.get('txn')} blocked ({reason}) but the "
+                f"accountant has no open write-unavailability window for "
+                f"any fragment of agent {agent}",
+                event,
+            )
 
     def _on_catalog(self, event: dict[str, Any]) -> None:
         self.catalog_seen = True
@@ -529,6 +573,11 @@ class _Auditor:
                 if self.catalog_seen
                 else "no system.catalog event in trace"
             )
+        availability = self.report.checks["availability"]
+        if availability.checked and not self.catalog_seen:
+            availability.checked = False
+            availability.reason = "no system.catalog event in trace"
+        self.accountant.finish()
         return self.report
 
     def _check_agreement(

@@ -64,6 +64,8 @@ def run_mode(
     factor: int = DEFAULT_FACTOR,
     horizon: float = DEFAULT_HORIZON,
     seed: int = 20,
+    db_sink: list | None = None,
+    on_db=None,
 ) -> dict:
     """One mode of the E20 run: the seeded workload, homes killed.
 
@@ -73,6 +75,12 @@ def run_mode(
     *starts* the supervisor, so only it detects crashes and fails over.
     The unsupervised mode also never recovers the killed homes — its
     unavailability window is the rest of the run by construction.
+
+    ``db_sink`` receives the database (for post-run inspection);
+    ``on_db`` is called with it before any event runs, so read-only
+    instrumentation — E21 attaches a
+    :class:`~repro.obs.timeline.TimelineSampler` — can observe the
+    whole run without perturbing the workload's RNG streams.
     """
     rng = SeededRng(seed).fork("workload")
     names = [f"N{i}" for i in range(nodes)]
@@ -82,6 +90,10 @@ def run_mode(
         replication_factor=factor,
         availability=AvailabilityConfig(),
     )
+    if db_sink is not None:
+        db_sink.append(db)
+    if on_db is not None:
+        on_db(db)
     db.enable_tracing(None)
     objects_of: dict[str, list[str]] = {}
     for index in range(fragments):

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 from repro.analysis.audit import audit_events
 from repro.analysis.torture import GUARANTEES, PROTOCOLS, _try_move
+from repro.obs.availability import account_events
 from repro.availability import AvailabilityConfig
 from repro.cc.ops import Read, Write
 from repro.core.system import FragmentedDatabase
@@ -146,6 +147,12 @@ class NemesisResult:
     epoch_cuts: int = 0
     demotions: int = 0
     updates_blocked: int = 0
+    #: Accountant-attributed write availability: mean per-fragment
+    #: fraction of the run each fragment accepted updates, and the
+    #: longest single unavailability window (0.0 when none opened).
+    write_availability: float = 1.0
+    worst_window: float = 0.0
+    unavailability_causes: dict[str, float] | None = None
 
     def respects_guarantees(self) -> bool:
         """True iff the run satisfied its protocol's promised matrix.
@@ -372,12 +379,18 @@ def run_nemesis(
                 lambda i=index: submit_read(i),
             )
     db.quiesce()
+    events = [event.as_dict() for event in db.tracer]
     audit = audit_events(
-        (event.as_dict() for event in db.tracer),
-        protocol=protocol_name,
-        run=f"{protocol_name}@{seed}",
+        events, protocol=protocol_name, run=f"{protocol_name}@{seed}"
     )
     first = audit.first_violation()
+    accountant = account_events(events, end_time=db.sim.now)
+    causes: dict[str, float] = {}
+    for fragment in accountant.fragment_agent:
+        for cause, held in accountant.fragment_summary(fragment, "write")[
+            "by_cause"
+        ].items():
+            causes[cause] = round(causes.get(cause, 0.0) + held, 6)
     if trace_path is not None:
         db.tracer.close()
 
@@ -423,4 +436,7 @@ def run_nemesis(
         epoch_cuts=int(db.metrics.value("avail.epoch_cuts") or 0),
         demotions=int(db.metrics.value("avail.demotions") or 0),
         updates_blocked=int(db.metrics.value("avail.updates_blocked") or 0),
+        write_availability=round(accountant.availability("write"), 6),
+        worst_window=round(accountant.worst_window("write"), 6),
+        unavailability_causes=causes,
     )

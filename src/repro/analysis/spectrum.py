@@ -191,6 +191,7 @@ def run_fragments_agents(
     view_mode: str = "own",
     trace_path: str | None = None,
     db_sink: list | None = None,
+    on_db=None,
 ) -> SpectrumRow:
     """Run the scripted scenario on a fragments-and-agents system.
 
@@ -200,6 +201,10 @@ def run_fragments_agents(
     :func:`repro.obs.summary.summarize_trace`.  ``db_sink`` (a list the
     database is appended to) lets callers inspect the finished system —
     e.g. the ``repro metrics`` subcommand printing ``db.snapshot()``.
+    ``on_db`` is called with the database *before* the run starts, so
+    callers can attach instrumentation that must see the whole run
+    (``repro metrics --watch`` arms a
+    :class:`~repro.obs.timeline.TimelineSampler` here).
     """
     db = FragmentedDatabase(
         list(config.nodes),
@@ -210,6 +215,8 @@ def run_fragments_agents(
     )
     if db_sink is not None:
         db_sink.append(db)
+    if on_db is not None:
+        on_db(db)
     if trace_path is not None:
         db.enable_tracing(trace_path, append=True, context={"run": label})
     workload = BankingWorkload(

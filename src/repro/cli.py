@@ -16,6 +16,9 @@
     python -m repro checkpoint          # E17: full vs delta vs snapshot rejoin
     python -m repro audit out.jsonl     # offline lineage audit of a trace
     python -m repro timeline out.jsonl --txn T3   # one txn's causal story
+    python -m repro metrics --watch 10 --timeline-out tl.jsonl
+    python -m repro dashboard out.jsonl --timeline tl.jsonl --html dash.html
+    python -m repro dashboard out.jsonl --serve   # live-reloading server
 """
 
 from __future__ import annotations
@@ -262,6 +265,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             ok = result.respects_guarantees()
             if not ok:
                 violations.append((protocol, seed))
+            causes = result.unavailability_causes or {}
             rows.append(
                 [
                     protocol,
@@ -273,6 +277,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                     result.dups_dropped,
                     result.exhausted,
                     round(result.converge_time, 1),
+                    f"{result.write_availability * 100:.1f}%",
+                    round(result.worst_window, 1),
                     result.mutually_consistent,
                     result.fragmentwise,
                     "ok" if result.audit_ok
@@ -285,20 +291,22 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                     f"{protocol}@{seed}: audit: {result.audit_first}",
                     file=sys.stderr,
                 )
-            if config.failover:
+            if config.failover and causes:
+                worst = max(causes.items(), key=lambda item: item[1])
                 print(
-                    f"{protocol}@{seed}: availability: "
-                    f"suspicions={result.suspicions} "
-                    f"failovers={result.failovers} "
-                    f"epoch_cuts={result.epoch_cuts} "
-                    f"demotions={result.demotions} "
-                    f"blocked={result.updates_blocked}"
+                    f"{protocol}@{seed}: unavailability by cause: "
+                    + " ".join(
+                        f"{cause}={held:.1f}"
+                        for cause, held in sorted(causes.items())
+                    )
+                    + f" (dominant: {worst[0]}; failovers="
+                    f"{result.failovers}, blocked={result.updates_blocked})"
                 )
     print(
         format_table(
             ["protocol", "seed", "committed", "drops", "dups", "retrans",
-             "dedup", "exhausted", "converge", "MC", "FW", "audit",
-             "verdict"],
+             "dedup", "exhausted", "converge", "avail", "worst-win",
+             "MC", "FW", "audit", "verdict"],
             rows,
             title=(
                 f"chaos nemesis (loss={config.loss_rate}, "
@@ -487,6 +495,17 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     if args.trace:
         open(args.trace, "w", encoding="utf-8").close()  # truncate
     db_box: list = []
+    on_db = None
+    if args.watch is not None:
+        if args.watch <= 0:
+            print("error: --watch interval must be positive", file=sys.stderr)
+            return 1
+        from repro.obs.timeline import TimelineSampler
+
+        def on_db(db, tick=args.watch):
+            sampler = TimelineSampler(db.metrics, tick=tick)
+            sampler.start(db.sim, until=config.partition_end + 200.0)
+
     row = run_fragments_agents(
         config,
         UnrestrictedReadsStrategy(),
@@ -494,8 +513,11 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         view_mode="own",
         trace_path=args.trace,
         db_sink=db_box,
+        on_db=on_db,
     )
     db = db_box[0]
+    if args.watch is not None:
+        _print_watch(db.metrics.timeline)
     print(
         format_metrics_snapshot(
             db.snapshot(),
@@ -506,10 +528,44 @@ def cmd_metrics(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if args.timeline_out:
+        written = (
+            db.metrics.timeline.dump_jsonl(args.timeline_out)
+            if db.metrics.timeline is not None
+            else 0
+        )
+        print(f"\n{written} timeline records written to {args.timeline_out}")
     if args.trace:
         print()
         print(format_trace_summary(summarize_trace(args.trace)))
     return 0
+
+
+def _print_watch(sampler) -> int:
+    """Per-tick counter-delta blocks from a finished timeline sampler.
+
+    The run executes at simulation speed (instantly), so "watch" output
+    is the per-interval view printed in order after the fact — the same
+    records a live wall-clock watcher would have seen tick by tick.
+    """
+    if sampler is None or not sampler.samples_taken:
+        print("(no timeline samples taken)")
+        return 0
+    names = sampler.series_names()["counters"]
+    ticks: dict[float, list[tuple[str, int, int]]] = {}
+    for name in names:
+        for t, value, delta in sampler.counter_series(name):
+            if delta:
+                ticks.setdefault(t, []).append((name, value, delta))
+    for t in sorted(ticks):
+        print(f"t={t:g}")
+        for name, value, delta in ticks[t]:
+            print(f"  {name:<44} {value:>8}  (+{delta})")
+    print(
+        f"({sampler.samples_taken} samples, "
+        f"{len(ticks)} with counter activity)\n"
+    )
+    return len(ticks)
 
 
 def cmd_scale_bench(args: argparse.Namespace) -> int:
@@ -683,6 +739,109 @@ def cmd_failover_bench(args: argparse.Namespace) -> int:
     if ok:
         print("all gates OK: supervised outages bounded, every update "
               "completed, audit (incl. epoch fencing) clean")
+    if args.json:
+        write_result(result, args.json)
+        print(f"wrote {args.json}")
+    return 0 if ok else 1
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    from repro.obs.dashboard import dashboard_from_trace, serve_dashboard
+
+    if not args.html and not args.serve:
+        print("error: pick --html FILE or --serve", file=sys.stderr)
+        return 1
+    if args.html:
+        try:
+            page = dashboard_from_trace(
+                args.trace_file, timeline_path=args.timeline
+            )
+        except OSError as exc:
+            print(f"error: cannot read {args.trace_file}: {exc}",
+                  file=sys.stderr)
+            return 1
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(page)
+        print(f"dashboard written to {args.html}")
+    if args.serve:
+        server = serve_dashboard(
+            args.trace_file,
+            timeline_path=args.timeline,
+            host=args.host,
+            port=args.port,
+        )
+        print(
+            f"serving dashboard for {args.trace_file} on "
+            f"http://{args.host}:{args.port}/ (Ctrl-C to stop)"
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+    return 0
+
+
+def cmd_availability_accounting_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.availability_bench import (
+        check_gates,
+        load_committed,
+        run_availability_accounting_bench,
+        write_result,
+    )
+
+    result = run_availability_accounting_bench(
+        nodes=args.nodes,
+        fragments=args.fragments,
+        updates=args.updates,
+        factor=args.factor,
+        seed=args.seed,
+    )
+    rows = []
+    for tag in ("supervised", "unsupervised"):
+        mode = result[tag]
+        rows.append([
+            tag,
+            f"{mode['write_availability'] * 100:.2f}%",
+            f"{mode['read_availability'] * 100:.2f}%",
+            round(mode["worst_window"], 1),
+            mode["windows"],
+            mode["incidents"],
+            mode["mttd_mean"] if mode["mttd_mean"] is not None else "-",
+            mode["mttr_mean"] if mode["mttr_mean"] is not None else "-",
+            mode["timeline_records"],
+        ])
+    print(
+        format_table(
+            ["mode", "write-avail", "read-avail", "worst-win", "windows",
+             "incidents", "mttd", "mttr", "tl-records"],
+            rows,
+            title=(
+                f"E21 — availability accounting: {args.nodes} nodes, "
+                f"{args.fragments} fragments, k={args.factor}, "
+                f"seed {args.seed}"
+            ),
+        )
+    )
+    deterministic = (
+        result["rerun_timeline_hash"]
+        == result["supervised"]["timeline_hash"]
+    )
+    print(f"timeline deterministic across reruns: {deterministic}")
+    committed = None
+    if args.check:
+        committed = load_committed(args.check)
+        if committed is None:
+            print(f"error: no committed benchmark at {args.check}",
+                  file=sys.stderr)
+            return 1
+    ok, problems = check_gates(result, committed, args.tolerance)
+    for problem in problems:
+        print("GATE FAILED: " + problem, file=sys.stderr)
+    if ok:
+        print("all gates OK: accountant deterministic, windows agree "
+              "with the measured E20 ground truth")
     if args.json:
         write_result(result, args.json)
         print(f"wrote {args.json}")
@@ -867,9 +1026,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--summarize", default=None, metavar="TRACE",
         help="summarize an existing JSONL trace file and exit",
     )
+    metrics.add_argument(
+        "--watch", type=float, default=None, metavar="TICKS",
+        help="sample the registry every TICKS simulated ticks and print "
+        "per-interval counter deltas (the timeline sampler's view)",
+    )
+    metrics.add_argument(
+        "--timeline-out", default=None, metavar="FILE",
+        dest="timeline_out",
+        help="dump the sampled timeline as JSONL (requires --watch; feed "
+        "it to `repro dashboard --timeline`)",
+    )
     _add_batching_args(metrics)
     _add_fault_args(metrics)
     metrics.set_defaults(func=cmd_metrics)
+
+    dashboard = sub.add_parser(
+        "dashboard",
+        help="render a trace (sparklines, availability heatmap, lineage "
+        "spans) as a self-contained HTML page or a live-reloading server",
+    )
+    dashboard.add_argument("trace_file", help="JSONL trace file to render")
+    dashboard.add_argument(
+        "--timeline", default=None, metavar="FILE",
+        help="timeline JSONL dump (from `repro metrics --watch "
+        "--timeline-out`) for real metric sparklines",
+    )
+    dashboard.add_argument(
+        "--html", default=None, metavar="FILE",
+        help="write a static self-contained HTML dashboard here",
+    )
+    dashboard.add_argument(
+        "--serve", action="store_true",
+        help="serve the dashboard over HTTP with live reload (SSE pings "
+        "when the trace file grows)",
+    )
+    dashboard.add_argument("--host", default="127.0.0.1")
+    dashboard.add_argument("--port", type=int, default=8377)
+    dashboard.set_defaults(func=cmd_dashboard)
 
     scale = sub.add_parser(
         "scale-bench",
@@ -950,6 +1144,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed MTTR regression for --check (default 0.20)",
     )
     failover.set_defaults(func=cmd_failover_bench)
+
+    accounting = sub.add_parser(
+        "availability-accounting-bench",
+        help="E21 accountant-vs-measured availability agreement, with "
+        "timeline determinism hashing",
+    )
+    accounting.add_argument("--nodes", type=int, default=6)
+    accounting.add_argument("--fragments", type=int, default=3)
+    accounting.add_argument("--updates", type=int, default=36)
+    accounting.add_argument(
+        "--factor", type=int, default=3,
+        help="replication factor for every fragment",
+    )
+    accounting.add_argument("--seed", type=int, default=20)
+    accounting.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the result record (BENCH_obs.json format) here",
+    )
+    accounting.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="verify the accounting gates and exact match against a "
+        "committed record; exit 1 on failure",
+    )
+    accounting.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="allowed write-availability regression for --check "
+        "(default 0.05)",
+    )
+    accounting.set_defaults(func=cmd_availability_accounting_bench)
     return parser
 
 

@@ -12,9 +12,15 @@ See ``docs/observability.md`` for the event taxonomy and metric names.
 """
 
 from repro.obs import taxonomy
+from repro.obs.availability import (
+    AvailabilityAccountant,
+    account_events,
+    account_trace,
+)
 from repro.obs.lineage import SpanContext, batch_span_fields
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.summary import TraceSummary, read_trace, summarize_trace
+from repro.obs.timeline import TimelineSampler
 from repro.obs.trace import (
     DEFAULT_FLUSH_EVERY,
     DEFAULT_RING_SIZE,
@@ -23,6 +29,7 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AvailabilityAccountant",
     "Counter",
     "DEFAULT_FLUSH_EVERY",
     "DEFAULT_RING_SIZE",
@@ -30,9 +37,12 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "SpanContext",
+    "TimelineSampler",
     "TraceEvent",
     "TraceSummary",
     "Tracer",
+    "account_events",
+    "account_trace",
     "batch_span_fields",
     "read_trace",
     "summarize_trace",

@@ -187,6 +187,16 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        #: The attached :class:`~repro.obs.timeline.TimelineSampler`,
+        #: if one registered itself (see that module).
+        self.timeline: Any = None
+        # Name-sorted views, rebuilt lazily after a registration.  The
+        # timeline sampler calls snapshot() every tick, so the sorts
+        # (and their list allocations) are hoisted out of the per-call
+        # path — registration is rare, sampling is not.
+        self._sorted_counters: list[tuple[str, Counter]] | None = None
+        self._sorted_gauges: list[tuple[str, Gauge]] | None = None
+        self._sorted_histograms: list[tuple[str, Histogram]] | None = None
 
     # -- registration (get-or-create) ----------------------------------
 
@@ -195,12 +205,14 @@ class MetricsRegistry:
         counter = self._counters.get(name)
         if counter is None:
             counter = self._counters[name] = Counter(name)
+            self._sorted_counters = None
         return counter
 
     def gauge(self, name: str, read: Callable[[], Any]) -> Gauge:
         """Register (or replace) a polled gauge."""
         gauge = Gauge(name, read)
         self._gauges[name] = gauge
+        self._sorted_gauges = None
         return gauge
 
     def histogram(self, name: str) -> Histogram:
@@ -208,7 +220,28 @@ class MetricsRegistry:
         histogram = self._histograms.get(name)
         if histogram is None:
             histogram = self._histograms[name] = Histogram(name)
+            self._sorted_histograms = None
         return histogram
+
+    # -- sorted views (cached) -------------------------------------------
+
+    def counters_sorted(self) -> list[tuple[str, Counter]]:
+        """Name-sorted ``(name, counter)`` pairs; cached between registrations."""
+        if self._sorted_counters is None:
+            self._sorted_counters = sorted(self._counters.items())
+        return self._sorted_counters
+
+    def gauges_sorted(self) -> list[tuple[str, Gauge]]:
+        """Name-sorted ``(name, gauge)`` pairs; cached between registrations."""
+        if self._sorted_gauges is None:
+            self._sorted_gauges = sorted(self._gauges.items())
+        return self._sorted_gauges
+
+    def histograms_sorted(self) -> list[tuple[str, Histogram]]:
+        """Name-sorted ``(name, histogram)`` pairs; cached between registrations."""
+        if self._sorted_histograms is None:
+            self._sorted_histograms = sorted(self._histograms.items())
+        return self._sorted_histograms
 
     # -- convenience ----------------------------------------------------
 
@@ -252,15 +285,14 @@ class MetricsRegistry:
         return {
             "counters": {
                 name: counter.value
-                for name, counter in sorted(self._counters.items())
+                for name, counter in self.counters_sorted()
             },
             "gauges": {
-                name: gauge.value
-                for name, gauge in sorted(self._gauges.items())
+                name: gauge.value for name, gauge in self.gauges_sorted()
             },
             "histograms": {
                 name: histogram.summary()
-                for name, histogram in sorted(self._histograms.items())
+                for name, histogram in self.histograms_sorted()
             },
         }
 
@@ -268,7 +300,7 @@ class MetricsRegistry:
         """Counter values whose names start with ``prefix``."""
         return {
             name: counter.value
-            for name, counter in sorted(self._counters.items())
+            for name, counter in self.counters_sorted()
             if name.startswith(prefix)
         }
 

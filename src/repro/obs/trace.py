@@ -13,7 +13,9 @@ falls back to ``str()`` otherwise).
 
 from __future__ import annotations
 
+import atexit
 import json
+import weakref
 from collections import Counter as _TallyCounter
 from collections import deque
 from collections.abc import Callable, Iterator, Mapping
@@ -23,6 +25,25 @@ from typing import Any, TextIO
 from repro.obs.taxonomy import DEFAULT_EXCLUDE
 
 DEFAULT_RING_SIZE = 65536
+
+#: Tracers with an open JSONL sink, flushed at interpreter exit so an
+#: abnormal termination (uncaught exception, SystemExit mid-run) keeps
+#: the trace tail instead of losing up to ``flush_every - 1`` records
+#: still sitting in Python's file buffer.  Weak references: the hook
+#: must not keep dead tracers (or their file handles) alive, and a
+#: tracer garbage-collected with its sink open is closed by the file
+#: object's own finalizer anyway.
+_OPEN_SINKS: "weakref.WeakSet[Tracer]" = weakref.WeakSet()
+
+
+@atexit.register
+def _flush_open_sinks() -> None:
+    """Flush every tracer that still has a sink open at exit."""
+    for tracer in list(_OPEN_SINKS):
+        try:
+            tracer.flush()
+        except (OSError, ValueError):  # pragma: no cover - defensive
+            pass  # a sink already closed out from under us
 
 #: Sink writes between automatic flushes.  Python buffers file writes,
 #: so a run that dies mid-simulation would otherwise lose the tail of
@@ -137,6 +158,7 @@ class Tracer:
         self._sink = open(path, "a" if append else "w", encoding="utf-8")
         self._sink_context = dict(context or {})
         self._unflushed = 0
+        _OPEN_SINKS.add(self)
 
     def flush(self) -> None:
         """Push buffered sink writes to disk, if a sink is open."""
@@ -151,6 +173,7 @@ class Tracer:
             self._sink = None
             self._sink_context = {}
             self._unflushed = 0
+        _OPEN_SINKS.discard(self)
 
     def __enter__(self) -> "Tracer":
         return self

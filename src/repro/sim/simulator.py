@@ -189,6 +189,38 @@ class Simulator:
             delay = 0.0
         return self.schedule(delay, callback, label)
 
+    def schedule_recurring(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        until: float,
+        label: str = "",
+    ) -> EventHandle:
+        """Fire ``callback`` every ``interval`` ticks, bounded by ``until``.
+
+        The first firing is at ``now + interval``; the chain re-arms
+        itself only while the *next* firing would still be at or before
+        ``until``, so a quiesce (``run()`` with no horizon) always
+        drains — an unbounded self-rescheduling event would keep the
+        queue non-empty forever.  Cancelling the returned handle stops
+        the chain only until the first firing; periodic consumers that
+        need mid-run shutdown should guard inside the callback.
+        """
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive (got {interval})")
+        if self._now + interval > until:
+            raise SimulationError(
+                f"recurring horizon {until} is before the first firing "
+                f"at {self._now + interval}"
+            )
+
+        def fire() -> None:
+            callback()
+            if self._now + interval <= until:
+                self.schedule(interval, fire, label)
+
+        return self.schedule(interval, fire, label)
+
     def run(self, until: float | None = None, max_events: int = 10_000_000) -> None:
         """Fire events until the queue drains or ``until`` is passed.
 

@@ -353,3 +353,87 @@ class TestTimeline:
         assert related_txns(events, "T1") == {"T1", "rp:T1"}
         assert related_txns(events, "rp:T1") == {"T1", "rp:T1"}
         assert related_txns(events, "T2") == {"T2"}
+
+
+class TestAvailabilityCheck:
+    """The 8th check: blocked submissions must fall inside accounted
+    windows (see repro.obs.availability)."""
+
+    def catalog_event(self):
+        return {
+            "type": taxonomy.SYSTEM_CATALOG,
+            "t": 0.0,
+            "fragments": {
+                "F": {
+                    "agent": "ag",
+                    "objects": ["x"],
+                    "replicas": ["A", "B", "C"],
+                }
+            },
+            "agents": {"ag": "A"},
+            "nodes": ["A", "B", "C"],
+        }
+
+    def blocked_reject(self, t, reason="agent home 'A' is down"):
+        return {
+            "type": taxonomy.TXN_REJECT,
+            "t": t,
+            "txn": "T1",
+            "agent": "ag",
+            "reason": reason,
+        }
+
+    def test_blocked_reject_inside_window_passes(self):
+        report = audit_events(
+            [
+                self.catalog_event(),
+                {"type": taxonomy.NODE_CRASH, "t": 10.0, "node": "A"},
+                self.blocked_reject(12.0),
+                {"type": taxonomy.NODE_RECOVER, "t": 30.0, "node": "A"},
+            ]
+        )
+        check = report.checks["availability"]
+        assert check.checked
+        assert check.violations == []
+
+    def test_transit_reject_inside_window_passes(self):
+        report = audit_events(
+            [
+                self.catalog_event(),
+                {"type": taxonomy.TOKEN_MOVE_DEPART, "t": 5.0, "agent": "ag",
+                 "src": "A", "dst": "B", "fragments": ["F"]},
+                self.blocked_reject(
+                    6.0, reason="token for 'F' is in transit"
+                ),
+                {"type": taxonomy.TOKEN_MOVE_ARRIVE, "t": 8.0, "agent": "ag",
+                 "src": "A", "dst": "B", "fragments": ["F"]},
+            ]
+        )
+        check = report.checks["availability"]
+        assert check.checked
+        assert check.violations == []
+
+    def test_blocked_reject_without_outage_is_a_violation(self):
+        report = audit_events(
+            [self.catalog_event(), self.blocked_reject(12.0)]
+        )
+        check = report.checks["availability"]
+        assert check.checked
+        assert len(check.violations) == 1
+        assert "no open write-unavailability window" in check.violations[0].message
+
+    def test_ordinary_reject_is_ignored(self):
+        report = audit_events(
+            [
+                self.catalog_event(),
+                self.blocked_reject(12.0, reason="duplicate txn id"),
+            ]
+        )
+        assert report.checks["availability"].violations == []
+
+    def test_no_catalog_disables_the_check(self):
+        report = audit_events([self.blocked_reject(12.0)])
+        check = report.checks["availability"]
+        assert not check.checked
+        assert check.reason == "no system.catalog event in trace"
+        assert report.ok  # skipped, not failed

@@ -1,0 +1,310 @@
+"""Unit tests for the availability accountant on synthetic event streams."""
+
+import json
+
+from repro.obs import taxonomy
+from repro.obs.availability import (
+    AvailabilityAccountant,
+    account_events,
+    account_trace,
+)
+
+
+def catalog(
+    fragments=None,
+    agents=None,
+    nodes=("N0", "N1", "N2"),
+    t=0.0,
+):
+    """A minimal system.catalog event."""
+    if fragments is None:
+        fragments = {"F": {"agent": "ag", "replicas": list(nodes)}}
+    if agents is None:
+        agents = {"ag": nodes[0]}
+    return {
+        "type": taxonomy.SYSTEM_CATALOG,
+        "t": t,
+        "fragments": fragments,
+        "agents": agents,
+        "nodes": list(nodes),
+    }
+
+
+def ev(etype, t, **fields):
+    return {"type": etype, "t": t, **fields}
+
+
+class TestWriteWindows:
+    def test_crash_opens_and_recover_closes(self):
+        acc = account_events(
+            [
+                catalog(),
+                ev(taxonomy.NODE_CRASH, 10.0, node="N0"),
+                ev(taxonomy.NODE_RECOVER, 35.0, node="N0"),
+            ],
+            end_time=100.0,
+        )
+        windows = [w for w in acc.windows if w.dimension == "write"]
+        assert len(windows) == 1
+        window = windows[0]
+        assert (window.fragment, window.start, window.end) == ("F", 10.0, 35.0)
+        assert window.primary == "crash"
+
+    def test_unrecovered_crash_stays_open_until_finish(self):
+        acc = account_events(
+            [catalog(), ev(taxonomy.NODE_CRASH, 10.0, node="N0")],
+            end_time=60.0,
+        )
+        windows = [w for w in acc.windows if w.dimension == "write"]
+        assert len(windows) == 1
+        assert windows[0].end == 60.0
+        assert windows[0].duration(acc.now) == 50.0
+
+    def test_crash_of_non_home_node_does_not_block_writes(self):
+        acc = AvailabilityAccountant()
+        acc.feed(catalog())
+        acc.feed(ev(taxonomy.NODE_CRASH, 10.0, node="N2"))
+        assert not acc.unavailable("F", "write")
+
+    def test_token_transit_depart_and_arrive(self):
+        acc = AvailabilityAccountant()
+        acc.feed(catalog())
+        acc.feed(
+            ev(taxonomy.TOKEN_MOVE_DEPART, 5.0, agent="ag", src="N0",
+               dst="N1", fragments=["F"])
+        )
+        assert acc.unavailable("F", "write")
+        assert acc.active_causes("F", "write") == {"transit"}
+        acc.feed(
+            ev(taxonomy.TOKEN_MOVE_ARRIVE, 8.0, agent="ag", src="N0",
+               dst="N1", fragments=["F"])
+        )
+        assert not acc.unavailable("F", "write")
+        assert acc.agent_home["ag"] == "N1"
+        acc.finish(20.0)
+        assert [w.as_dict() for w in acc.windows if w.dimension == "write"] == [
+            {
+                "fragment": "F",
+                "dimension": "write",
+                "start": 5.0,
+                "end": 8.0,
+                "causes": ["transit"],
+                "primary": "transit",
+            }
+        ]
+
+    def test_failover_merges_into_the_crash_window(self):
+        acc = account_events(
+            [
+                catalog(),
+                ev(taxonomy.NODE_CRASH, 10.0, node="N0"),
+                ev(taxonomy.AVAIL_SUSPECT, 14.0, agent="ag", node="N0"),
+                ev(taxonomy.AVAIL_FAILOVER_BEGIN, 15.0, agent="ag",
+                   fragments=["F"]),
+                ev(taxonomy.TOKEN_MOVE_DEPART, 16.0, agent="ag", src="N0",
+                   dst="N1", fragments=["F"]),
+                ev(taxonomy.TOKEN_MOVE_ARRIVE, 19.0, agent="ag", src="N0",
+                   dst="N1", fragments=["F"]),
+                ev(taxonomy.AVAIL_FAILOVER_DONE, 19.0, agent="ag",
+                   failed_home="N0", successor="N1"),
+            ],
+            end_time=100.0,
+        )
+        windows = [w for w in acc.windows if w.dimension == "write"]
+        assert len(windows) == 1
+        window = windows[0]
+        # One contiguous outage from the crash to the token landing on
+        # the live successor — labelled by the highest-priority cause.
+        assert (window.start, window.end) == (10.0, 19.0)
+        assert window.causes == {"crash", "transit", "failover"}
+        assert window.primary == "crash"
+
+    def test_failover_abort_releases_the_failover_cause(self):
+        acc = AvailabilityAccountant()
+        acc.feed(catalog())
+        acc.feed(ev(taxonomy.AVAIL_FAILOVER_BEGIN, 5.0, agent="ag",
+                    fragments=["F"]))
+        assert acc.active_causes("F", "write") == {"failover"}
+        acc.feed(ev(taxonomy.AVAIL_FAILOVER_ABORT, 7.0, agent="ag",
+                    reason="no quorum"))
+        assert not acc.unavailable("F", "write")
+
+    def test_backpressure_is_refcounted(self):
+        acc = AvailabilityAccountant()
+        acc.feed(catalog())
+        acc.feed(ev(taxonomy.BACKPRESSURE_ENGAGE, 1.0, fragment="F"))
+        acc.feed(ev(taxonomy.BACKPRESSURE_ENGAGE, 2.0, fragment="F"))
+        acc.feed(ev(taxonomy.BACKPRESSURE_RELEASE, 3.0, fragment="F"))
+        assert acc.unavailable("F", "write")  # one engage still held
+        acc.feed(ev(taxonomy.BACKPRESSURE_RELEASE, 4.0, fragment="F"))
+        assert not acc.unavailable("F", "write")
+        acc.finish(10.0)
+        assert acc.fragment_summary("F", "write")["by_cause"] == {
+            "backpressure": 3.0
+        }
+
+
+class TestReadWindows:
+    def test_partition_strands_the_quorum(self):
+        acc = AvailabilityAccountant()
+        acc.feed(catalog(nodes=("N0", "N1", "N2")))
+        acc.feed(
+            ev(taxonomy.PARTITION_CUT, 10.0, label="p",
+               groups=[["N0"], ["N1"], ["N2"]])
+        )
+        assert acc.unavailable("F", "read")
+        assert acc.active_causes("F", "read") == {"partition"}
+        acc.feed(ev(taxonomy.PARTITION_HEAL, 25.0, label="p"))
+        assert not acc.unavailable("F", "read")
+        acc.finish(50.0)
+        reads = [w for w in acc.windows if w.dimension == "read"]
+        assert [(w.start, w.end, w.primary) for w in reads] == [
+            (10.0, 25.0, "partition")
+        ]
+
+    def test_majority_component_keeps_reads_available(self):
+        acc = AvailabilityAccountant()
+        acc.feed(catalog(nodes=("N0", "N1", "N2")))
+        acc.feed(
+            ev(taxonomy.PARTITION_CUT, 10.0, label="p",
+               groups=[["N0", "N1"], ["N2"]])
+        )
+        assert not acc.unavailable("F", "read")
+
+    def test_heal_now_clears_every_episode(self):
+        acc = AvailabilityAccountant()
+        acc.feed(catalog(nodes=("N0", "N1", "N2")))
+        acc.feed(ev(taxonomy.PARTITION_CUT, 5.0, label="a",
+                    groups=[["N0"], ["N1"], ["N2"]]))
+        acc.feed(ev(taxonomy.PARTITION_CUT, 6.0, label="b",
+                    groups=[["N0"], ["N1", "N2"]]))
+        assert acc.unavailable("F", "read")
+        acc.feed(ev(taxonomy.PARTITION_HEAL, 9.0, label="(now)"))
+        assert not acc.unavailable("F", "read")
+
+    def test_majority_of_replicas_down_blocks_reads(self):
+        acc = AvailabilityAccountant()
+        acc.feed(catalog(nodes=("N0", "N1", "N2")))
+        acc.feed(ev(taxonomy.NODE_CRASH, 10.0, node="N1"))
+        assert not acc.unavailable("F", "read")
+        acc.feed(ev(taxonomy.NODE_CRASH, 12.0, node="N2"))
+        assert acc.active_causes("F", "read") == {"crash"}
+        acc.feed(ev(taxonomy.NODE_RECOVER, 30.0, node="N1"))
+        assert not acc.unavailable("F", "read")
+
+    def test_syncing_joiners_do_not_count_and_attribute_reconfig(self):
+        acc = AvailabilityAccountant()
+        acc.feed(catalog(nodes=("N0", "N1", "N2")))
+        # Widen F to five replicas, two still syncing: countable is
+        # {N0,N1,N2}, quorum 2.  Kill two countable replicas — the
+        # widened set would still have its quorum (3 of 5 live), so the
+        # outage is attributed to the membership change in progress.
+        acc.feed(
+            ev(taxonomy.SYSTEM_RECONFIG, 5.0, fragment="F",
+               replicas=["N0", "N1", "N2", "N3", "N4"],
+               syncing=["N3", "N4"])
+        )
+        acc.feed(ev(taxonomy.NODE_CRASH, 10.0, node="N1"))
+        acc.feed(ev(taxonomy.NODE_CRASH, 11.0, node="N2"))
+        assert acc.active_causes("F", "read") == {"reconfig"}
+        # Once a joiner finishes syncing it counts: {N0,N3,N4} live of
+        # countable {N0,N1,N2,N3} -> quorum 3 reachable? countable size
+        # 4, quorum 3, live countable = N0,N3 -> still short; sync both.
+        acc.feed(ev(taxonomy.RECONFIG_SYNCED, 20.0, fragment="F", node="N3"))
+        acc.feed(ev(taxonomy.RECONFIG_SYNCED, 21.0, fragment="F", node="N4"))
+        assert not acc.unavailable("F", "read")
+
+    def test_quorum_timeouts_are_point_incidents(self):
+        acc = AvailabilityAccountant()
+        acc.feed(catalog())
+        acc.feed(ev(taxonomy.QUORUM_READ_TIMEOUT, 9.0, missing=["F"]))
+        acc.feed(ev(taxonomy.QUORUM_READ_TIMEOUT, 11.0, missing=["F"]))
+        acc.finish(20.0)
+        assert acc.fragment_summary("F", "read")["quorum_timeouts"] == 2
+
+
+class TestIncidentsAndSummaries:
+    def failover_stream(self):
+        return [
+            catalog(),
+            ev(taxonomy.NODE_CRASH, 10.0, node="N0"),
+            ev(taxonomy.AVAIL_SUSPECT, 16.0, agent="ag", node="N0"),
+            ev(taxonomy.AVAIL_FAILOVER_BEGIN, 16.0, agent="ag",
+               fragments=["F"]),
+            ev(taxonomy.TOKEN_MOVE_ARRIVE, 22.0, agent="ag", src="N0",
+               dst="N1", fragments=["F"]),
+            ev(taxonomy.AVAIL_FAILOVER_DONE, 22.0, agent="ag",
+               failed_home="N0", successor="N1"),
+        ]
+
+    def test_mttd_mttr_decomposition(self):
+        acc = account_events(self.failover_stream(), end_time=100.0)
+        assert len(acc.incidents) == 1
+        incident = acc.incidents[0]
+        assert incident["mttd"] == 6.0  # crash 10 -> suspect 16
+        assert incident["mttr"] == 12.0  # crash 10 -> done 22
+        assert incident["successor"] == "N1"
+        summary = acc.summary()
+        assert summary["mttd_mean"] == 6.0
+        assert summary["mttr_mean"] == 12.0
+        assert summary["mttr_max"] == 12.0
+
+    def test_fragment_summary_math(self):
+        acc = account_events(self.failover_stream(), end_time=110.0)
+        summary = acc.fragment_summary("F", "write")
+        assert summary["observed"] == 110.0
+        assert summary["unavailable"] == 12.0
+        assert summary["availability"] == round(1.0 - 12.0 / 110.0, 6)
+        assert summary["windows"] == 1
+        assert summary["longest_window"] == 12.0
+        # Cause-time integrates concurrent holds separately.
+        assert summary["by_cause"]["crash"] == 12.0
+        assert summary["by_cause"]["failover"] == 6.0
+
+    def test_availability_and_worst_window(self):
+        acc = account_events(self.failover_stream(), end_time=110.0)
+        assert acc.worst_window("write") == 12.0
+        assert acc.availability("write") == round(1.0 - 12.0 / 110.0, 6)
+        assert acc.availability("read") == 1.0
+
+    def test_pristine_trace_is_fully_available(self):
+        acc = account_events([catalog()], end_time=50.0)
+        assert acc.windows == []
+        assert acc.availability("write") == 1.0
+        assert acc.worst_window("write") == 0.0
+        assert acc.summary()["mttr_mean"] is None
+
+    def test_summary_is_json_serializable(self):
+        acc = account_events(self.failover_stream(), end_time=100.0)
+        json.dumps(acc.summary())  # must not raise
+
+
+class TestTraceHelpers:
+    def test_account_trace_groups_by_run(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        records = []
+        for run in ("alpha", "beta"):
+            records.append({**catalog(), "run": run})
+            records.append(
+                {**ev(taxonomy.NODE_CRASH, 10.0, node="N0"), "run": run}
+            )
+        records.append(
+            {**ev(taxonomy.NODE_RECOVER, 30.0, node="N0"), "run": "beta"}
+        )
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records), encoding="utf-8"
+        )
+        accountants = account_trace(str(path))
+        assert sorted(accountants) == ["alpha", "beta"]
+        beta = [
+            w for w in accountants["beta"].windows if w.dimension == "write"
+        ]
+        assert beta[0].end == 30.0
+
+    def test_events_without_time_or_type_are_harmless(self):
+        acc = account_events(
+            [catalog(), {"type": "something.else"}, {"no_type": True}],
+            end_time=5.0,
+        )
+        assert acc.events == 3
+        assert acc.windows == []

@@ -91,3 +91,93 @@ class TestCli:
         out = capsys.readouterr().out
         assert "with-seqno" in out
         assert "OK" in out
+
+
+class TestObservabilityCommands:
+    def trace_file(self, tmp_path, capsys):
+        """Produce a small traced chaos run to feed the dashboard."""
+        path = str(tmp_path / "trace.jsonl")
+        assert main([
+            "chaos", "--seed", "3", "--protocol", "with-seqno",
+            "--bursts", "0", "--flaps", "0", "--crashes", "1",
+            "--partitions", "0", "--trace", path,
+        ]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_metrics_watch_prints_tick_blocks(self, capsys):
+        assert main([
+            "metrics", "--seed", "7", "--duration", "40", "--watch", "25",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "t=" in out
+        assert "metrics snapshot" in out
+
+    def test_metrics_watch_rejects_nonpositive_tick(self, capsys):
+        assert main(["metrics", "--watch", "0"]) == 1
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_metrics_timeline_out_writes_jsonl(self, capsys, tmp_path):
+        out_path = str(tmp_path / "tl.jsonl")
+        assert main([
+            "metrics", "--seed", "7", "--duration", "40", "--watch", "25",
+            "--timeline-out", out_path,
+        ]) == 0
+        assert "timeline records written" in capsys.readouterr().out
+        from repro.obs.timeline import load_jsonl
+
+        loaded = load_jsonl(out_path)
+        assert loaded["counter"]  # sampled something
+
+    def test_dashboard_requires_a_mode(self, capsys, tmp_path):
+        path = self.trace_file(tmp_path, capsys)
+        assert main(["dashboard", path]) == 1
+        assert "--html" in capsys.readouterr().err
+
+    def test_dashboard_html_renders_the_trace(self, capsys, tmp_path):
+        path = self.trace_file(tmp_path, capsys)
+        html_path = str(tmp_path / "dash.html")
+        assert main(["dashboard", path, "--html", html_path]) == 0
+        assert "dashboard written" in capsys.readouterr().out
+        with open(html_path, encoding="utf-8") as handle:
+            html = handle.read()
+        assert "<svg" in html
+        assert "viz-root" in html
+
+    def test_dashboard_html_missing_trace_errors(self, capsys, tmp_path):
+        assert main([
+            "dashboard", str(tmp_path / "absent.jsonl"),
+            "--html", str(tmp_path / "dash.html"),
+        ]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_chaos_table_has_availability_columns(self, capsys):
+        assert main([
+            "chaos", "--seed", "11", "--protocol", "with-seqno",
+            "--bursts", "0", "--flaps", "0", "--crashes", "0",
+            "--partitions", "0", "--kill-agent", "1", "--failover",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "avail" in out
+        assert "worst-win" in out
+        assert "unavailability by cause:" in out
+
+    def test_availability_accounting_bench_reduced_run(
+        self, capsys, tmp_path
+    ):
+        path = str(tmp_path / "bench.json")
+        assert main([
+            "availability-accounting-bench", "--nodes", "4",
+            "--fragments", "2", "--updates", "12", "--factor", "3",
+            "--json", path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "E21" in out
+        assert "timeline deterministic across reruns: True" in out
+        assert "all gates OK" in out
+        # The record it just wrote gates cleanly against itself.
+        assert main([
+            "availability-accounting-bench", "--nodes", "4",
+            "--fragments", "2", "--updates", "12", "--factor", "3",
+            "--check", path,
+        ]) == 0

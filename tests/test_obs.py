@@ -538,3 +538,141 @@ class TestTraceGolden:
         }
         # The ring buffer saw the identical stream.
         assert db.tracer.counts() == summary.by_type
+
+
+class TestHistogramPercentileEdges:
+    """percentile() on the boundary inputs the sampler leans on."""
+
+    def test_empty_histogram_is_none(self):
+        hist = MetricsRegistry().histogram("h")
+        assert hist.percentile(50) is None
+        assert hist.percentile(0) is None
+        assert hist.percentile(100) is None
+
+    def test_single_sample_answers_every_percentile(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(7.0)
+        assert hist.percentile(0) == 7.0
+        assert hist.percentile(50) == 7.0
+        assert hist.percentile(100) == 7.0
+
+    def test_p0_and_p100_clamp_to_min_and_max(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in (3.0, 1.0, 2.0, 4.0):
+            hist.observe(value)
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(100) == 4.0
+
+    def test_nearest_rank_on_small_sets(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in (10.0, 20.0, 30.0, 40.0):
+            hist.observe(value)
+        assert hist.percentile(50) == 20.0  # nearest-rank, not midpoint
+        assert hist.percentile(75) == 30.0
+
+    def test_reservoir_truncated_percentiles_stay_in_range(self):
+        from repro.obs.metrics import RESERVOIR_SIZE
+
+        hist = MetricsRegistry().histogram("h")
+        total = RESERVOIR_SIZE + 500
+        for value in range(total):
+            hist.observe(float(value))
+        # Past the reservoir the answer is an estimate, but it must be
+        # a genuinely observed value inside the stream's range.
+        for p in (0, 50, 100):
+            estimate = hist.percentile(p)
+            assert 0.0 <= estimate <= float(total - 1)
+        assert hist.percentile(100) <= hist.summary()["max"]
+
+
+class TestTraceSummaryEdges:
+    def test_read_trace_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"type": "a", "t": 1.0}\n\n   \n{"type": "b", "t": 2.0}\n',
+            encoding="utf-8",
+        )
+        assert [r["type"] for r in read_trace(str(path))] == ["a", "b"]
+
+    def test_empty_file_summary(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("", encoding="utf-8")
+        summary = summarize_trace(str(path))
+        assert summary.total == 0
+        assert summary.by_type == {}
+        assert summary.time_span is None
+
+    def test_by_run_and_time_span(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        records = [
+            {"type": "txn.commit", "t": 5.0, "run": "r1"},
+            {"type": "txn.commit", "t": 9.0, "run": "r2"},
+            {"type": "txn.abort", "t": 1.5},  # no run context
+        ]
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records), encoding="utf-8"
+        )
+        summary = summarize_trace(str(path))
+        assert summary.time_span == (1.5, 9.0)
+        assert summary.count("txn.commit") == 2
+        assert summary.count("txn.commit", run="r1") == 1
+        assert summary.count("txn.commit", run="missing") == 0
+        assert summary.by_run == {
+            "r1": {"txn.commit": 1},
+            "r2": {"txn.commit": 1},
+        }
+
+
+class TestTracerAtexitFlush:
+    """The trace tail survives a run that never reaches close()."""
+
+    def test_flush_open_sinks_flushes_unflushed_tail(self, tmp_path):
+        from repro.obs.trace import _flush_open_sinks
+
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(enabled=True, flush_every=1000)
+        tracer.open_jsonl(path)
+        tracer.emit("txn.commit", txn="T1")
+        assert list(read_trace(path)) == []  # buffered, not yet on disk
+        _flush_open_sinks()
+        assert [r["type"] for r in read_trace(path)] == ["txn.commit"]
+        tracer.close()
+
+    def test_closed_sink_is_deregistered(self, tmp_path):
+        from repro.obs import trace as trace_module
+
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(enabled=True)
+        tracer.open_jsonl(path)
+        assert tracer in trace_module._OPEN_SINKS
+        tracer.close()
+        assert tracer not in trace_module._OPEN_SINKS
+
+    def test_killed_run_keeps_the_tail(self, tmp_path):
+        """Regression: a script that exits without close() used to lose
+        up to flush_every - 1 records; the atexit hook flushes them."""
+        import subprocess
+        import sys
+
+        path = str(tmp_path / "trace.jsonl")
+        script = (
+            "import sys\n"
+            "from repro.obs.trace import Tracer\n"
+            "tracer = Tracer(enabled=True, flush_every=1000)\n"
+            f"tracer.open_jsonl({path!r})\n"
+            "tracer.emit('txn.commit', txn='T1')\n"
+            "tracer.emit('txn.abort', txn='T2')\n"
+            "sys.exit(3)  # abnormal exit, close() never called\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd="/root/repo",
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 3
+        assert [r["type"] for r in read_trace(path)] == [
+            "txn.commit",
+            "txn.abort",
+        ]
