@@ -78,11 +78,14 @@ from repro.replication import (
     QuorumConfig,
     ReplicationPipeline,
 )
+from repro.runtime import AsyncioScheduler, FaultProxy, TcpMeshNetwork
+from repro.serve import FrontDoor, serve_frontdoor
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AcyclicReadsStrategy",
+    "AsyncioScheduler",
     "AvailabilityStats",
     "CombinedStrategy",
     "ConsistencyPredicate",
@@ -90,9 +93,11 @@ __all__ = [
     "ControlStrategy",
     "CorrectiveMoveProtocol",
     "DesignError",
+    "FaultProxy",
     "FixedAgentsProtocol",
     "FragmentCheckpoint",
     "FragmentedDatabase",
+    "FrontDoor",
     "InitiationError",
     "InstantMoveProtocol",
     "MajorityCommitProtocol",
@@ -116,6 +121,7 @@ __all__ = [
     "RequestStatus",
     "RequestTracker",
     "SimulationError",
+    "TcpMeshNetwork",
     "TokenError",
     "Topology",
     "TraceEvent",
@@ -126,4 +132,5 @@ __all__ = [
     "UnrestrictedReadsStrategy",
     "Write",
     "scripted_body",
+    "serve_frontdoor",
 ]

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.analysis.report import (
     format_metrics_snapshot,
@@ -231,6 +232,8 @@ def cmd_scenario(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
+    if getattr(args, "backend", "sim") == "asyncio":
+        return _cmd_chaos_asyncio(args)
     from repro.analysis.nemesis import NemesisConfig, run_nemesis
     from repro.analysis.torture import PROTOCOLS
 
@@ -327,6 +330,167 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         return 1
     print(f"\nall {len(rows)} runs respected the Section 4.4 guarantees")
     return 0
+
+
+def _cmd_chaos_asyncio(args: argparse.Namespace) -> int:
+    """Chaos on the real backend: fault proxies + hard kills over TCP."""
+    from repro.analysis.serve_bench import run_live_chaos
+
+    drop = args.loss_rate if args.loss_rate is not None else 0.05
+    delay = (args.jitter / 1000.0) if args.jitter is not None else 0.002
+    seeds = (
+        range(args.seed, args.seed + args.seeds)
+        if args.seeds
+        else [args.seed]
+    )
+    if args.trace:
+        open(args.trace, "w", encoding="utf-8").close()  # truncate
+    rows = []
+    violations = []
+    for seed in seeds:
+        result = run_live_chaos(
+            seed=seed,
+            drop=drop,
+            delay=delay,
+            trace_path=args.trace,
+            trace_append=True,
+        )
+        if not result["respects_guarantees"]:
+            violations.append(seed)
+        rows.append([
+            seed,
+            f"{result['committed']}/{result['submitted']}",
+            result["frames_dropped"],
+            result["frames_blackholed"],
+            result["retransmits"],
+            result["failovers"],
+            result["retries"],
+            f"{result['throughput_ups']}/s",
+            "ok" if result["audit_ok"]
+            else f"FAIL:{result['audit_violations']}",
+            "OK" if result["respects_guarantees"] else "VIOLATION",
+        ])
+    print(
+        format_table(
+            ["seed", "committed", "dropped", "blackholed", "retrans",
+             "failovers", "http-retries", "throughput", "audit", "verdict"],
+            rows,
+            title=(
+                f"chaos --backend=asyncio (real TCP; proxy drop={drop}, "
+                f"delay={delay}s, one hard kill per run)"
+            ),
+        )
+    )
+    if args.trace:
+        print(f"\ntrace written to {args.trace}")
+    if violations:
+        print(
+            f"\n{len(violations)} guarantee violation(s) at seeds "
+            f"{violations}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall {len(rows)} live runs respected the Section 4.4 "
+          "guarantees")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the asyncio backend and serve it over HTTP until Ctrl-C."""
+    from repro.analysis.serve_bench import build_system
+    from repro.serve import FrontDoor
+
+    fault_profile = None
+    if args.drop or args.delay:
+        fault_profile = {
+            "drop": args.drop, "delay": args.delay, "seed": args.seed
+        }
+    db = build_system(
+        nodes=args.nodes,
+        fragments=args.fragments,
+        factor=args.factor,
+        tick=args.tick,
+        fault_profile=fault_profile,
+        trace_path=args.trace,
+    )
+    db.start_runtime()
+    db.call_on_runtime(lambda: db.availability.start(until=10_000_000.0))
+    door = FrontDoor(db, host=args.host, port=args.port).start()
+    print(f"serving {args.nodes} nodes / {args.fragments} fragments "
+          f"(k={args.factor}, asyncio backend) on {door.url}")
+    print(f"  POST {door.url}/updates   " + '{"object": "x0", "delta": 1}')
+    print(f"  POST {door.url}/reads     " + '{"object": "x0", "at": "N4"}')
+    print(f"  GET  {door.url}/          live dashboard "
+          "(/fragments /updates /metrics /healthz)")
+    print("Ctrl-C to stop")
+    try:
+        while True:
+            time.sleep(3600.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        door.stop()
+        db.tracer.close()
+        db.stop_runtime()
+    return 0
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.serve_bench import (
+        check_gates,
+        load_committed,
+        run_serve_bench,
+        write_result,
+    )
+
+    result = run_serve_bench(
+        nodes=args.nodes,
+        fragments=args.fragments,
+        updates=args.updates,
+        factor=args.factor,
+        clients=args.clients,
+        tick=args.tick,
+        kill=not args.no_kill,
+        trace_path=args.trace,
+    )
+    print(
+        format_table(
+            ["committed", "failovers", "http-retries", "throughput",
+             "p50", "p99", "audit"],
+            [[
+                f"{result['committed']}/{result['submitted']}",
+                result["failovers"],
+                result["retries"],
+                f"{result['throughput_ups']}/s",
+                f"{result['p50_ms']}ms",
+                f"{result['p99_ms']}ms",
+                "ok" if result["audit_ok"]
+                else f"FAIL:{result['audit_violations']}",
+            ]],
+            title=(
+                f"E22 — HTTP front door on the asyncio backend: "
+                f"{args.nodes} nodes, {args.fragments} fragments, "
+                f"k={args.factor}, {args.clients} clients"
+                + ("" if args.no_kill else ", one mid-run hard kill")
+            ),
+        )
+    )
+    committed = None
+    if args.check:
+        committed = load_committed(args.check)
+        if committed is None:
+            print(f"error: no committed benchmark at {args.check}",
+                  file=sys.stderr)
+            return 1
+    ok, message = check_gates(result, committed)
+    if ok:
+        print("all gates OK: " + message)
+    else:
+        print("GATE FAILED: " + message, file=sys.stderr)
+    if args.json:
+        write_result(result, args.json)
+        print(f"wrote {args.json}")
+    return 0 if ok else 1
 
 
 def cmd_checkpoint(args: argparse.Namespace) -> int:
@@ -940,6 +1104,13 @@ def build_parser() -> argparse.ArgumentParser:
         "detection plus automatic agent failover to a live replica",
     )
     chaos.add_argument("--trace", default=None, help=trace_help)
+    chaos.add_argument(
+        "--backend", choices=["sim", "asyncio"], default="sim",
+        help="sim: seeded nemesis in the simulator (default); asyncio: "
+        "real TCP with frame-dropping fault proxies, one hard kill per "
+        "run, HTTP-driven workload (maps --loss-rate to the proxy drop "
+        "probability and --jitter milliseconds to the proxy delay)",
+    )
     _add_fault_args(chaos)
     chaos.set_defaults(func=cmd_chaos)
 
@@ -1173,6 +1344,82 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 0.05)",
     )
     accounting.set_defaults(func=cmd_availability_accounting_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="boot the asyncio runtime backend (real TCP between nodes) "
+        "and serve it over HTTP: location-transparent writes, quorum "
+        "reads, live dashboard",
+    )
+    serve.add_argument("--nodes", type=int, default=5)
+    serve.add_argument("--fragments", type=int, default=2)
+    serve.add_argument(
+        "--factor", type=int, default=3,
+        help="replication factor for every fragment",
+    )
+    serve.add_argument(
+        "--tick", type=float, default=0.05, metavar="SECONDS",
+        help="real seconds per simulated tick (protocol timeouts scale "
+        "with this; default 0.05)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8378)
+    serve.add_argument(
+        "--drop", type=float, default=0.0, metavar="P",
+        help="arm fault proxies dropping each frame with probability P",
+    )
+    serve.add_argument(
+        "--delay", type=float, default=0.0, metavar="SECONDS",
+        help="arm fault proxies delaying each frame this long",
+    )
+    serve.add_argument("--seed", type=int, default=0,
+                       help="fault-proxy RNG seed (with --drop)")
+    serve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="stream the live trace to this JSONL file (auditable with "
+        "`repro audit`)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="E22 HTTP-path throughput/latency on the asyncio backend, "
+        "with a mid-run hard kill ridden by supervisor failover",
+    )
+    serve_bench.add_argument("--nodes", type=int, default=5)
+    serve_bench.add_argument("--fragments", type=int, default=2)
+    serve_bench.add_argument("--updates", type=int, default=40)
+    serve_bench.add_argument(
+        "--factor", type=int, default=3,
+        help="replication factor for every fragment",
+    )
+    serve_bench.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent HTTP client threads",
+    )
+    serve_bench.add_argument(
+        "--tick", type=float, default=0.01, metavar="SECONDS",
+        help="real seconds per simulated tick (default 0.01 — fast "
+        "failure detection for benching)",
+    )
+    serve_bench.add_argument(
+        "--no-kill", action="store_true", dest="no_kill",
+        help="skip the mid-run hard kill (pure throughput run)",
+    )
+    serve_bench.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="capture the live trace to this JSONL file",
+    )
+    serve_bench.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the result record (BENCH_serve.json format) here",
+    )
+    serve_bench.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="verify the sanity gates and record schema against a "
+        "committed record; exit 1 on failure",
+    )
+    serve_bench.set_defaults(func=cmd_serve_bench)
     return parser
 
 

@@ -116,21 +116,66 @@ class FragmentedDatabase:
         replication_factor: int | None = None,
         quorum: QuorumConfig | None = None,
         availability: AvailabilityConfig | None = None,
+        runtime: str = "sim",
+        tick: float = 0.05,
+        fault_profile: Mapping[str, Any] | None = None,
     ) -> None:
         if len(node_names) < 1:
             raise DesignError("at least one node required")
         if replication_factor is not None and replication_factor < 1:
             raise DesignError("replication_factor must be >= 1 (or None)")
-        self.sim = Simulator()
+        if runtime not in ("sim", "asyncio"):
+            raise DesignError(
+                f"unknown runtime {runtime!r} (expected 'sim' or 'asyncio')"
+            )
+        self.runtime_name = runtime
+        # The runtime backend: the deterministic discrete-event
+        # simulator, or the real-time asyncio scheduler + TCP mesh
+        # (same duck-typed surface; see repro.runtime).  The asyncio
+        # backend needs an explicit start_runtime()/stop_runtime()
+        # bracket and thread-safe observability (HTTP front-door
+        # threads read metrics while the loop thread writes them).
+        if runtime == "asyncio":
+            from repro.runtime.scheduler import AsyncioScheduler
+
+            self.sim: Simulator | AsyncioScheduler = AsyncioScheduler(
+                tick=tick
+            )
+        else:
+            self.sim = Simulator()
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(clock=lambda: self.sim.now)
         self.sim.tracer = self.tracer
         self.topology = topology or Topology.full_mesh(
             node_names, default_latency
         )
-        self.network = Network(
-            self.sim, self.topology, tracer=self.tracer, metrics=self.metrics
-        )
+        if runtime == "asyncio":
+            from repro.runtime.tcp import TcpMeshNetwork
+
+            self.metrics.enable_thread_safety()
+            self.network: Network = TcpMeshNetwork(
+                self.sim,
+                self.topology,
+                tracer=self.tracer,
+                metrics=self.metrics,
+                fault_profile=dict(fault_profile)
+                if fault_profile is not None
+                else None,
+            )
+            self.network.down_guard = self._node_is_down
+        else:
+            if fault_profile is not None:
+                raise DesignError(
+                    "fault_profile (socket-level faults) requires "
+                    "runtime='asyncio'; use faults=FaultPlan(...) on the "
+                    "simulator backend"
+                )
+            self.network = Network(
+                self.sim,
+                self.topology,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
         self.broadcast = ReliableBroadcast(self.network, fifo=fifo_broadcast)
         self.pipeline = ReplicationPipeline(pipeline)
         self.pipeline.attach(self)
@@ -148,7 +193,11 @@ class FragmentedDatabase:
         # implemented once the substrate stops granting it for free.
         self.faults = faults
         if reliable is None:
-            reliable = faults is not None and faults.message_faults
+            # A real network is a faulty network: the asyncio backend
+            # always earns the delivery assumption with the transport.
+            reliable = (runtime == "asyncio") or (
+                faults is not None and faults.message_faults
+            )
         if reliable:
             config = reliable if isinstance(reliable, ReliableConfig) else None
             self.transport: ReliableTransport | None = ReliableTransport(
@@ -163,19 +212,18 @@ class FragmentedDatabase:
             self.injector.revive_guard = self._flap_revive_guard
             self.injector.install()
             self.partitions.install(faults.partitions)
-            for crash in faults.crashes:
-                self.sim.schedule_at(
-                    crash.at,
-                    lambda c=crash: self._crash_episode(c),
-                    label=f"fault crash {crash.node}",
+            if runtime == "asyncio":
+                # The real-time scheduler only accepts work once its
+                # loop is up; start_runtime() arms these episodes.
+                self._deferred_crashes: list[CrashEpisode] = list(
+                    faults.crashes
                 )
-                self.sim.schedule_at(
-                    crash.recover_at,
-                    lambda c=crash: self.recover_node(c.node),
-                    label=f"fault recover {crash.node}",
-                )
+            else:
+                self._schedule_crash_episodes(faults.crashes)
+                self._deferred_crashes = []
         else:
             self.injector = None
+            self._deferred_crashes = []
         self.action_delay = action_delay
         self.agents: dict[str, Agent] = {}
         self._fragment_agent: dict[str, str] = {}
@@ -712,6 +760,74 @@ class FragmentedDatabase:
             )
         return fragment
 
+    # -- runtime lifecycle -------------------------------------------------------
+
+    def start_runtime(self) -> None:
+        """Boot the asyncio backend (loop thread, TCP servers, proxies).
+
+        A no-op on the simulator backend, so harnesses can bracket both
+        backends uniformly.  Idempotent.
+        """
+        if self.runtime_name != "asyncio":
+            return
+        self.sim.start()
+        self.network.start()
+        if self._deferred_crashes:
+            self._schedule_crash_episodes(self._deferred_crashes)
+            self._deferred_crashes = []
+
+    def stop_runtime(self) -> None:
+        """Tear the asyncio backend down (no-op on the simulator)."""
+        if self.runtime_name != "asyncio":
+            return
+        self.network.stop()
+        self.sim.stop()
+
+    def __enter__(self) -> "FragmentedDatabase":
+        self.start_runtime()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop_runtime()
+
+    def call_on_runtime(self, fn: Callable[[], Any], timeout: float = 30.0) -> Any:
+        """Run ``fn`` on the protocol thread and return its result.
+
+        On the asyncio backend this marshals onto the loop thread (the
+        HTTP front door submits transactions this way); on the simulator
+        it simply calls ``fn`` — protocol state is single-threaded
+        either way.
+        """
+        if self.runtime_name == "asyncio":
+            return self.sim.invoke(fn, timeout=timeout)
+        return fn()
+
+    def wait_until(
+        self, predicate: Callable[[], bool], timeout: float = 30.0
+    ) -> bool:
+        """Wait for ``predicate`` (evaluated race-free) to become true.
+
+        On the simulator this quiesces first (virtual time is free);
+        on the asyncio backend it polls in real time up to ``timeout``.
+        """
+        if self.runtime_name == "asyncio":
+            return self.sim.wait_until(predicate, timeout=timeout)
+        self.quiesce()
+        return bool(predicate())
+
+    def _schedule_crash_episodes(self, crashes: Iterable[CrashEpisode]) -> None:
+        for crash in crashes:
+            self.sim.schedule_at(
+                crash.at,
+                lambda c=crash: self._crash_episode(c),
+                label=f"fault crash {crash.node}",
+            )
+            self.sim.schedule_at(
+                crash.recover_at,
+                lambda c=crash: self.recover_node(c.node),
+                label=f"fault recover {crash.node}",
+            )
+
     # -- node failure and recovery ----------------------------------------------
 
     def _crash_episode(self, crash: CrashEpisode) -> None:
@@ -794,6 +910,48 @@ class FragmentedDatabase:
             self.tracer.emit(taxonomy.NODE_RECOVER, node=name)
         node.recover()
         self.network.topology_changed()
+
+    def hard_kill_node(self, name: str) -> None:
+        """Kill one node at the *socket* level (asyncio backend).
+
+        The paper-model :meth:`fail_node` marks links down, so the
+        network holds outbound traffic for the dead node — clean, but
+        simulated.  This variant models a killed process on a real
+        network instead: the node's fault proxy blackholes its traffic
+        (peers' frames are really lost), its database state crashes,
+        and the topology is left *untouched* — senders keep sending,
+        their frames die on the wire, and delivery through the outage
+        is carried entirely by the reliable transport's retransmit
+        budget plus the supervisor's failover.  Call on the protocol
+        thread (``call_on_runtime``).
+        """
+        if name not in self.nodes:
+            raise DesignError(f"unknown node {name!r}")
+        node = self.nodes[name]
+        if node.down:
+            return
+        proxy = getattr(self.network, "proxies", {}).get(name)
+        if proxy is not None:
+            proxy.kill()
+        node.crash()
+        self.metrics.inc("node.crashes")
+        if self.tracer.enabled:
+            self.tracer.emit(taxonomy.NODE_CRASH, node=name, hard=True)
+
+    def hard_revive_node(self, name: str) -> None:
+        """Undo :meth:`hard_kill_node`: unblackhole, then WAL recovery."""
+        if name not in self.nodes:
+            raise DesignError(f"unknown node {name!r}")
+        node = self.nodes[name]
+        proxy = getattr(self.network, "proxies", {}).get(name)
+        if proxy is not None:
+            proxy.revive()
+        if not node.down:
+            return
+        self.metrics.inc("node.recoveries")
+        if self.tracer.enabled:
+            self.tracer.emit(taxonomy.NODE_RECOVER, node=name, hard=True)
+        node.recover()
 
     # -- agent movement -----------------------------------------------------------
 

@@ -24,17 +24,32 @@ RESERVOIR_SIZE = 4096
 
 
 class Counter:
-    """A monotonically increasing counter."""
+    """A monotonically increasing counter.
 
-    __slots__ = ("name", "value")
+    ``_lock`` is None on the (single-threaded) simulator backend —
+    an increment stays one attribute add.  The asyncio backend calls
+    :meth:`MetricsRegistry.enable_thread_safety`, which installs one
+    shared lock on every counter so concurrent bumps from the loop
+    thread and HTTP worker threads cannot lose increments.  The lock
+    is installed by *mutating* existing objects because hot paths cache
+    their Counter references at wiring time.
+    """
 
-    def __init__(self, name: str) -> None:
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: Any = None) -> None:
         self.name = name
         self.value = 0
+        self._lock = lock
 
     def inc(self, n: int = 1) -> None:
         """Add ``n`` (default 1)."""
-        self.value += n
+        lock = self._lock
+        if lock is None:
+            self.value += n
+        else:
+            with lock:
+                self.value += n
 
     def __repr__(self) -> str:
         return f"Counter({self.name}={self.value})"
@@ -89,9 +104,10 @@ class Histogram:
         "_min",
         "_max",
         "_rng",
+        "_lock",
     )
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, lock: Any = None) -> None:
         self.name = name
         self.values: list[float] = []
         self._sorted: list[float] | None = None
@@ -100,9 +116,22 @@ class Histogram:
         self._min: float | None = None
         self._max: float | None = None
         self._rng: random.Random | None = None
+        self._lock = lock
 
     def observe(self, value: float) -> None:
-        """Record one sample (invalidates the cached sorted view)."""
+        """Record one sample (invalidates the cached sorted view).
+
+        With a registry-installed lock (asyncio backend), the whole
+        update — moments, reservoir, cache invalidation — is atomic.
+        """
+        lock = self._lock
+        if lock is not None:
+            with lock:
+                self._observe(value)
+        else:
+            self._observe(value)
+
+    def _observe(self, value: float) -> None:
         self._count += 1
         self._sum += value
         if self._min is None or value < self._min:
@@ -131,6 +160,12 @@ class Histogram:
         return self._count
 
     def _ordered(self) -> list[float]:
+        lock = self._lock
+        if lock is not None:
+            with lock:
+                if self._sorted is None:
+                    self._sorted = sorted(self.values)
+                return self._sorted
         if self._sorted is None:
             self._sorted = sorted(self.values)
         return self._sorted
@@ -197,6 +232,33 @@ class MetricsRegistry:
         self._sorted_counters: list[tuple[str, Counter]] | None = None
         self._sorted_gauges: list[tuple[str, Gauge]] | None = None
         self._sorted_histograms: list[tuple[str, Histogram]] | None = None
+        # Shared instrument lock, installed by enable_thread_safety().
+        # None on the simulator backend: registration and increments
+        # stay lock-free on the single protocol thread.
+        self._lock: Any = None
+
+    def enable_thread_safety(self) -> None:
+        """Make every instrument (existing and future) lock-guarded.
+
+        Called once by the asyncio backend before any concurrent use.
+        Mutates the already-registered counters/histograms in place —
+        hot paths cache instrument references at wiring time, so a
+        class- or registry-level swap would miss them.  Idempotent.
+        """
+        if self._lock is not None:
+            return
+        import threading
+
+        self._lock = threading.RLock()
+        for counter in self._counters.values():
+            counter._lock = self._lock
+        for histogram in self._histograms.values():
+            histogram._lock = self._lock
+
+    @property
+    def thread_safe(self) -> bool:
+        """True once :meth:`enable_thread_safety` has run."""
+        return self._lock is not None
 
     # -- registration (get-or-create) ----------------------------------
 
@@ -204,44 +266,82 @@ class MetricsRegistry:
         """The counter called ``name``, created on first use."""
         counter = self._counters.get(name)
         if counter is None:
-            counter = self._counters[name] = Counter(name)
-            self._sorted_counters = None
+            lock = self._lock
+            if lock is not None:
+                with lock:
+                    counter = self._counters.get(name)
+                    if counter is None:
+                        counter = self._counters[name] = Counter(name, lock)
+                        self._sorted_counters = None
+            else:
+                counter = self._counters[name] = Counter(name)
+                self._sorted_counters = None
         return counter
 
     def gauge(self, name: str, read: Callable[[], Any]) -> Gauge:
         """Register (or replace) a polled gauge."""
         gauge = Gauge(name, read)
-        self._gauges[name] = gauge
-        self._sorted_gauges = None
+        lock = self._lock
+        if lock is not None:
+            with lock:
+                self._gauges[name] = gauge
+                self._sorted_gauges = None
+        else:
+            self._gauges[name] = gauge
+            self._sorted_gauges = None
         return gauge
 
     def histogram(self, name: str) -> Histogram:
         """The histogram called ``name``, created on first use."""
         histogram = self._histograms.get(name)
         if histogram is None:
-            histogram = self._histograms[name] = Histogram(name)
-            self._sorted_histograms = None
+            lock = self._lock
+            if lock is not None:
+                with lock:
+                    histogram = self._histograms.get(name)
+                    if histogram is None:
+                        histogram = self._histograms[name] = Histogram(
+                            name, lock
+                        )
+                        self._sorted_histograms = None
+            else:
+                histogram = self._histograms[name] = Histogram(name)
+                self._sorted_histograms = None
         return histogram
 
     # -- sorted views (cached) -------------------------------------------
 
+    def _build_sorted(self, which: str) -> Any:
+        if which == "counters" and self._sorted_counters is None:
+            self._sorted_counters = sorted(self._counters.items())
+        elif which == "gauges" and self._sorted_gauges is None:
+            self._sorted_gauges = sorted(self._gauges.items())
+        elif which == "histograms" and self._sorted_histograms is None:
+            self._sorted_histograms = sorted(self._histograms.items())
+
+    def _sorted_view(self, which: str) -> Any:
+        # Rebuild under the shared lock when thread safety is on so a
+        # concurrent registration cannot mutate the dict mid-sort; the
+        # returned list object is immutable-by-convention either way.
+        lock = self._lock
+        if lock is not None:
+            with lock:
+                self._build_sorted(which)
+                return getattr(self, f"_sorted_{which}")
+        self._build_sorted(which)
+        return getattr(self, f"_sorted_{which}")
+
     def counters_sorted(self) -> list[tuple[str, Counter]]:
         """Name-sorted ``(name, counter)`` pairs; cached between registrations."""
-        if self._sorted_counters is None:
-            self._sorted_counters = sorted(self._counters.items())
-        return self._sorted_counters
+        return self._sorted_view("counters")
 
     def gauges_sorted(self) -> list[tuple[str, Gauge]]:
         """Name-sorted ``(name, gauge)`` pairs; cached between registrations."""
-        if self._sorted_gauges is None:
-            self._sorted_gauges = sorted(self._gauges.items())
-        return self._sorted_gauges
+        return self._sorted_view("gauges")
 
     def histograms_sorted(self) -> list[tuple[str, Histogram]]:
         """Name-sorted ``(name, histogram)`` pairs; cached between registrations."""
-        if self._sorted_histograms is None:
-            self._sorted_histograms = sorted(self._histograms.items())
-        return self._sorted_histograms
+        return self._sorted_view("histograms")
 
     # -- convenience ----------------------------------------------------
 

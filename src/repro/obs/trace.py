@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import atexit
 import json
+import threading
 import weakref
 from collections import Counter as _TallyCounter
 from collections import deque
@@ -108,6 +109,15 @@ class Tracer:
         self.emitted = 0  # events recorded (post-filter), lifetime
         self.flush_every = flush_every
         self._unflushed = 0  # sink writes since the last flush
+        # Emission and sink lifecycle are guarded: the asyncio backend
+        # emits from its loop thread while HTTP front-door threads read
+        # the ring and SSE watchers poll ``emitted`` — without the lock
+        # two writers could interleave halves of JSONL lines.  The
+        # simulator path pays one uncontended RLock acquire per
+        # *recorded* event (the disabled-tracer early return stays
+        # lock-free), which does not register next to the json.dumps
+        # already on that path.
+        self._lock = threading.RLock()
 
     # -- lifecycle -------------------------------------------------------
 
@@ -121,24 +131,34 @@ class Tracer:
 
     def clear(self) -> None:
         """Drop all buffered events."""
-        self._ring.clear()
+        with self._lock:
+            self._ring.clear()
 
     # -- emission --------------------------------------------------------
 
     def emit(self, type: str, **fields: Any) -> None:
-        """Record one event (no-op while disabled or excluded)."""
+        """Record one event (no-op while disabled or excluded).
+
+        Thread-safe: ring append, sequence count, and the sink write
+        happen under one lock, so concurrent emitters (the asyncio
+        backend's loop thread plus any instrumented worker) can never
+        interleave partial JSONL lines.
+        """
         if not self.enabled or type in self.exclude:
             return
         time = self.clock() if self.clock is not None else 0.0
         event = TraceEvent(time, type, fields)
-        self._ring.append(event)
-        self.emitted += 1
-        if self._sink is not None:
-            record = {"t": time, "type": type, **self._sink_context, **fields}
-            self._sink.write(json.dumps(record, default=str) + "\n")
-            self._unflushed += 1
-            if self.flush_every and self._unflushed >= self.flush_every:
-                self.flush()
+        with self._lock:
+            self._ring.append(event)
+            self.emitted += 1
+            if self._sink is not None:
+                record = {
+                    "t": time, "type": type, **self._sink_context, **fields
+                }
+                self._sink.write(json.dumps(record, default=str) + "\n")
+                self._unflushed += 1
+                if self.flush_every and self._unflushed >= self.flush_every:
+                    self.flush()
 
     # -- JSONL sink ------------------------------------------------------
 
@@ -155,24 +175,27 @@ class Tracer:
         appended to one file).  Re-opening closes the previous sink.
         """
         self.close()
-        self._sink = open(path, "a" if append else "w", encoding="utf-8")
-        self._sink_context = dict(context or {})
-        self._unflushed = 0
+        with self._lock:
+            self._sink = open(path, "a" if append else "w", encoding="utf-8")
+            self._sink_context = dict(context or {})
+            self._unflushed = 0
         _OPEN_SINKS.add(self)
 
     def flush(self) -> None:
         """Push buffered sink writes to disk, if a sink is open."""
-        if self._sink is not None:
-            self._sink.flush()
-            self._unflushed = 0
+        with self._lock:
+            if self._sink is not None:
+                self._sink.flush()
+                self._unflushed = 0
 
     def close(self) -> None:
         """Flush and close the JSONL sink, if open."""
-        if self._sink is not None:
-            self._sink.close()
-            self._sink = None
-            self._sink_context = {}
-            self._unflushed = 0
+        with self._lock:
+            if self._sink is not None:
+                self._sink.close()
+                self._sink = None
+                self._sink_context = {}
+                self._unflushed = 0
         _OPEN_SINKS.discard(self)
 
     def __enter__(self) -> "Tracer":
@@ -184,21 +207,27 @@ class Tracer:
     # -- queries ---------------------------------------------------------
 
     def events(self, prefix: str | None = None) -> list[TraceEvent]:
-        """Buffered events, optionally filtered by type prefix."""
+        """Buffered events, optionally filtered by type prefix.
+
+        Snapshots the ring under the emission lock, so a reader thread
+        (the live dashboard) never races a concurrent append.
+        """
+        with self._lock:
+            ring = list(self._ring)
         if prefix is None:
-            return list(self._ring)
-        return [event for event in self._ring if event.type.startswith(prefix)]
+            return ring
+        return [event for event in ring if event.type.startswith(prefix)]
 
     def counts(self, prefix: str | None = None) -> dict[str, int]:
         """Buffered event tallies by type, optionally prefix-filtered."""
         tally: _TallyCounter[str] = _TallyCounter()
-        for event in self._ring:
+        for event in self.events():
             if prefix is None or event.type.startswith(prefix):
                 tally[event.type] += 1
         return dict(sorted(tally.items()))
 
     def __iter__(self) -> Iterator[TraceEvent]:
-        return iter(list(self._ring))
+        return iter(self.events())
 
     def __len__(self) -> int:
         return len(self._ring)
